@@ -1,0 +1,342 @@
+//! Construction 1: the q-SDH multiset accumulator (Papamanthou et al.,
+//! CRYPTO'11; paper §5.2.1).
+//!
+//! * `acc(X) = g₁^{P_X(s)}` where `P_X(s) = ∏_{x∈X} (x + s)` (with
+//!   multiplicity), computed from the public powers `g₁^{sⁱ}` only.
+//! * `ProveDisjoint` finds Bézout polynomials `Q₁, Q₂` with
+//!   `P₁Q₁ + P₂Q₂ = 1` and publishes `(F₁*, F₂*) = (g₂^{Q₁(s)}, g₂^{Q₂(s)})`.
+//! * `VerifyDisjoint` checks `e(acc(X₁), F₁*) · e(acc(X₂), F₂*) = e(g₁, g₂)`.
+//!
+//! On the asymmetric BLS12-381, values live in `G1` and proof components in
+//! `G2`; the pairing equation is otherwise the paper's.
+
+use std::sync::Arc;
+
+use rand::Rng;
+use vchain_bigint::U256;
+use vchain_pairing::{
+    multi_pairing, multiexp, pairing, Field, Fr, G1Affine, G1Projective, G2Affine, G2Projective,
+    Gt,
+};
+
+use crate::poly::Poly;
+use crate::{AccElem, AccError, Accumulator, MultiSet};
+
+/// The accumulative value `acc(X) ∈ G1` (a block's AttDigest under acc1).
+pub type Acc1Value = G1Affine;
+
+/// A disjointness witness `(F₁*, F₂*) ∈ G2²`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Acc1Proof {
+    pub f1: G2Affine,
+    pub f2: G2Affine,
+}
+
+/// Public parameters: powers of the trapdoor in both source groups.
+pub struct Acc1PublicKey {
+    /// `g₁^{sⁱ}` for `i = 0..=capacity`.
+    pub g1_powers: Vec<G1Projective>,
+    /// `g₂^{sⁱ}` for `i = 0..=capacity`.
+    pub g2_powers: Vec<G2Projective>,
+    /// `e(g₁, g₂)`, the right-hand side of the verification equation.
+    pub gt_gen: Gt,
+}
+
+impl Acc1PublicKey {
+    /// Maximum accumulatable multiset cardinality.
+    pub fn capacity(&self) -> usize {
+        self.g1_powers.len() - 1
+    }
+}
+
+/// Construction 1 handle. Cloning shares the public key.
+#[derive(Clone)]
+pub struct Acc1 {
+    pk: Arc<Acc1PublicKey>,
+    /// The trapdoor, retained by the simulation's key generator. It is
+    /// *never* used for proving or verifying; with `fast_setup` it shortcuts
+    /// `Setup` from `O(n²)` to `O(n)` when the experiment being run does not
+    /// measure setup cost (see DESIGN.md §2).
+    sk: Option<Fr>,
+    fast_setup: bool,
+}
+
+impl Acc1 {
+    /// `KeyGen(1^λ)`: sample the trapdoor and publish `capacity + 1` powers.
+    pub fn keygen<R: Rng + ?Sized>(capacity: usize, rng: &mut R) -> Self {
+        let s = Fr::random(rng);
+        let scalars = power_scalars(&s, capacity + 1);
+        let g1_powers = fixed_base_batch(&G1Projective::generator(), &scalars);
+        let g2_powers = fixed_base_batch(&G2Projective::generator(), &scalars);
+        let gt_gen = pairing(
+            &G1Projective::generator().to_affine(),
+            &G2Projective::generator().to_affine(),
+        );
+        Self {
+            pk: Arc::new(Acc1PublicKey { g1_powers, g2_powers, gt_gen }),
+            sk: Some(s),
+            fast_setup: false,
+        }
+    }
+
+    /// Enable / disable the trapdoor fast path for `Setup`.
+    pub fn with_fast_setup(mut self, enabled: bool) -> Self {
+        assert!(!enabled || self.sk.is_some(), "fast setup requires the trapdoor");
+        self.fast_setup = enabled;
+        self
+    }
+
+    pub fn public_key(&self) -> &Acc1PublicKey {
+        &self.pk
+    }
+
+    fn char_poly<E: AccElem>(x: &MultiSet<E>) -> Poly {
+        Poly::char_poly(x.iter().map(|(e, c)| (e.to_fr(), c)))
+    }
+
+    /// Commit to a polynomial in `G1` using the public powers.
+    fn commit_g1(&self, p: &Poly) -> Result<G1Projective, AccError> {
+        self.commit(p, &self.pk.g1_powers)
+    }
+
+    fn commit_g2(&self, p: &Poly) -> Result<G2Projective, AccError> {
+        self.commit(p, &self.pk.g2_powers)
+    }
+
+    fn commit<S: vchain_pairing::CurveSpec>(
+        &self,
+        p: &Poly,
+        powers: &[vchain_pairing::Projective<S>],
+    ) -> Result<vchain_pairing::Projective<S>, AccError> {
+        let n = p.coeffs().len();
+        if n > powers.len() {
+            return Err(AccError::CapacityExceeded { needed: n - 1, capacity: powers.len() - 1 });
+        }
+        let scalars: Vec<U256> = p.coeffs().iter().map(|c| c.to_uint()).collect();
+        Ok(multiexp(&powers[..n], &scalars))
+    }
+}
+
+impl Accumulator for Acc1 {
+    type Value = Acc1Value;
+    type Proof = Acc1Proof;
+
+    fn name(&self) -> &'static str {
+        "acc1"
+    }
+
+    fn setup<E: AccElem>(&self, x: &MultiSet<E>) -> Acc1Value {
+        if self.fast_setup {
+            if let Some(s) = &self.sk {
+                // P_X(s) evaluated directly with the trapdoor: O(|X|).
+                let mut acc = Fr::one();
+                for (e, c) in x.iter() {
+                    let term = e.to_fr() + *s;
+                    acc = Field::mul(&acc, &term.pow_limbs(&[c]));
+                }
+                return G1Projective::generator().mul_fr(&acc).to_affine();
+            }
+        }
+        let p = Self::char_poly(x);
+        self.commit_g1(&p)
+            .expect("multiset exceeds acc1 capacity; raise keygen capacity")
+            .to_affine()
+    }
+
+    fn prove_disjoint<E: AccElem>(
+        &self,
+        x1: &MultiSet<E>,
+        x2: &MultiSet<E>,
+    ) -> Result<Acc1Proof, AccError> {
+        if x1.intersects(x2) {
+            return Err(AccError::NotDisjoint);
+        }
+        let p1 = Self::char_poly(x1);
+        let p2 = Self::char_poly(x2);
+        let (g, u, v) = p1.xgcd(&p2);
+        // disjoint supports => coprime characteristic polynomials
+        debug_assert_eq!(g.degree(), Some(0), "coprime polynomials expected");
+        let ginv = g.coeffs()[0].inverse().expect("nonzero gcd");
+        let q1 = u.scale(&ginv);
+        let q2 = v.scale(&ginv);
+        Ok(Acc1Proof {
+            f1: self.commit_g2(&q1)?.to_affine(),
+            f2: self.commit_g2(&q2)?.to_affine(),
+        })
+    }
+
+    fn verify_disjoint(&self, a1: &Acc1Value, a2: &Acc1Value, proof: &Acc1Proof) -> bool {
+        // e(acc(X1), F1) · e(acc(X2), F2) == e(g1, g2)
+        let lhs = multi_pairing(&[(*a1, proof.f1), (*a2, proof.f2)]);
+        lhs == self.pk.gt_gen
+    }
+
+    fn value_bytes(v: &Acc1Value) -> Vec<u8> {
+        v.to_bytes()
+    }
+
+    fn value_size(&self) -> usize {
+        48 // one compressed G1 point
+    }
+
+    fn proof_size(&self) -> usize {
+        192 // two compressed G2 points
+    }
+}
+
+/// `s⁰, s¹, …, s^{n-1}` as canonical integers.
+fn power_scalars(s: &Fr, n: usize) -> Vec<U256> {
+    let mut out = Vec::with_capacity(n);
+    let mut cur = Fr::one();
+    for _ in 0..n {
+        out.push(cur.to_uint());
+        cur = Field::mul(&cur, s);
+    }
+    out
+}
+
+/// Fixed-base batch multiplication: precompute the `2ⁱ·g` table once, then
+/// each scalar costs only additions. Used by key generation.
+pub(crate) fn fixed_base_batch<S: vchain_pairing::CurveSpec>(
+    g: &vchain_pairing::Projective<S>,
+    scalars: &[U256],
+) -> Vec<vchain_pairing::Projective<S>> {
+    let mut table = Vec::with_capacity(256);
+    let mut cur = *g;
+    for _ in 0..256 {
+        table.push(cur);
+        cur = cur.double();
+    }
+    scalars
+        .iter()
+        .map(|k| {
+            let mut acc = vchain_pairing::Projective::<S>::identity();
+            for (i, t) in table.iter().enumerate() {
+                if k.bit(i as u32) {
+                    acc = acc.add(t);
+                }
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn acc() -> Acc1 {
+        Acc1::keygen(32, &mut StdRng::seed_from_u64(11))
+    }
+
+    fn ms(v: &[u64]) -> MultiSet<u64> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn disjoint_round_trip() {
+        let a = acc();
+        let x1 = ms(&[1, 2, 3]);
+        let x2 = ms(&[4, 5]);
+        let v1 = a.setup(&x1);
+        let v2 = a.setup(&x2);
+        let proof = a.prove_disjoint(&x1, &x2).unwrap();
+        assert!(a.verify_disjoint(&v1, &v2, &proof));
+    }
+
+    #[test]
+    fn intersecting_sets_rejected_at_prove_time() {
+        let a = acc();
+        assert_eq!(
+            a.prove_disjoint(&ms(&[1, 2]), &ms(&[2, 3])).unwrap_err(),
+            AccError::NotDisjoint
+        );
+    }
+
+    #[test]
+    fn proof_does_not_verify_against_wrong_value() {
+        let a = acc();
+        let x1 = ms(&[1, 2, 3]);
+        let x2 = ms(&[4, 5]);
+        let x3 = ms(&[6, 7]);
+        let proof = a.prove_disjoint(&x1, &x2).unwrap();
+        let v1 = a.setup(&x1);
+        let v3 = a.setup(&x3);
+        assert!(!a.verify_disjoint(&v1, &v3, &proof), "proof bound to X2 must not verify for X3");
+    }
+
+    #[test]
+    fn forged_proof_fails() {
+        let a = acc();
+        let x1 = ms(&[1, 2]);
+        let x2 = ms(&[3]);
+        let v1 = a.setup(&x1);
+        let v2 = a.setup(&x2);
+        let forged = Acc1Proof {
+            f1: G2Projective::generator().mul_u64(123).to_affine(),
+            f2: G2Projective::generator().mul_u64(456).to_affine(),
+        };
+        assert!(!a.verify_disjoint(&v1, &v2, &forged));
+    }
+
+    #[test]
+    fn fast_setup_matches_honest_setup() {
+        let a = acc();
+        let fast = a.clone().with_fast_setup(true);
+        let x = ms(&[5, 5, 9, 31]); // multiplicity included
+        assert_eq!(a.setup(&x), fast.setup(&x));
+    }
+
+    #[test]
+    fn setup_deterministic_and_order_independent() {
+        let a = acc();
+        let x1: MultiSet<u64> = [3u64, 1, 2].into_iter().collect();
+        let x2: MultiSet<u64> = [2u64, 3, 1].into_iter().collect();
+        assert_eq!(a.setup(&x1), a.setup(&x2));
+    }
+
+    #[test]
+    fn empty_set_is_disjoint_with_everything() {
+        let a = acc();
+        let empty = ms(&[]);
+        let x = ms(&[1]);
+        let proof = a.prove_disjoint(&empty, &x).unwrap();
+        assert!(a.verify_disjoint(&a.setup(&empty), &a.setup(&x), &proof));
+    }
+
+    #[test]
+    fn multiplicities_affect_value_but_not_disjointness() {
+        let a = acc();
+        let x1 = ms(&[1, 1]);
+        let x2 = ms(&[1]);
+        assert_ne!(a.setup(&x1), a.setup(&x2));
+        let y = ms(&[9, 9, 9]);
+        let proof = a.prove_disjoint(&x1, &y).unwrap();
+        assert!(a.verify_disjoint(&a.setup(&x1), &a.setup(&y), &proof));
+    }
+
+    #[test]
+    fn capacity_errors() {
+        let small = Acc1::keygen(2, &mut StdRng::seed_from_u64(3));
+        let big = ms(&[1, 2, 3, 4, 5]);
+        let other = ms(&[9]);
+        // prove_disjoint commits to Bézout polys with degree < |other| so it
+        // is fine, but committing the char poly of `big` overflows.
+        let p = Poly::char_poly(big.iter().map(|(e, c)| (AccElem::to_fr(e), c)));
+        assert!(matches!(
+            small.commit_g1(&p),
+            Err(AccError::CapacityExceeded { .. })
+        ));
+        // and the other direction still works
+        let _ = small.prove_disjoint(&other, &ms(&[1])).unwrap();
+    }
+
+    #[test]
+    fn aggregation_unsupported() {
+        let a = acc();
+        assert!(!a.supports_aggregation());
+        assert!(matches!(a.sum(&[]), Err(AccError::AggregationUnsupported)));
+    }
+}

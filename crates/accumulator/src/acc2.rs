@@ -1,0 +1,330 @@
+//! Construction 2: the q-DHE multiset accumulator (Zhang et al.,
+//! EuroS&P'17; paper §5.2.2), with the `Sum`/`ProofSum` aggregation
+//! primitives that power vChain's online batch verification (§6.3) and the
+//! lazy subscription authentication (§7.2).
+//!
+//! * `acc(X) = (d_A, d_B) = (g₁^{A_X(s)}, g₂^{B_X(s)})` with
+//!   `A_X(s) = Σ_{x∈X} s^x` and `B_X(s) = Σ_{x∈X} s^{q−x}` (counted with
+//!   multiplicity).
+//! * If `X₁ ∩ X₂ = ∅` the product `A_{X₁}(s)·B_{X₂}(s)` has no `s^q` term,
+//!   so `π = g₁^{A_{X₁}(s)B_{X₂}(s)}` is computable from the published
+//!   powers `g₁^{sⁱ}, i ∈ [0, 2q−2] \ {q}`.
+//! * `VerifyDisjoint`: `e(d_A(X₁), d_B(X₂)) = e(π, g₂)`.
+//!
+//! The public key grows with the *universe size* `q` (every attribute value
+//! must map into `[1, q)`), the drawback the paper addresses with a trusted
+//! oracle / SGX; our dictionary encoder plays that role (DESIGN.md §2).
+
+use std::sync::Arc;
+
+use rand::Rng;
+use vchain_bigint::U256;
+use vchain_pairing::{
+    multi_pairing, multiexp, Field, Fr, G1Affine, G1Projective, G2Affine, G2Projective,
+};
+
+use crate::acc1::fixed_base_batch;
+use crate::{AccElem, AccError, Accumulator, MultiSet};
+
+/// The accumulative value `(d_A, d_B)` (a block's AttDigest under acc2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Acc2Value {
+    pub da: G1Affine,
+    pub db: G2Affine,
+}
+
+/// A disjointness witness `π = g₁^{A(X₁)B(X₂)}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Acc2Proof {
+    pub pi: G1Affine,
+}
+
+/// Public parameters.
+pub struct Acc2PublicKey {
+    /// The universe bound: element indices must lie in `[1, q)`.
+    pub q: u64,
+    /// `g₁^{sⁱ}` for `i ∈ [0, 2q−2]`. Index `q` is the *forbidden* power: it
+    /// is stored as the identity and must never be consumed (the q-DHE
+    /// assumption is precisely that it is hard to compute).
+    pub g1_powers: Vec<G1Projective>,
+    /// `g₂^{sⁱ}` for `i ∈ [0, q−1]`.
+    pub g2_powers: Vec<G2Projective>,
+}
+
+/// Construction 2 handle. Cloning shares the public key.
+#[derive(Clone)]
+pub struct Acc2 {
+    pk: Arc<Acc2PublicKey>,
+    sk: Option<Fr>,
+    fast_setup: bool,
+}
+
+impl Acc2 {
+    /// `KeyGen(1^λ)` with universe bound `q` (indices in `[1, q)`).
+    pub fn keygen<R: Rng + ?Sized>(q: u64, rng: &mut R) -> Self {
+        assert!(q >= 2, "universe bound must be at least 2");
+        let s = Fr::random(rng);
+        let n1 = (2 * q - 1) as usize; // exponents 0..=2q-2
+        let mut scalars = Vec::with_capacity(n1);
+        let mut cur = Fr::one();
+        for i in 0..n1 {
+            // poison the forbidden power with scalar 0 => identity point
+            scalars.push(if i as u64 == q { U256::ZERO } else { cur.to_uint() });
+            cur = Field::mul(&cur, &s);
+        }
+        let g1_powers = fixed_base_batch(&G1Projective::generator(), &scalars);
+        let g2_powers = fixed_base_batch(&G2Projective::generator(), &scalars[..q as usize]);
+        Self {
+            pk: Arc::new(Acc2PublicKey { q, g1_powers, g2_powers }),
+            sk: Some(s),
+            fast_setup: false,
+        }
+    }
+
+    /// Enable / disable the trapdoor fast path for `Setup`.
+    pub fn with_fast_setup(mut self, enabled: bool) -> Self {
+        assert!(!enabled || self.sk.is_some(), "fast setup requires the trapdoor");
+        self.fast_setup = enabled;
+        self
+    }
+
+    pub fn public_key(&self) -> &Acc2PublicKey {
+        &self.pk
+    }
+
+    fn check_universe<E: AccElem>(&self, x: &MultiSet<E>) -> Result<(), AccError> {
+        for e in x.elements() {
+            let idx = e.to_index();
+            if idx == 0 || idx >= self.pk.q {
+                return Err(AccError::CapacityExceeded {
+                    needed: idx as usize,
+                    capacity: self.pk.q as usize - 1,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Accumulator for Acc2 {
+    type Value = Acc2Value;
+    type Proof = Acc2Proof;
+
+    fn name(&self) -> &'static str {
+        "acc2"
+    }
+
+    fn setup<E: AccElem>(&self, x: &MultiSet<E>) -> Acc2Value {
+        self.check_universe(x)
+            .expect("element index outside acc2 universe; raise keygen q");
+        let q = self.pk.q;
+        if self.fast_setup {
+            if let Some(s) = &self.sk {
+                let mut a = Fr::zero();
+                let mut b = Fr::zero();
+                for (e, c) in x.iter() {
+                    let idx = e.to_index();
+                    let cf = Fr::from_u64(c);
+                    a = a + Field::mul(&cf, &s.pow_limbs(&[idx]));
+                    b = b + Field::mul(&cf, &s.pow_limbs(&[q - idx]));
+                }
+                return Acc2Value {
+                    da: G1Projective::generator().mul_fr(&a).to_affine(),
+                    db: G2Projective::generator().mul_fr(&b).to_affine(),
+                };
+            }
+        }
+        // d_A = Π (g1^{s^x})^{c_x} ; d_B = Π (g2^{s^{q-x}})^{c_x}
+        let mut da = G1Projective::identity();
+        let mut db = G2Projective::identity();
+        for (e, c) in x.iter() {
+            let idx = e.to_index() as usize;
+            let count = U256::from_u64(c);
+            da = da.add(&self.pk.g1_powers[idx].mul_u256(&count));
+            db = db.add(&self.pk.g2_powers[q as usize - idx].mul_u256(&count));
+        }
+        Acc2Value { da: da.to_affine(), db: db.to_affine() }
+    }
+
+    fn prove_disjoint<E: AccElem>(
+        &self,
+        x1: &MultiSet<E>,
+        x2: &MultiSet<E>,
+    ) -> Result<Acc2Proof, AccError> {
+        if x1.intersects(x2) {
+            return Err(AccError::NotDisjoint);
+        }
+        self.check_universe(x1)?;
+        self.check_universe(x2)?;
+        let q = self.pk.q;
+        // π = Π_{x∈X1, y∈X2} (g1^{s^{x + q - y}})^{c1(x)·c2(y)}
+        let mut bases = Vec::with_capacity(x1.distinct_len() * x2.distinct_len());
+        let mut scalars = Vec::with_capacity(bases.capacity());
+        for (x, c1) in x1.iter() {
+            for (y, c2) in x2.iter() {
+                let xi = x.to_index();
+                let yi = y.to_index();
+                debug_assert_ne!(xi, yi, "disjointness was checked above");
+                let exp = (xi + q - yi) as usize;
+                bases.push(self.pk.g1_powers[exp]);
+                scalars.push(U256::from_u64(c1 * c2));
+            }
+        }
+        Ok(Acc2Proof { pi: multiexp(&bases, &scalars).to_affine() })
+    }
+
+    fn verify_disjoint(&self, a1: &Acc2Value, a2: &Acc2Value, proof: &Acc2Proof) -> bool {
+        // e(d_A(X1), d_B(X2)) == e(π, g2)  ⇔  e(d_A, d_B) · e(−π, g2) == 1
+        let g2 = G2Projective::generator().to_affine();
+        multi_pairing(&[(a1.da, a2.db), (proof.pi.neg(), g2)]).is_one()
+    }
+
+    fn value_bytes(v: &Acc2Value) -> Vec<u8> {
+        let mut out = v.da.to_bytes();
+        out.extend_from_slice(&v.db.to_bytes());
+        out
+    }
+
+    fn value_size(&self) -> usize {
+        48 + 96 // compressed G1 + compressed G2
+    }
+
+    fn proof_size(&self) -> usize {
+        48 // compressed G1
+    }
+
+    fn supports_aggregation(&self) -> bool {
+        true
+    }
+
+    fn sum(&self, values: &[Acc2Value]) -> Result<Acc2Value, AccError> {
+        let mut da = G1Projective::identity();
+        let mut db = G2Projective::identity();
+        for v in values {
+            da = da.add_affine(&v.da);
+            db = db.add(&v.db.to_projective());
+        }
+        Ok(Acc2Value { da: da.to_affine(), db: db.to_affine() })
+    }
+
+    fn proof_sum(&self, proofs: &[Acc2Proof]) -> Result<Acc2Proof, AccError> {
+        let mut pi = G1Projective::identity();
+        for p in proofs {
+            pi = pi.add_affine(&p.pi);
+        }
+        Ok(Acc2Proof { pi: pi.to_affine() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn acc() -> Acc2 {
+        Acc2::keygen(64, &mut StdRng::seed_from_u64(21))
+    }
+
+    fn ms(v: &[u64]) -> MultiSet<u64> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn disjoint_round_trip() {
+        let a = acc();
+        let x1 = ms(&[1, 2, 3]);
+        let x2 = ms(&[10, 20]);
+        let proof = a.prove_disjoint(&x1, &x2).unwrap();
+        assert!(a.verify_disjoint(&a.setup(&x1), &a.setup(&x2), &proof));
+    }
+
+    #[test]
+    fn intersecting_sets_rejected() {
+        let a = acc();
+        assert_eq!(
+            a.prove_disjoint(&ms(&[1, 2]), &ms(&[2])).unwrap_err(),
+            AccError::NotDisjoint
+        );
+    }
+
+    #[test]
+    fn wrong_value_fails() {
+        let a = acc();
+        let x1 = ms(&[1, 2]);
+        let x2 = ms(&[10]);
+        let x3 = ms(&[11]);
+        let proof = a.prove_disjoint(&x1, &x2).unwrap();
+        assert!(!a.verify_disjoint(&a.setup(&x1), &a.setup(&x3), &proof));
+    }
+
+    #[test]
+    fn forged_proof_fails() {
+        let a = acc();
+        let x1 = ms(&[1]);
+        let x2 = ms(&[2]);
+        let forged = Acc2Proof { pi: G1Projective::generator().mul_u64(7).to_affine() };
+        assert!(!a.verify_disjoint(&a.setup(&x1), &a.setup(&x2), &forged));
+    }
+
+    #[test]
+    fn fast_setup_matches_honest_setup() {
+        let a = acc();
+        let fast = a.clone().with_fast_setup(true);
+        let x = ms(&[5, 5, 9, 31]);
+        assert_eq!(a.setup(&x), fast.setup(&x));
+    }
+
+    #[test]
+    fn sum_equals_setup_of_multiset_sum() {
+        let a = acc();
+        let x1 = ms(&[1, 2]);
+        let x2 = ms(&[2, 3]); // overlapping is fine for Sum
+        let direct = a.setup(&x1.sum(&x2));
+        let aggregated = a.sum(&[a.setup(&x1), a.setup(&x2)]).unwrap();
+        assert_eq!(direct, aggregated);
+    }
+
+    #[test]
+    fn proof_sum_verifies_against_summed_values() {
+        // π1 disjoint(X1, Y), π2 disjoint(X2, Y) =>
+        // ProofSum(π1, π2) verifies (Sum(acc(X1), acc(X2)), acc(Y)).
+        let a = acc();
+        let x1 = ms(&[1, 2]);
+        let x2 = ms(&[3]);
+        let y = ms(&[20, 21]);
+        let p1 = a.prove_disjoint(&x1, &y).unwrap();
+        let p2 = a.prove_disjoint(&x2, &y).unwrap();
+        let agg_value = a.sum(&[a.setup(&x1), a.setup(&x2)]).unwrap();
+        let agg_proof = a.proof_sum(&[p1, p2]).unwrap();
+        assert!(a.verify_disjoint(&agg_value, &a.setup(&y), &agg_proof));
+        // sanity: aggregate proof equals a direct proof on the summed multiset
+        let direct = a.prove_disjoint(&x1.sum(&x2), &y).unwrap();
+        assert_eq!(agg_proof, direct);
+    }
+
+    #[test]
+    fn universe_bound_enforced() {
+        let a = acc();
+        let out_of_range = ms(&[64]); // q = 64 ⇒ max index 63
+        assert!(matches!(
+            a.prove_disjoint(&out_of_range, &ms(&[1])),
+            Err(AccError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn multiplicities_scale_the_proof() {
+        let a = acc();
+        let x = ms(&[4, 4]);
+        let y = ms(&[9]);
+        let proof = a.prove_disjoint(&x, &y).unwrap();
+        assert!(a.verify_disjoint(&a.setup(&x), &a.setup(&y), &proof));
+    }
+
+    #[test]
+    fn forbidden_power_is_poisoned() {
+        let a = acc();
+        assert!(a.pk.g1_powers[a.pk.q as usize].is_identity());
+    }
+}

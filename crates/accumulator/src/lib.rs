@@ -1,0 +1,139 @@
+//! Cryptographic multiset accumulators for vChain (§4, §5.2 of the paper).
+//!
+//! Two constructions are provided behind the common [`Accumulator`] trait:
+//!
+//! * [`Acc1`] — the q-SDH construction of Papamanthou et al. (CRYPTO'11,
+//!   paper's "Construction 1"): `acc(X) = g₁^{∏ (xᵢ + s)}`, disjointness
+//!   proofs are Bézout witnesses of the coprimality of the characteristic
+//!   polynomials.
+//! * [`Acc2`] — the q-DHE construction of Zhang et al. (EuroS&P'17, paper's
+//!   "Construction 2"): `acc(X) = (g₁^{Σ s^{xᵢ}}, g₂^{Σ s^{q−xᵢ}})` with the
+//!   extra [`Accumulator::sum`] / [`Accumulator::proof_sum`] aggregation
+//!   primitives that enable vChain's online batch verification (§6.3).
+//!
+//! The paper uses a symmetric pairing; BLS12-381 is asymmetric, so values
+//! live in `G1` and proof components in `G2` (or vice versa) as noted on
+//! each method — the verification equations are otherwise verbatim.
+
+pub mod acc1;
+pub mod acc2;
+pub mod multiset;
+pub mod poly;
+
+pub use acc1::{Acc1, Acc1Proof, Acc1PublicKey, Acc1Value};
+pub use acc2::{Acc2, Acc2Proof, Acc2PublicKey, Acc2Value};
+pub use multiset::MultiSet;
+pub use poly::Poly;
+
+use core::fmt;
+use core::hash::Hash;
+
+use vchain_pairing::Fr;
+
+/// An element that can be accumulated.
+///
+/// * Construction 1 consumes the [`AccElem::to_fr`] representative (a hash
+///   into the scalar field).
+/// * Construction 2 consumes the [`AccElem::to_index`] representative, an
+///   integer in `[1, q)` assigned by a public dictionary (standing in for
+///   the paper's hash-to-integer encoding plus trusted public-key oracle).
+pub trait AccElem: Copy + Clone + Ord + Eq + Hash + fmt::Debug + Send + Sync + 'static {
+    /// Representative in the scalar field (collision-resistant).
+    fn to_fr(&self) -> Fr;
+    /// Small-integer representative, `>= 1`.
+    fn to_index(&self) -> u64;
+}
+
+/// `u64` elements accumulate directly; index 0 is reserved.
+impl AccElem for u64 {
+    fn to_fr(&self) -> Fr {
+        Fr::hash_to_field(&self.to_le_bytes())
+    }
+
+    fn to_index(&self) -> u64 {
+        assert!(*self >= 1, "accumulator indices start at 1");
+        *self
+    }
+}
+
+/// Errors from accumulator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccError {
+    /// `ProveDisjoint` was called on intersecting multisets.
+    NotDisjoint,
+    /// A multiset exceeds the degree/universe bound fixed at key generation.
+    CapacityExceeded { needed: usize, capacity: usize },
+    /// Aggregation was requested from a construction that does not support it.
+    AggregationUnsupported,
+    /// `ProofSum` inputs were not proofs against the same query set.
+    MismatchedAggregation,
+}
+
+impl fmt::Display for AccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccError::NotDisjoint => write!(f, "multisets are not disjoint"),
+            AccError::CapacityExceeded { needed, capacity } => {
+                write!(f, "accumulator capacity exceeded: need {needed}, capacity {capacity}")
+            }
+            AccError::AggregationUnsupported => {
+                write!(f, "this accumulator construction does not support aggregation")
+            }
+            AccError::MismatchedAggregation => {
+                write!(f, "proofs aggregate only when made against the same set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccError {}
+
+/// The interface the vChain query layer programs against (paper §4,
+/// "Cryptographic Multiset Accumulator").
+pub trait Accumulator: Clone + Send + Sync + 'static {
+    /// The accumulative value `acc(X)` (the block's *AttDigest*).
+    type Value: Clone + PartialEq + Eq + fmt::Debug + Send + Sync;
+    /// A set-disjointness proof `π`.
+    type Proof: Clone + fmt::Debug + Send + Sync;
+
+    /// Short scheme name for experiment output ("acc1" / "acc2").
+    fn name(&self) -> &'static str;
+
+    /// `Setup(X, pk) → acc(X)` — publicly computable.
+    fn setup<E: AccElem>(&self, x: &MultiSet<E>) -> Self::Value;
+
+    /// `ProveDisjoint(X₁, X₂, pk) → π`, defined only when `X₁ ∩ X₂ = ∅`.
+    fn prove_disjoint<E: AccElem>(
+        &self,
+        x1: &MultiSet<E>,
+        x2: &MultiSet<E>,
+    ) -> Result<Self::Proof, AccError>;
+
+    /// `VerifyDisjoint(acc(X₁), acc(X₂), π, pk) → {0, 1}`.
+    fn verify_disjoint(&self, a1: &Self::Value, a2: &Self::Value, proof: &Self::Proof) -> bool;
+
+    /// Canonical bytes of a value, for embedding in block-header hashes.
+    fn value_bytes(v: &Self::Value) -> Vec<u8>;
+
+    /// Nominal wire size of a value in bytes (compressed points), for VO
+    /// size accounting.
+    fn value_size(&self) -> usize;
+
+    /// Nominal wire size of a proof in bytes.
+    fn proof_size(&self) -> usize;
+
+    /// Whether `Sum`/`ProofSum` are available (Construction 2 only).
+    fn supports_aggregation(&self) -> bool {
+        false
+    }
+
+    /// `Sum(acc(X₁), …, acc(Xₙ)) → acc(ΣXᵢ)`.
+    fn sum(&self, _values: &[Self::Value]) -> Result<Self::Value, AccError> {
+        Err(AccError::AggregationUnsupported)
+    }
+
+    /// `ProofSum(π₁, …, πₙ) → π'` for proofs against a common query set.
+    fn proof_sum(&self, _proofs: &[Self::Proof]) -> Result<Self::Proof, AccError> {
+        Err(AccError::AggregationUnsupported)
+    }
+}

@@ -1,0 +1,194 @@
+//! Multisets with explicit element counts.
+//!
+//! The canonical `BTreeMap` ordering makes accumulator inputs deterministic,
+//! which in turn makes every AttDigest reproducible across miners.
+
+use std::collections::BTreeMap;
+
+/// A multiset over an ordered element type.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MultiSet<E: Ord> {
+    counts: BTreeMap<E, u64>,
+}
+
+impl<E: Ord + Copy> MultiSet<E> {
+    pub fn new() -> Self {
+        Self { counts: BTreeMap::new() }
+    }
+
+    /// Insert one occurrence.
+    pub fn insert(&mut self, e: E) {
+        *self.counts.entry(e).or_insert(0) += 1;
+    }
+
+    /// Insert `count` occurrences (no-op for `count == 0`).
+    pub fn insert_many(&mut self, e: E, count: u64) {
+        if count > 0 {
+            *self.counts.entry(e).or_insert(0) += count;
+        }
+    }
+
+    /// Number of distinct elements (the support size).
+    pub fn distinct_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of occurrences (the multiset cardinality) — this is the
+    /// degree of Construction 1's characteristic polynomial.
+    pub fn total_count(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    pub fn contains(&self, e: &E) -> bool {
+        self.counts.contains_key(e)
+    }
+
+    pub fn count(&self, e: &E) -> u64 {
+        self.counts.get(e).copied().unwrap_or(0)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&E, u64)> {
+        self.counts.iter().map(|(e, &c)| (e, c))
+    }
+
+    pub fn elements(&self) -> impl Iterator<Item = &E> {
+        self.counts.keys()
+    }
+
+    /// Support disjointness: no shared element, regardless of counts.
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        // Walk the smaller one.
+        let (small, large) = if self.distinct_len() <= other.distinct_len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        !small.counts.keys().any(|e| large.counts.contains_key(e))
+    }
+
+    pub fn intersects(&self, other: &Self) -> bool {
+        !self.is_disjoint(other)
+    }
+
+    /// Multiset *sum* (counts add) — the paper's `Σ` used by the inter-block
+    /// index and `Sum(·)` aggregation.
+    pub fn sum(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (e, c) in other.iter() {
+            out.insert_many(*e, c);
+        }
+        out
+    }
+
+    /// Multiset *union* (counts max) — the paper's `∪` used when merging
+    /// intra-block index nodes. Support equals the union of supports.
+    pub fn union(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (e, c) in other.iter() {
+            let cur = out.counts.entry(*e).or_insert(0);
+            *cur = (*cur).max(c);
+        }
+        out
+    }
+
+    /// Jaccard similarity of the supports, the clustering criterion of the
+    /// intra-block index build (Algorithm 2).
+    pub fn jaccard(&self, other: &Self) -> f64 {
+        if self.is_empty() && other.is_empty() {
+            return 1.0;
+        }
+        let inter = self
+            .counts
+            .keys()
+            .filter(|e| other.counts.contains_key(e))
+            .count();
+        let union = self.distinct_len() + other.distinct_len() - inter;
+        inter as f64 / union as f64
+    }
+
+    /// Number of distinct shared elements.
+    pub fn intersection_size(&self, other: &Self) -> usize {
+        self.counts
+            .keys()
+            .filter(|e| other.counts.contains_key(e))
+            .count()
+    }
+}
+
+impl<E: Ord + Copy> FromIterator<E> for MultiSet<E> {
+    fn from_iter<T: IntoIterator<Item = E>>(iter: T) -> Self {
+        let mut ms = Self::new();
+        for e in iter {
+            ms.insert(e);
+        }
+        ms
+    }
+}
+
+impl<E: Ord + Copy> FromIterator<(E, u64)> for MultiSet<E> {
+    fn from_iter<T: IntoIterator<Item = (E, u64)>>(iter: T) -> Self {
+        let mut ms = Self::new();
+        for (e, c) in iter {
+            ms.insert_many(e, c);
+        }
+        ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: &[u64]) -> MultiSet<u64> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn counting() {
+        let m = ms(&[1, 2, 2, 3, 3, 3]);
+        assert_eq!(m.distinct_len(), 3);
+        assert_eq!(m.total_count(), 6);
+        assert_eq!(m.count(&3), 3);
+        assert_eq!(m.count(&9), 0);
+        assert!(m.contains(&1));
+    }
+
+    #[test]
+    fn disjointness() {
+        assert!(ms(&[1, 2]).is_disjoint(&ms(&[3, 4])));
+        assert!(!ms(&[1, 2]).is_disjoint(&ms(&[2, 3])));
+        assert!(ms(&[]).is_disjoint(&ms(&[1])));
+    }
+
+    #[test]
+    fn sum_vs_union() {
+        let a = ms(&[1, 1, 2]);
+        let b = ms(&[1, 3]);
+        let s = a.sum(&b);
+        assert_eq!(s.count(&1), 3);
+        let u = a.union(&b);
+        assert_eq!(u.count(&1), 2); // max(2, 1)
+        assert_eq!(u.count(&3), 1);
+    }
+
+    #[test]
+    fn jaccard() {
+        let a = ms(&[1, 2, 3]);
+        let b = ms(&[2, 3, 4]);
+        assert!((a.jaccard(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.jaccard(&a), 1.0);
+        assert_eq!(ms(&[]).jaccard(&ms(&[])), 1.0);
+        assert_eq!(a.jaccard(&ms(&[])), 0.0);
+    }
+
+    #[test]
+    fn zero_count_insert_is_noop() {
+        let mut m = ms(&[]);
+        m.insert_many(5, 0);
+        assert!(m.is_empty());
+    }
+}

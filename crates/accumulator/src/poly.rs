@@ -1,0 +1,236 @@
+//! Dense univariate polynomials over the scalar field `Fr`.
+//!
+//! Construction 1 needs: building a characteristic polynomial from its
+//! (negated) roots, multiplication, division with remainder, and the
+//! extended Euclidean algorithm for Bézout disjointness witnesses.
+
+use vchain_pairing::{Field, Fr};
+
+/// A polynomial `Σ cᵢ·sⁱ`, coefficients little-endian, no trailing zeros.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Poly {
+    coeffs: Vec<Fr>,
+}
+
+impl Poly {
+    pub fn zero() -> Self {
+        Self { coeffs: Vec::new() }
+    }
+
+    pub fn one() -> Self {
+        Self::constant(Fr::one())
+    }
+
+    pub fn constant(c: Fr) -> Self {
+        let mut p = Self { coeffs: vec![c] };
+        p.normalize();
+        p
+    }
+
+    pub fn from_coeffs(coeffs: Vec<Fr>) -> Self {
+        let mut p = Self { coeffs };
+        p.normalize();
+        p
+    }
+
+    /// The characteristic polynomial `∏ (s + xᵢ)^{cᵢ}` of a multiset given
+    /// as `(representative, count)` pairs.
+    pub fn char_poly(elems: impl Iterator<Item = (Fr, u64)>) -> Self {
+        let mut coeffs = vec![Fr::one()];
+        for (x, count) in elems {
+            for _ in 0..count {
+                // multiply by (s + x): new[i] = old[i-1] + x*old[i]
+                let mut next = vec![Fr::zero(); coeffs.len() + 1];
+                for (i, c) in coeffs.iter().enumerate() {
+                    next[i + 1] = next[i + 1] + *c;
+                    next[i] = next[i] + Field::mul(c, &x);
+                }
+                coeffs = next;
+            }
+        }
+        Self::from_coeffs(coeffs)
+    }
+
+    fn normalize(&mut self) {
+        while self.coeffs.last().is_some_and(Fr::is_zero) {
+            self.coeffs.pop();
+        }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    pub fn coeffs(&self) -> &[Fr] {
+        &self.coeffs
+    }
+
+    pub fn eval(&self, at: &Fr) -> Fr {
+        let mut acc = Fr::zero();
+        for c in self.coeffs.iter().rev() {
+            acc = Field::mul(&acc, at) + *c;
+        }
+        acc
+    }
+
+    pub fn add(&self, rhs: &Self) -> Self {
+        let mut coeffs = vec![Fr::zero(); self.coeffs.len().max(rhs.coeffs.len())];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            let a = self.coeffs.get(i).copied().unwrap_or_else(Fr::zero);
+            let b = rhs.coeffs.get(i).copied().unwrap_or_else(Fr::zero);
+            *c = a + b;
+        }
+        Self::from_coeffs(coeffs)
+    }
+
+    pub fn sub(&self, rhs: &Self) -> Self {
+        let mut coeffs = vec![Fr::zero(); self.coeffs.len().max(rhs.coeffs.len())];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            let a = self.coeffs.get(i).copied().unwrap_or_else(Fr::zero);
+            let b = rhs.coeffs.get(i).copied().unwrap_or_else(Fr::zero);
+            *c = a - b;
+        }
+        Self::from_coeffs(coeffs)
+    }
+
+    pub fn mul(&self, rhs: &Self) -> Self {
+        if self.is_zero() || rhs.is_zero() {
+            return Self::zero();
+        }
+        let mut coeffs = vec![Fr::zero(); self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, b) in rhs.coeffs.iter().enumerate() {
+                coeffs[i + j] = coeffs[i + j] + Field::mul(a, b);
+            }
+        }
+        Self::from_coeffs(coeffs)
+    }
+
+    pub fn scale(&self, k: &Fr) -> Self {
+        Self::from_coeffs(self.coeffs.iter().map(|c| Field::mul(c, k)).collect())
+    }
+
+    /// Division with remainder; panics on a zero divisor.
+    pub fn divrem(&self, divisor: &Self) -> (Self, Self) {
+        let dd = divisor.degree().expect("polynomial division by zero");
+        let lead_inv = divisor.coeffs[dd].inverse().expect("field leading coeff");
+        let mut rem = self.coeffs.clone();
+        let mut quot = vec![Fr::zero(); self.coeffs.len().saturating_sub(dd) + 1];
+        loop {
+            // effective degree of rem
+            let dr = match rem.iter().rposition(|c| !c.is_zero()) {
+                Some(d) if d >= dd => d,
+                _ => break,
+            };
+            let q = Field::mul(&rem[dr], &lead_inv);
+            quot[dr - dd] = q;
+            for i in 0..=dd {
+                rem[dr - dd + i] = rem[dr - dd + i] - Field::mul(&q, &divisor.coeffs[i]);
+            }
+        }
+        (Self::from_coeffs(quot), Self::from_coeffs(rem))
+    }
+
+    /// Extended Euclid: returns `(g, u, v)` with `u·self + v·rhs = g` and
+    /// `g = gcd(self, rhs)` (not normalized to monic).
+    pub fn xgcd(&self, rhs: &Self) -> (Self, Self, Self) {
+        let (mut r0, mut r1) = (self.clone(), rhs.clone());
+        let (mut u0, mut u1) = (Poly::one(), Poly::zero());
+        let (mut v0, mut v1) = (Poly::zero(), Poly::one());
+        while !r1.is_zero() {
+            let (q, r) = r0.divrem(&r1);
+            r0 = std::mem::replace(&mut r1, r);
+            let u = u0.sub(&q.mul(&u1));
+            u0 = std::mem::replace(&mut u1, u);
+            let v = v0.sub(&q.mul(&v1));
+            v0 = std::mem::replace(&mut v1, v);
+        }
+        (r0, u0, v0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(v: &[u64]) -> Poly {
+        Poly::from_coeffs(v.iter().map(|&c| Fr::from_u64(c)).collect())
+    }
+
+    #[test]
+    fn char_poly_roots() {
+        // (s + 2)(s + 3) = s² + 5s + 6
+        let cp = Poly::char_poly([(Fr::from_u64(2), 1), (Fr::from_u64(3), 1)].into_iter());
+        assert_eq!(cp, p(&[6, 5, 1]));
+        // multiplicity: (s + 2)² = s² + 4s + 4
+        let cp2 = Poly::char_poly([(Fr::from_u64(2), 2)].into_iter());
+        assert_eq!(cp2, p(&[4, 4, 1]));
+        // empty multiset => constant 1
+        assert_eq!(Poly::char_poly(std::iter::empty()), Poly::one());
+    }
+
+    #[test]
+    fn eval_horner() {
+        let q = p(&[6, 5, 1]);
+        assert_eq!(q.eval(&Fr::from_u64(1)), Fr::from_u64(12));
+        assert!(q.eval(&(-Fr::from_u64(2))).is_zero());
+    }
+
+    #[test]
+    fn divrem_round_trip() {
+        let a = p(&[1, 0, 3, 9, 4]);
+        let b = p(&[7, 2, 5]);
+        let (q, r) = a.divrem(&b);
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r.degree() < b.degree());
+    }
+
+    #[test]
+    fn divrem_smaller_dividend() {
+        let a = p(&[1, 2]);
+        let b = p(&[0, 0, 1]);
+        let (q, r) = a.divrem(&b);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn xgcd_coprime_char_polys() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<Fr> = (0..6).map(|_| Fr::random(&mut rng)).collect();
+        let a = Poly::char_poly(xs[..3].iter().map(|x| (*x, 1)));
+        let b = Poly::char_poly(xs[3..].iter().map(|x| (*x, 1)));
+        let (g, u, v) = a.xgcd(&b);
+        assert_eq!(g.degree(), Some(0), "disjoint roots => constant gcd");
+        assert_eq!(u.mul(&a).add(&v.mul(&b)), g);
+    }
+
+    #[test]
+    fn xgcd_shared_root() {
+        let shared = Fr::from_u64(42);
+        let a = Poly::char_poly([(shared, 1), (Fr::from_u64(1), 1)].into_iter());
+        let b = Poly::char_poly([(shared, 1), (Fr::from_u64(2), 1)].into_iter());
+        let (g, u, v) = a.xgcd(&b);
+        assert_eq!(g.degree(), Some(1), "shared root => non-constant gcd");
+        assert_eq!(u.mul(&a).add(&v.mul(&b)), g);
+    }
+
+    #[test]
+    fn mul_degree_and_commutativity() {
+        let a = p(&[1, 2, 3]);
+        let b = p(&[4, 5]);
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.mul(&b).degree(), Some(3));
+        assert!(a.mul(&Poly::zero()).is_zero());
+    }
+}

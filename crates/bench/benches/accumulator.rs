@@ -1,0 +1,71 @@
+//! Accumulator primitive benchmarks: Setup / ProveDisjoint / VerifyDisjoint
+//! for both constructions, plus Construction 2's Sum / ProofSum aggregation
+//! (the primitives behind Table 1 and the acc1-vs-acc2 gaps in Figs 9–15).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vchain_acc::{Acc1, Acc2, Accumulator, MultiSet};
+
+fn sets(n: usize) -> (MultiSet<u64>, MultiSet<u64>) {
+    // disjoint supports: odd vs even representatives
+    let x1: MultiSet<u64> = (0..n as u64).map(|i| 2 * i + 1).collect();
+    let x2: MultiSet<u64> = [2u64, 4, 6].into_iter().collect();
+    (x1, x2)
+}
+
+fn bench_acc1(c: &mut Criterion) {
+    let acc = Acc1::keygen(256, &mut StdRng::seed_from_u64(1));
+    let mut group = c.benchmark_group("acc1");
+    group.sample_size(10);
+    for n in [8usize, 32, 128] {
+        let (x1, x2) = sets(n);
+        group.bench_with_input(BenchmarkId::new("setup", n), &x1, |b, x| {
+            b.iter(|| acc.setup(std::hint::black_box(x)))
+        });
+        group.bench_with_input(BenchmarkId::new("prove_disjoint", n), &(x1.clone(), x2.clone()), |b, (a, q)| {
+            b.iter(|| acc.prove_disjoint(std::hint::black_box(a), q).unwrap())
+        });
+        let v1 = acc.setup(&x1);
+        let v2 = acc.setup(&x2);
+        let proof = acc.prove_disjoint(&x1, &x2).unwrap();
+        group.bench_with_input(BenchmarkId::new("verify_disjoint", n), &proof, |b, p| {
+            b.iter(|| assert!(acc.verify_disjoint(&v1, &v2, std::hint::black_box(p))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_acc2(c: &mut Criterion) {
+    let acc = Acc2::keygen(1024, &mut StdRng::seed_from_u64(2));
+    let mut group = c.benchmark_group("acc2");
+    group.sample_size(10);
+    for n in [8usize, 32, 128] {
+        let (x1, x2) = sets(n);
+        group.bench_with_input(BenchmarkId::new("setup", n), &x1, |b, x| {
+            b.iter(|| acc.setup(std::hint::black_box(x)))
+        });
+        group.bench_with_input(BenchmarkId::new("prove_disjoint", n), &(x1.clone(), x2.clone()), |b, (a, q)| {
+            b.iter(|| acc.prove_disjoint(std::hint::black_box(a), q).unwrap())
+        });
+        let v1 = acc.setup(&x1);
+        let v2 = acc.setup(&x2);
+        let proof = acc.prove_disjoint(&x1, &x2).unwrap();
+        group.bench_with_input(BenchmarkId::new("verify_disjoint", n), &proof, |b, p| {
+            b.iter(|| assert!(acc.verify_disjoint(&v1, &v2, std::hint::black_box(p))))
+        });
+    }
+    // aggregation primitives (§6.3): the reason acc2 wins on user CPU
+    let values: Vec<_> = (0..16u64).map(|i| acc.setup(&[2 * i + 1].into_iter().collect::<MultiSet<u64>>())).collect();
+    group.bench_function("sum_16", |b| b.iter(|| acc.sum(std::hint::black_box(&values)).unwrap()));
+    let (x1, x2) = sets(8);
+    let p = acc.prove_disjoint(&x1, &x2).unwrap();
+    let proofs = vec![p; 16];
+    group.bench_function("proof_sum_16", |b| {
+        b.iter(|| acc.proof_sum(std::hint::black_box(&proofs)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_acc1, bench_acc2);
+criterion_main!(benches);

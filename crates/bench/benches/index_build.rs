@@ -1,0 +1,76 @@
+//! ADS construction benchmarks (the Table-1 micro view) and the ablation
+//! called out in DESIGN.md: Jaccard-greedy clustering (Algorithm 2) vs a
+//! plain arrival-order tree, and acc1 vs acc2 skip-list maintenance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vchain_acc::{Acc1, Acc2, Accumulator};
+use vchain_core::inter::{BlockSummary, SkipList};
+use vchain_core::intra::IntraTree;
+use vchain_core::query::object_multiset;
+use vchain_datagen::{Dataset, WorkloadSpec};
+
+fn bench_intra_build(c: &mut Criterion) {
+    let w = WorkloadSpec::paper_defaults(Dataset::FourSquare, 1).generate();
+    let objects = &w.blocks[0].1;
+    let acc1 = Acc1::keygen(1024, &mut StdRng::seed_from_u64(1));
+    let acc2 = Acc2::keygen(8192, &mut StdRng::seed_from_u64(2));
+
+    let mut group = c.benchmark_group("intra_build");
+    group.sample_size(10);
+    group.bench_function("clustered_acc1", |b| {
+        b.iter(|| IntraTree::build_clustered(std::hint::black_box(objects), &acc1, 8))
+    });
+    group.bench_function("clustered_acc2", |b| {
+        b.iter(|| IntraTree::build_clustered(std::hint::black_box(objects), &acc2, 8))
+    });
+    // ablation: nil has no internal digests (cheapest) — the clustered vs
+    // nil delta is the price of prunability
+    group.bench_function("nil_acc1", |b| {
+        b.iter(|| IntraTree::build_nil(std::hint::black_box(objects), &acc1, 8))
+    });
+    group.finish();
+}
+
+fn bench_skiplist_build(c: &mut Criterion) {
+    // the paper's Table-1 observation: acc2 reuses per-block digests via
+    // Sum(·) while acc1 must re-set-up the summed multiset
+    let w = WorkloadSpec::paper_defaults(Dataset::Ethereum, 8).generate();
+    let acc1 = Acc1::keygen(4096, &mut StdRng::seed_from_u64(3)).with_fast_setup(true);
+    let acc2 = Acc2::keygen(8192, &mut StdRng::seed_from_u64(4));
+
+    fn history<A: Accumulator>(w: &vchain_datagen::Workload, acc: &A) -> Vec<BlockSummary<A>> {
+        w.blocks
+            .iter()
+            .map(|(ts, objs)| {
+                let mut ms = vchain_acc::MultiSet::new();
+                for o in objs {
+                    ms = ms.union(&object_multiset(o, w.spec.domain_bits));
+                }
+                BlockSummary {
+                    hash: vchain_hash::hash_bytes(&ts.to_le_bytes()),
+                    att: acc.setup(&ms),
+                    ms,
+                }
+            })
+            .collect()
+    }
+
+    let h1 = history(&w, &acc1);
+    let h2 = history(&w, &acc2);
+    let mut group = c.benchmark_group("skiplist_build");
+    group.sample_size(10);
+    // honest (public-key-only) setup for the measured acc1 path
+    let acc1_honest = acc1.clone().with_fast_setup(false);
+    group.bench_function("acc1_levels3", |b| {
+        b.iter(|| SkipList::build(std::hint::black_box(&h1), 3, &acc1_honest))
+    });
+    group.bench_function("acc2_levels3", |b| {
+        b.iter(|| SkipList::build(std::hint::black_box(&h2), 3, &acc2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_intra_build, bench_skiplist_build);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the cryptographic substrate: field multiplication,
+//! group operations, scalar multiplication, pairing and multi-pairing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vchain_pairing::{
+    multi_pairing, multiexp, pairing, Field, Fp, Fp12, Fr, G1Projective, G2Projective,
+};
+
+fn bench_fields(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Fp::random(&mut rng);
+    let b = Fp::random(&mut rng);
+    c.bench_function("fp_mul", |bch| bch.iter(|| std::hint::black_box(a) * b));
+    c.bench_function("fp_inverse", |bch| bch.iter(|| std::hint::black_box(a).inverse()));
+    let x = Fp12::random(&mut rng);
+    let y = Fp12::random(&mut rng);
+    c.bench_function("fp12_mul", |bch| bch.iter(|| Field::mul(&std::hint::black_box(x), &y)));
+    c.bench_function("fp12_inverse", |bch| bch.iter(|| std::hint::black_box(x).inverse()));
+}
+
+fn bench_groups(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = G1Projective::generator();
+    let h = g.mul_u64(12345);
+    let k = Fr::random(&mut rng);
+    c.bench_function("g1_add", |bch| bch.iter(|| std::hint::black_box(g).add(&h)));
+    c.bench_function("g1_scalar_mul", |bch| bch.iter(|| std::hint::black_box(g).mul_fr(&k)));
+    let g2 = G2Projective::generator();
+    c.bench_function("g2_scalar_mul", |bch| bch.iter(|| std::hint::black_box(g2).mul_fr(&k)));
+
+    let bases: Vec<G1Projective> = (1..=64u64).map(|i| g.mul_u64(i)).collect();
+    let scalars: Vec<_> = (0..64).map(|_| Fr::random(&mut rng).to_uint()).collect();
+    c.bench_function("g1_multiexp_64", |bch| {
+        bch.iter(|| multiexp(std::hint::black_box(&bases), &scalars))
+    });
+}
+
+fn bench_pairing(c: &mut Criterion) {
+    let p = G1Projective::generator().mul_u64(7).to_affine();
+    let q = G2Projective::generator().mul_u64(9).to_affine();
+    let mut group = c.benchmark_group("pairing");
+    group.sample_size(10);
+    group.bench_function("single", |bch| bch.iter(|| pairing(&std::hint::black_box(p), &q)));
+    let pairs = [(p, q), (p, q), (p, q)];
+    group.bench_function("multi_3", |bch| {
+        bch.iter(|| multi_pairing(std::hint::black_box(&pairs)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fields, bench_groups, bench_pairing);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Per-block time-window query + verification benchmarks per scheme
+//! (the micro view behind Figs 9–11), including the §6.3 online batch
+//! verification ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vchain_acc::{Acc1, Acc2};
+use vchain_chain::Object;
+use vchain_core::intra::IntraTree;
+use vchain_core::query::CompiledQuery;
+use vchain_datagen::{Dataset, WorkloadSpec};
+
+fn setup() -> (Vec<Object>, CompiledQuery) {
+    let spec = WorkloadSpec::paper_defaults(Dataset::FourSquare, 1);
+    let w = spec.generate();
+    let mut qg = spec.query_gen(5);
+    let q = qg.time_window((0, 1_000_000)).compile(spec.domain_bits);
+    (w.blocks[0].1.clone(), q)
+}
+
+fn bench_block_query(c: &mut Criterion) {
+    let (objects, q) = setup();
+    let acc1 = Acc1::keygen(1024, &mut StdRng::seed_from_u64(7));
+    let acc2 = Acc2::keygen(8192, &mut StdRng::seed_from_u64(8));
+    let tree_nil_1 = IntraTree::build_nil(&objects, &acc1, 8);
+    let tree_cl_1 = IntraTree::build_clustered(&objects, &acc1, 8);
+    let tree_cl_2 = IntraTree::build_clustered(&objects, &acc2, 8);
+
+    let mut group = c.benchmark_group("block_query");
+    group.sample_size(10);
+    group.bench_function("nil_acc1", |b| {
+        b.iter(|| tree_nil_1.query(std::hint::black_box(&objects), &q, &acc1, false))
+    });
+    group.bench_function("intra_acc1", |b| {
+        b.iter(|| tree_cl_1.query(std::hint::black_box(&objects), &q, &acc1, false))
+    });
+    group.bench_function("intra_acc2", |b| {
+        b.iter(|| tree_cl_2.query(std::hint::black_box(&objects), &q, &acc2, false))
+    });
+    // ablation: §6.3 batch grouping on vs off (acc2 only)
+    group.bench_function("intra_acc2_batched", |b| {
+        b.iter(|| tree_cl_2.query(std::hint::black_box(&objects), &q, &acc2, true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_query);
+criterion_main!(benches);

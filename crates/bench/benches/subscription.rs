@@ -1,0 +1,61 @@
+//! Per-block subscription publication benchmarks: per-query processing vs
+//! the shared IP-Tree path (the Fig-12 micro view).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vchain_acc::Acc2;
+use vchain_chain::Difficulty;
+use vchain_core::miner::{IndexScheme, Miner, MinerConfig};
+use vchain_core::subscribe::{SubscriptionEngine, SubscriptionMode};
+use vchain_datagen::{Dataset, WorkloadSpec};
+
+fn bench_publish(c: &mut Criterion) {
+    let spec = WorkloadSpec::paper_defaults(Dataset::FourSquare, 4);
+    let w = spec.generate();
+    let acc = Acc2::keygen(8192, &mut StdRng::seed_from_u64(9)).with_fast_setup(true);
+    let cfg = MinerConfig {
+        scheme: IndexScheme::Both,
+        skip_levels: 3,
+        domain_bits: spec.domain_bits,
+        difficulty: Difficulty(0),
+    };
+    let mut miner = Miner::new(cfg, acc.clone());
+    for (ts, objs) in &w.blocks {
+        miner.mine_block(*ts, objs.clone());
+    }
+    let block = miner.store().block(3).unwrap().clone();
+    let indexed = miner.indexed()[3].clone();
+
+    let mut group = c.benchmark_group("subscription_publish");
+    group.sample_size(10);
+    for n in [4usize, 16] {
+        for (ip, name) in [(false, "nip"), (true, "ip")] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                b.iter_batched(
+                    || {
+                        let mut engine =
+                            SubscriptionEngine::new(cfg, acc.clone(), SubscriptionMode::Realtime, ip);
+                        let mut qg = spec.query_gen(n as u64);
+                        for _ in 0..n {
+                            engine.register(&qg.subscription());
+                        }
+                        // advance the engine to the block's height
+                        for h in 0..3u64 {
+                            let b = miner.store().block(h).unwrap().clone();
+                            let ib = miner.indexed()[h as usize].clone();
+                            engine.process_block(&b, &ib);
+                        }
+                        engine
+                    },
+                    |mut engine| engine.process_block(&block, &indexed),
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_publish);
+criterion_main!(benches);

@@ -1,0 +1,308 @@
+//! A minimal arbitrary-precision unsigned integer.
+//!
+//! Used only at start-up to derive pairing exponents (e.g. the BLS12-381
+//! field characteristic from the curve parameter `x`, or the hard part of the
+//! final exponentiation `(p⁴ − p² + 1)/r`). Performance is irrelevant here;
+//! simplicity and obvious correctness are the goals.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+/// Arbitrary-precision unsigned integer, little-endian `u64` limbs with no
+/// trailing zero limbs (canonical form).
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct ApInt {
+    limbs: Vec<u64>,
+}
+
+impl ApInt {
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    pub fn one() -> Self {
+        Self::from_u64(1)
+    }
+
+    pub fn from_u64(x: u64) -> Self {
+        let mut v = Self { limbs: vec![x] };
+        v.normalize();
+        v
+    }
+
+    pub fn from_limbs(limbs: &[u64]) -> Self {
+        let mut v = Self { limbs: limbs.to_vec() };
+        v.normalize();
+        v
+    }
+
+    /// Little-endian limbs (canonical, no trailing zeros).
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        limb < self.limbs.len() && (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    pub fn add(&self, rhs: &Self) -> Self {
+        let mut out = Vec::with_capacity(self.limbs.len().max(rhs.limbs.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len().max(rhs.limbs.len()) {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (s, c1) = a.overflowing_add(b);
+            let (s, c2) = s.overflowing_add(carry);
+            out.push(s);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut v = Self { limbs: out };
+        v.normalize();
+        v
+    }
+
+    /// `self - rhs`; panics if `rhs > self`.
+    pub fn sub(&self, rhs: &Self) -> Self {
+        assert!(self >= rhs, "ApInt subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (d, b1) = a.overflowing_sub(b);
+            let (d, b2) = d.overflowing_sub(borrow);
+            out.push(d);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut v = Self { limbs: out };
+        v.normalize();
+        v
+    }
+
+    pub fn mul(&self, rhs: &Self) -> Self {
+        if self.is_zero() || rhs.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            out[i + rhs.limbs.len()] = carry as u64;
+        }
+        let mut v = Self { limbs: out };
+        v.normalize();
+        v
+    }
+
+    pub fn shl1(&self) -> Self {
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u64;
+        for &l in &self.limbs {
+            out.push((l << 1) | carry);
+            carry = l >> 63;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut v = Self { limbs: out };
+        v.normalize();
+        v
+    }
+
+    /// Binary long division: returns `(quotient, remainder)`.
+    /// Panics on division by zero.
+    pub fn divrem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "ApInt division by zero");
+        if self < divisor {
+            return (Self::zero(), self.clone());
+        }
+        let bits = self.bit_len();
+        let mut quotient_limbs = vec![0u64; self.limbs.len()];
+        let mut rem = Self::zero();
+        for i in (0..bits).rev() {
+            rem = rem.shl1();
+            if self.bit(i) {
+                rem = rem.add(&Self::one());
+            }
+            if &rem >= divisor {
+                rem = rem.sub(divisor);
+                quotient_limbs[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        let mut q = Self { limbs: quotient_limbs };
+        q.normalize();
+        (q, rem)
+    }
+
+    /// Exact power with small exponent (start-up derivations only).
+    pub fn pow(&self, exp: u32) -> Self {
+        let mut acc = Self::one();
+        for _ in 0..exp {
+            acc = acc.mul(self);
+        }
+        acc
+    }
+
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".into();
+        }
+        let mut s = String::new();
+        for (i, l) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{l:x}"));
+            } else {
+                s.push_str(&format!("{l:016x}"));
+            }
+        }
+        s
+    }
+
+    pub fn from_hex(s: &str) -> Self {
+        let s = s.trim().trim_start_matches("0x");
+        let mut limbs = vec![0u64; s.len() / 16 + 1];
+        let mut idx = 0usize;
+        let mut shift = 0u32;
+        for &b in s.as_bytes().iter().rev() {
+            if b == b'_' {
+                continue;
+            }
+            let d = (b as char).to_digit(16).expect("invalid hex digit") as u64;
+            if shift >= 64 {
+                idx += 1;
+                shift = 0;
+            }
+            limbs[idx] |= d << shift;
+            shift += 4;
+        }
+        let mut v = Self { limbs };
+        v.normalize();
+        v
+    }
+}
+
+impl Ord for ApInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for ApInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for ApInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = ApInt::from_u64(u64::MAX);
+        let b = a.add(&ApInt::one());
+        assert_eq!(b.to_hex(), "10000000000000000");
+        assert_eq!(b.sub(&ApInt::one()), a);
+        let sq = a.mul(&a);
+        assert_eq!(sq.to_hex(), "fffffffffffffffe0000000000000001");
+    }
+
+    #[test]
+    fn divrem_exact_and_inexact() {
+        let a = ApInt::from_hex("fffffffffffffffe0000000000000001");
+        let b = ApInt::from_u64(u64::MAX);
+        let (q, r) = a.divrem(&b);
+        assert_eq!(q, b);
+        assert!(r.is_zero());
+
+        let (q, r) = ApInt::from_u64(17).divrem(&ApInt::from_u64(5));
+        assert_eq!(q, ApInt::from_u64(3));
+        assert_eq!(r, ApInt::from_u64(2));
+    }
+
+    #[test]
+    fn divrem_small_by_large() {
+        let (q, r) = ApInt::from_u64(3).divrem(&ApInt::from_hex("ffffffffffffffffff"));
+        assert!(q.is_zero());
+        assert_eq!(r, ApInt::from_u64(3));
+    }
+
+    #[test]
+    fn pow_and_hex() {
+        let two = ApInt::from_u64(2);
+        assert_eq!(two.pow(130).to_hex(), "400000000000000000000000000000000");
+        assert_eq!(ApInt::from_hex("400000000000000000000000000000000"), two.pow(130));
+    }
+
+    #[test]
+    fn bls_characteristic_from_x() {
+        // p = ((|x| + 1)^2 * r) / 3 - |x| with r = |x|^4 - |x|^2 + 1,
+        // for the BLS12-381 parameter x = -0xd201000000010000.
+        let x = ApInt::from_u64(0xd201_0000_0001_0000);
+        let r = x.pow(4).sub(&x.pow(2)).add(&ApInt::one());
+        assert_eq!(
+            r.to_hex(),
+            "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001"
+        );
+        let xp1 = x.add(&ApInt::one());
+        let num = xp1.mul(&xp1).mul(&r);
+        let (q, rem) = num.divrem(&ApInt::from_u64(3));
+        assert!(rem.is_zero());
+        let p = q.sub(&x);
+        assert_eq!(
+            p.to_hex(),
+            "1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab"
+        );
+    }
+
+    #[test]
+    fn bit_len_and_bits() {
+        let v = ApInt::from_hex("10000000000000000");
+        assert_eq!(v.bit_len(), 65);
+        assert!(v.bit(64));
+        assert!(!v.bit(63));
+        assert_eq!(ApInt::zero().bit_len(), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Montgomery-form modular arithmetic over a fixed odd modulus.
+//!
+//! All constants (`n0inv`, `R`, `R²`) are *derived at run time* from the
+//! modulus, so the pairing layer never hard-codes values it cannot verify.
+
+use crate::uint::Uint;
+
+/// Parameters for Montgomery arithmetic modulo an odd modulus `m` of `N`
+/// limbs. `R = 2^{64N} mod m`.
+#[derive(Clone, Debug)]
+pub struct MontParams<const N: usize> {
+    /// The modulus.
+    pub modulus: Uint<N>,
+    /// `-m^{-1} mod 2^64`.
+    pub n0inv: u64,
+    /// `R mod m` — the Montgomery form of 1.
+    pub r1: Uint<N>,
+    /// `R² mod m` — used to convert into Montgomery form.
+    pub r2: Uint<N>,
+}
+
+impl<const N: usize> MontParams<N> {
+    /// Derive all Montgomery constants from the (odd) modulus.
+    pub fn new(modulus: Uint<N>) -> Self {
+        assert!(modulus.0[0] & 1 == 1, "Montgomery modulus must be odd");
+        assert!(
+            modulus.highest_bit().map(|b| b as usize) < Some(64 * N - 1),
+            "modulus must leave headroom for carries"
+        );
+        // Newton-Hensel inversion of m mod 2^64: each step doubles precision.
+        let m0 = modulus.0[0];
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(m0.wrapping_mul(inv), 1);
+        let n0inv = inv.wrapping_neg();
+
+        // R mod m by doubling 1, 64*N times.
+        let mut r1 = Uint::<N>::one();
+        for _ in 0..(64 * N) {
+            r1 = Self::add_mod_raw(&r1, &r1, &modulus);
+        }
+        // R^2 mod m by doubling R, 64*N more times.
+        let mut r2 = r1;
+        for _ in 0..(64 * N) {
+            r2 = Self::add_mod_raw(&r2, &r2, &modulus);
+        }
+        Self { modulus, n0inv, r1, r2 }
+    }
+
+    #[inline]
+    fn add_mod_raw(a: &Uint<N>, b: &Uint<N>, m: &Uint<N>) -> Uint<N> {
+        let (sum, carry) = a.adc(b);
+        let (reduced, borrow) = sum.sbb(m);
+        if carry || !borrow {
+            reduced
+        } else {
+            sum
+        }
+    }
+
+    /// Modular addition of two reduced values.
+    #[inline]
+    pub fn add(&self, a: &Uint<N>, b: &Uint<N>) -> Uint<N> {
+        Self::add_mod_raw(a, b, &self.modulus)
+    }
+
+    /// Modular subtraction of two reduced values.
+    #[inline]
+    pub fn sub(&self, a: &Uint<N>, b: &Uint<N>) -> Uint<N> {
+        let (diff, borrow) = a.sbb(b);
+        if borrow {
+            let (wrapped, _) = diff.adc(&self.modulus);
+            wrapped
+        } else {
+            diff
+        }
+    }
+
+    /// Modular negation of a reduced value.
+    #[inline]
+    pub fn neg(&self, a: &Uint<N>) -> Uint<N> {
+        if a.is_zero() {
+            *a
+        } else {
+            let (diff, _) = self.modulus.sbb(a);
+            diff
+        }
+    }
+
+    /// CIOS Montgomery multiplication: returns `a * b * R^{-1} mod m` for
+    /// reduced inputs.
+    pub fn mont_mul(&self, a: &Uint<N>, b: &Uint<N>) -> Uint<N> {
+        let m = &self.modulus.0;
+        // t has N+2 limbs of working space.
+        let mut t = [0u64; 16]; // max N = 14; BLS12-381 uses N = 6
+        debug_assert!(N + 2 <= 16);
+        for i in 0..N {
+            // t += a[i] * b
+            let mut carry = 0u128;
+            for j in 0..N {
+                let cur = t[j] as u128 + (a.0[i] as u128) * (b.0[j] as u128) + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[N] as u128 + carry;
+            t[N] = cur as u64;
+            t[N + 1] = (cur >> 64) as u64;
+
+            // reduce: add ((t[0] * n0inv mod 2^64) * m) and shift one limb
+            let k = t[0].wrapping_mul(self.n0inv);
+            let mut carry = ((t[0] as u128) + (k as u128) * (m[0] as u128)) >> 64;
+            for j in 1..N {
+                let cur = t[j] as u128 + (k as u128) * (m[j] as u128) + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[N] as u128 + carry;
+            t[N - 1] = cur as u64;
+            t[N] = t[N + 1] + ((cur >> 64) as u64);
+            t[N + 1] = 0;
+        }
+        let mut out = [0u64; N];
+        out.copy_from_slice(&t[..N]);
+        let out = Uint(out);
+        // Final conditional subtraction: result < 2m at this point.
+        if t[N] != 0 || out >= self.modulus {
+            let (r, _) = out.sbb(&self.modulus);
+            r
+        } else {
+            out
+        }
+    }
+
+    /// Convert a reduced integer into Montgomery form (`a * R mod m`).
+    #[inline]
+    pub fn to_mont(&self, a: &Uint<N>) -> Uint<N> {
+        self.mont_mul(a, &self.r2)
+    }
+
+    /// Convert out of Montgomery form (`a * R^{-1} mod m`).
+    #[inline]
+    pub fn from_mont(&self, a: &Uint<N>) -> Uint<N> {
+        self.mont_mul(a, &Uint::one())
+    }
+
+    /// Reduce an arbitrary double-width value (little-endian limbs, length
+    /// `<= 2N`) modulo `m` by schoolbook shift-subtract. Not fast — used for
+    /// hashing into fields and start-up derivations only.
+    pub fn reduce_wide(&self, wide: &[u64]) -> Uint<N> {
+        let mut acc = Uint::<N>::ZERO;
+        // Process from most-significant limb downward: acc = acc * 2^64 + limb.
+        for &limb in wide.iter().rev() {
+            // acc <<= 64 (modularly), one bit at a time per limb is slow; do
+            // limb-shift via 64 modular doublings.
+            for _ in 0..64 {
+                acc = self.add(&acc, &acc);
+            }
+            let mut l = Uint::<N>::ZERO;
+            l.0[0] = limb;
+            // l is < 2^64 <= m for our fields, but be safe:
+            let l = if l >= self.modulus { self.sub(&l, &Uint::ZERO) } else { l };
+            acc = self.add(&acc, &l);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::U256;
+
+    fn fr_params() -> MontParams<4> {
+        MontParams::new(U256::from_hex(
+            "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001",
+        ))
+    }
+
+    #[test]
+    fn n0inv_is_correct() {
+        let p = fr_params();
+        assert_eq!(p.modulus.0[0].wrapping_mul(p.n0inv), u64::MAX); // -1 mod 2^64
+    }
+
+    #[test]
+    fn mont_round_trip() {
+        let p = fr_params();
+        for v in [0u64, 1, 2, 12345, u64::MAX] {
+            let x = U256::from_u64(v);
+            let m = p.to_mont(&x);
+            assert_eq!(p.from_mont(&m), x, "round trip failed for {v}");
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_schoolbook() {
+        let p = fr_params();
+        let a = U256::from_hex("123456789abcdef0fedcba9876543210aabbccddeeff0011");
+        let b = U256::from_hex("2b992ddfa23249d6");
+        let am = p.to_mont(&a);
+        let bm = p.to_mont(&b);
+        let prod = p.from_mont(&p.mont_mul(&am, &bm));
+        // reference: reduce the double-width product
+        let wide = a.mul_wide(&b);
+        let expect = p.reduce_wide(&wide);
+        assert_eq!(prod, expect);
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let p = fr_params();
+        let a = U256::from_u64(7);
+        let b = p.neg(&a);
+        assert!(p.add(&a, &b).is_zero());
+        assert_eq!(p.sub(&U256::ZERO, &a), b);
+        assert!(p.neg(&U256::ZERO).is_zero());
+    }
+
+    #[test]
+    fn reduce_wide_of_modulus_is_zero() {
+        let p = fr_params();
+        let mut wide = vec![0u64; 8];
+        wide[..4].copy_from_slice(&p.modulus.0);
+        assert!(p.reduce_wide(&wide).is_zero());
+    }
+}

@@ -1,0 +1,21 @@
+//! The blockchain substrate of the vChain reproduction (paper §1–§3).
+//!
+//! This crate is deliberately independent of the query layer: a block header
+//! carries two opaque commitment slots — `ads_root` (the paper's
+//! MerkleRoot/ObjectHash over the intra-block ADS, Fig. 4/6) and
+//! `skiplist_root` (the inter-block index commitment, Fig. 7) — that the
+//! miner fills in from whatever authenticated structure `vchain-core`
+//! builds. Everything else (hash chain, simulated proof-of-work, chain
+//! store, light-client header sync) lives here.
+
+pub mod block;
+pub mod chain;
+pub mod merkle;
+pub mod object;
+pub mod pow;
+
+pub use block::{Block, BlockHeader};
+pub use chain::{ChainError, ChainStore, LightClient};
+pub use merkle::{MerklePath, MerkleTree};
+pub use object::{Object, ObjectId};
+pub use pow::{mine_nonce, verify_nonce, Difficulty};

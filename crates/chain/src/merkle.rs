@@ -1,0 +1,139 @@
+//! A plain binary Merkle hash tree (paper §2, Fig. 2).
+//!
+//! Used for the classic blockchain structure, the MHT baseline of Fig. 16,
+//! and as a reference for the authenticated intra-block index (which extends
+//! interior nodes with accumulator digests in `vchain-core`).
+
+use vchain_hash::{hash_concat, hash_pair, Digest};
+
+/// A Merkle tree over a list of leaf digests. Odd nodes are promoted (not
+/// duplicated), so the tree has no Bitcoin-style duplication pitfalls.
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaves, last level = `[root]`.
+    levels: Vec<Vec<Digest>>,
+}
+
+/// A membership proof: sibling digests from leaf to root, each tagged with
+/// whether the sibling sits on the left.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerklePath {
+    pub leaf_index: usize,
+    pub siblings: Vec<(bool, Digest)>,
+}
+
+impl MerkleTree {
+    /// Build from leaf digests. An empty input yields a domain-separated
+    /// "empty" root.
+    pub fn build(leaves: &[Digest]) -> Self {
+        if leaves.is_empty() {
+            return Self { levels: vec![vec![hash_concat(&[b"vchain/empty-merkle"])]] };
+        }
+        let mut levels = vec![leaves.to_vec()];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity((prev.len() + 1) / 2);
+            for pair in prev.chunks(2) {
+                match pair {
+                    [l, r] => next.push(hash_pair(l, r)),
+                    [odd] => next.push(*odd), // promote
+                    _ => unreachable!(),
+                }
+            }
+            levels.push(next);
+        }
+        Self { levels }
+    }
+
+    pub fn root(&self) -> Digest {
+        *self.levels.last().unwrap().last().unwrap()
+    }
+
+    pub fn leaf_count(&self) -> usize {
+        if self.levels.len() == 1 && self.levels[0].len() == 1 {
+            // ambiguous: could be a single leaf or the empty sentinel; treat
+            // level-0 length as authoritative
+        }
+        self.levels[0].len()
+    }
+
+    /// Membership proof for `leaf_index`.
+    pub fn prove(&self, leaf_index: usize) -> MerklePath {
+        assert!(leaf_index < self.levels[0].len(), "leaf index out of range");
+        let mut siblings = Vec::new();
+        let mut idx = leaf_index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sib = idx ^ 1;
+            if sib < level.len() {
+                siblings.push((sib < idx, level[sib]));
+            }
+            idx /= 2;
+        }
+        MerklePath { leaf_index, siblings }
+    }
+
+    /// Verify a membership proof against a root.
+    pub fn verify(root: &Digest, leaf: &Digest, path: &MerklePath) -> bool {
+        let mut cur = *leaf;
+        for (is_left, sib) in &path.siblings {
+            cur = if *is_left { hash_pair(sib, &cur) } else { hash_pair(&cur, sib) };
+        }
+        cur == *root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vchain_hash::hash_bytes;
+
+    fn leaves(n: usize) -> Vec<Digest> {
+        (0..n).map(|i| hash_bytes(&(i as u64).to_le_bytes())).collect()
+    }
+
+    #[test]
+    fn roots_differ_by_content_and_order() {
+        let a = MerkleTree::build(&leaves(4));
+        let mut swapped = leaves(4);
+        swapped.swap(0, 1);
+        let b = MerkleTree::build(&swapped);
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn proofs_verify_for_all_sizes() {
+        for n in 1..=9 {
+            let ls = leaves(n);
+            let t = MerkleTree::build(&ls);
+            for (i, leaf) in ls.iter().enumerate() {
+                let p = t.prove(i);
+                assert!(MerkleTree::verify(&t.root(), leaf, &p), "n={n}, i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_leaf_fails() {
+        let ls = leaves(5);
+        let t = MerkleTree::build(&ls);
+        let p = t.prove(2);
+        let wrong = hash_bytes(b"not the leaf");
+        assert!(!MerkleTree::verify(&t.root(), &wrong, &p));
+    }
+
+    #[test]
+    fn wrong_position_fails() {
+        let ls = leaves(4);
+        let t = MerkleTree::build(&ls);
+        let p = t.prove(1);
+        assert!(!MerkleTree::verify(&t.root(), &ls[2], &p));
+    }
+
+    #[test]
+    fn empty_tree_has_sentinel_root() {
+        let t = MerkleTree::build(&[]);
+        assert_ne!(t.root(), Digest::ZERO);
+        let single = MerkleTree::build(&leaves(1));
+        assert_eq!(single.root(), leaves(1)[0]); // single leaf promotes to root
+    }
+}

@@ -1,0 +1,62 @@
+//! Online batch verification (paper §6.3).
+//!
+//! With Construction 2, mismatching nodes that share a clause — within one
+//! block or across blocks — can be verified in a batch: the verifier sums
+//! their AttDigests with `Sum(·)` and checks a single aggregate proof
+//! produced with `ProofSum(·)` (or, equivalently, proven once against the
+//! summed multiset).
+//!
+//! The in-block flavor is wired into [`crate::intra::IntraTree::query`]
+//! (the `batch` flag) and checked in [`crate::verify`]; this module holds
+//! the cross-block aggregation used by the lazy subscription path (§7.2).
+
+use vchain_acc::{AccError, Accumulator, MultiSet};
+
+use crate::element::ElementId;
+
+/// Accumulates mismatching entities that share a clause, producing one
+/// aggregate (value, proof) pair at flush time.
+pub struct BatchCollector<A: Accumulator> {
+    members: Vec<(MultiSet<ElementId>, A::Value)>,
+}
+
+impl<A: Accumulator> Default for BatchCollector<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Accumulator> BatchCollector<A> {
+    pub fn new() -> Self {
+        Self { members: Vec::new() }
+    }
+
+    pub fn push(&mut self, ms: MultiSet<ElementId>, att: A::Value) {
+        self.members.push((ms, att));
+    }
+
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// One aggregate value + proof against `clause` for all members.
+    pub fn flush(
+        &mut self,
+        acc: &A,
+        clause: &MultiSet<ElementId>,
+    ) -> Result<(A::Value, A::Proof), AccError> {
+        let values: Vec<A::Value> = self.members.iter().map(|(_, v)| v.clone()).collect();
+        let agg_value = acc.sum(&values)?;
+        let mut summed = MultiSet::new();
+        for (ms, _) in &self.members {
+            summed = summed.sum(ms);
+        }
+        let proof = acc.prove_disjoint(&summed, clause)?;
+        self.members.clear();
+        Ok((agg_value, proof))
+    }
+}

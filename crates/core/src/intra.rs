@@ -1,0 +1,459 @@
+//! The authenticated intra-block index (paper §6.1, Fig. 6).
+//!
+//! A binary Merkle tree over a block's objects where every node additionally
+//! stores the multiset union of its subtree's attributes and its
+//! accumulative digest. Built bottom-up by greedy Jaccard clustering
+//! (Algorithm 2) so that similar objects share mismatch proofs; queried by
+//! pruning tree search (Algorithm 3).
+
+use vchain_acc::{Accumulator, MultiSet};
+use vchain_chain::Object;
+use vchain_hash::{hash_concat, hash_pair, Digest};
+
+use crate::element::ElementId;
+use crate::query::{object_multiset, CompiledQuery};
+use crate::vo::{BlockVo, GroupProof, MismatchProof, VoNode};
+
+/// Node payload: a leaf holds one object, an internal node two children.
+#[derive(Clone, Debug)]
+pub enum IntraNodeKind {
+    Leaf { obj_idx: usize },
+    Internal { left: usize, right: usize },
+}
+
+/// One node of the index (arena-allocated in [`IntraTree::nodes`]).
+#[derive(Clone, Debug)]
+pub struct IntraNode<A: Accumulator> {
+    pub hash: Digest,
+    pub ms: MultiSet<ElementId>,
+    /// `AttDigest`. `None` only for internal nodes under the `nil` scheme
+    /// (plain Merkle interior, no pruning possible).
+    pub att: Option<A::Value>,
+    pub kind: IntraNodeKind,
+}
+
+/// The per-block authenticated index.
+#[derive(Clone, Debug)]
+pub struct IntraTree<A: Accumulator> {
+    pub nodes: Vec<IntraNode<A>>,
+    pub root: usize,
+}
+
+/// Leaf commitment: `hash("leaf" | hash(o) | AttDigest)`.
+pub fn leaf_hash<A: Accumulator>(obj_digest: &Digest, att: &A::Value) -> Digest {
+    hash_concat(&[b"vchain/leaf", &obj_digest.0, &A::value_bytes(att)])
+}
+
+/// Authenticated internal commitment:
+/// `hash("internal" | hash(h_l | h_r) | AttDigest)` (paper Def. 6.1).
+pub fn internal_hash<A: Accumulator>(child_pair: &Digest, att: &A::Value) -> Digest {
+    hash_concat(&[b"vchain/internal", &child_pair.0, &A::value_bytes(att)])
+}
+
+impl<A: Accumulator> IntraTree<A> {
+    /// Build leaves: one per object, with its `W′` multiset and AttDigest.
+    fn build_leaves(objects: &[Object], acc: &A, domain_bits: u8) -> Vec<IntraNode<A>> {
+        objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| {
+                let ms = object_multiset(o, domain_bits);
+                let att = acc.setup(&ms);
+                IntraNode {
+                    hash: leaf_hash::<A>(&o.digest(), &att),
+                    ms,
+                    att: Some(att),
+                    kind: IntraNodeKind::Leaf { obj_idx: i },
+                }
+            })
+            .collect()
+    }
+
+    /// Algorithm 2: greedy Jaccard clustering, bottom-up. Internal nodes get
+    /// union multisets and AttDigests, enabling subtree pruning.
+    pub fn build_clustered(objects: &[Object], acc: &A, domain_bits: u8) -> Self {
+        assert!(!objects.is_empty(), "a block must contain at least one object");
+        let mut arena = Self::build_leaves(objects, acc, domain_bits);
+        let mut frontier: Vec<usize> = (0..arena.len()).collect();
+
+        while frontier.len() > 1 {
+            let mut next_level = Vec::with_capacity(frontier.len() / 2 + 1);
+            while frontier.len() > 1 {
+                // n_l: the node with the largest attribute support
+                let (li, _) = frontier
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &n)| arena[n].ms.distinct_len())
+                    .expect("non-empty frontier");
+                let nl = frontier.swap_remove(li);
+                // n_r: the frontier node most similar to n_l (Jaccard)
+                let (ri, _) = frontier
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &n)| (i, arena[nl].ms.jaccard(&arena[n].ms)))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("non-empty frontier");
+                let nr = frontier.swap_remove(ri);
+
+                let ms = arena[nl].ms.union(&arena[nr].ms);
+                let att = acc.setup(&ms);
+                let pair = hash_pair(&arena[nl].hash, &arena[nr].hash);
+                let hash = internal_hash::<A>(&pair, &att);
+                arena.push(IntraNode {
+                    hash,
+                    ms,
+                    att: Some(att),
+                    kind: IntraNodeKind::Internal { left: nl, right: nr },
+                });
+                next_level.push(arena.len() - 1);
+            }
+            // a leftover odd node is carried upward (Algorithm 2's
+            // `nodes ← newnodes + nodes`)
+            next_level.extend(frontier.drain(..));
+            frontier = next_level;
+        }
+
+        let root = frontier[0];
+        Self { nodes: arena, root }
+    }
+
+    /// The `nil` baseline: a balanced Merkle tree in arrival order whose
+    /// internal nodes carry no AttDigest, so queries must visit every leaf.
+    pub fn build_nil(objects: &[Object], acc: &A, domain_bits: u8) -> Self {
+        assert!(!objects.is_empty(), "a block must contain at least one object");
+        let mut arena = Self::build_leaves(objects, acc, domain_bits);
+        let mut frontier: Vec<usize> = (0..arena.len()).collect();
+        while frontier.len() > 1 {
+            let mut next = Vec::with_capacity((frontier.len() + 1) / 2);
+            for pair in frontier.chunks(2) {
+                match *pair {
+                    [l, r] => {
+                        let ms = arena[l].ms.union(&arena[r].ms);
+                        let hash = hash_pair(&arena[l].hash, &arena[r].hash);
+                        arena.push(IntraNode {
+                            hash,
+                            ms,
+                            att: None,
+                            kind: IntraNodeKind::Internal { left: l, right: r },
+                        });
+                        next.push(arena.len() - 1);
+                    }
+                    [odd] => next.push(odd),
+                    _ => unreachable!(),
+                }
+            }
+            frontier = next;
+        }
+        let root = frontier[0];
+        Self { nodes: arena, root }
+    }
+
+    pub fn root_hash(&self) -> Digest {
+        self.nodes[self.root].hash
+    }
+
+    pub fn root_multiset(&self) -> &MultiSet<ElementId> {
+        &self.nodes[self.root].ms
+    }
+
+    pub fn root_att(&self) -> Option<&A::Value> {
+        self.nodes[self.root].att.as_ref()
+    }
+
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, IntraNodeKind::Leaf { .. }))
+            .count()
+    }
+
+    /// Nominal ADS size contributed by this tree (AttDigests + hashes), the
+    /// paper's Table-1 "S" metric.
+    pub fn ads_size_bytes(&self, acc: &A) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| Digest::LEN + n.att.as_ref().map(|_| acc.value_size()).unwrap_or(0))
+            .sum()
+    }
+
+    /// Algorithm 3: pruning tree search. Returns this block's matching
+    /// objects and the VO mirroring the pruned tree.
+    ///
+    /// `batch` enables §6.3 online batch verification: mismatching nodes
+    /// that share a clause are aggregated into one group proof (requires an
+    /// aggregating accumulator, i.e. Construction 2).
+    pub fn query(
+        &self,
+        objects: &[Object],
+        q: &CompiledQuery,
+        acc: &A,
+        batch: bool,
+    ) -> (Vec<Object>, BlockVo<A>) {
+        let mut results = Vec::new();
+        let mut mismatches: Vec<(usize, usize)> = Vec::new(); // (node, clause) in DFS order
+        let mut root = self.walk(self.root, objects, q, &mut results, &mut mismatches, acc, batch);
+
+        // Batch grouping (§6.3): one aggregate proof per distinct mismatch
+        // clause, over the multiset sum of the member nodes.
+        let mut groups = Vec::new();
+        if batch && acc.supports_aggregation() && !mismatches.is_empty() {
+            use std::collections::BTreeMap;
+            let mut by_clause: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for (node, clause) in &mismatches {
+                by_clause.entry(*clause).or_default().push(*node);
+            }
+            let rank: BTreeMap<usize, u16> = by_clause
+                .keys()
+                .enumerate()
+                .map(|(i, &c)| (c, i as u16))
+                .collect();
+            for (&clause_idx, nodes) in &by_clause {
+                let mut summed = MultiSet::new();
+                for &n in nodes {
+                    summed = summed.sum(&self.nodes[n].ms);
+                }
+                let clause_ms = q.cnf.0[clause_idx].to_multiset();
+                let proof = acc
+                    .prove_disjoint(&summed, &clause_ms)
+                    .expect("clause was checked disjoint per member");
+                groups.push(GroupProof {
+                    clause: crate::vo::ClauseRef::Index(clause_idx as u16),
+                    proof,
+                });
+            }
+            // Patch the DFS-ordered placeholders with their group ids.
+            let mut it = mismatches.iter();
+            patch_group_ids(&mut root, &mut it, &rank);
+            debug_assert!(it.next().is_none(), "all placeholders patched");
+        }
+
+        (results, BlockVo { root, groups })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk(
+        &self,
+        idx: usize,
+        objects: &[Object],
+        q: &CompiledQuery,
+        results: &mut Vec<Object>,
+        mismatches: &mut Vec<(usize, usize)>,
+        acc: &A,
+        batch: bool,
+    ) -> VoNode<A> {
+        let node = &self.nodes[idx];
+        let can_prune = node.att.is_some();
+        let mismatch_clause = if can_prune || matches!(node.kind, IntraNodeKind::Leaf { .. }) {
+            q.cnf.find_disjoint_clause(&node.ms)
+        } else {
+            None // nil internal: cannot prune, always descend
+        };
+
+        match (&node.kind, mismatch_clause) {
+            (IntraNodeKind::Leaf { obj_idx }, None) => {
+                // match: return the object
+                let att = node.att.clone().expect("leaves always carry AttDigest");
+                let result_idx = results.len() as u32;
+                results.push(objects[*obj_idx].clone());
+                VoNode::LeafMatch { att, result_idx }
+            }
+            (IntraNodeKind::Leaf { obj_idx }, Some(clause)) => {
+                let att = node.att.clone().expect("leaves always carry AttDigest");
+                let proof = self.make_proof(idx, clause, q, acc, batch, mismatches);
+                VoNode::LeafMismatch { obj_hash: objects[*obj_idx].digest(), att, proof }
+            }
+            (IntraNodeKind::Internal { left, right }, Some(clause)) if can_prune => {
+                let att = node.att.clone().expect("checked");
+                let child_hash = hash_pair(&self.nodes[*left].hash, &self.nodes[*right].hash);
+                let proof = self.make_proof(idx, clause, q, acc, batch, mismatches);
+                VoNode::InternalMismatch { child_hash, att, proof }
+            }
+            (IntraNodeKind::Internal { left, right }, _) => {
+                let l = self.walk(*left, objects, q, results, mismatches, acc, batch);
+                let r = self.walk(*right, objects, q, results, mismatches, acc, batch);
+                VoNode::Internal { att: node.att.clone(), left: Box::new(l), right: Box::new(r) }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn make_proof(
+        &self,
+        node_idx: usize,
+        clause_idx: usize,
+        q: &CompiledQuery,
+        acc: &A,
+        batch: bool,
+        mismatches: &mut Vec<(usize, usize)>,
+    ) -> MismatchProof<A> {
+        if batch && acc.supports_aggregation() {
+            // Defer: record the (node, clause) pair; `query` assigns group
+            // ids after the walk and patches this placeholder in DFS order.
+            mismatches.push((node_idx, clause_idx));
+            MismatchProof::Group(u16::MAX)
+        } else {
+            let clause_ms = q.cnf.0[clause_idx].to_multiset();
+            let proof = acc
+                .prove_disjoint(&self.nodes[node_idx].ms, &clause_ms)
+                .expect("find_disjoint_clause guarantees disjointness");
+            MismatchProof::Inline { proof, clause: crate::vo::ClauseRef::Index(clause_idx as u16) }
+        }
+    }
+}
+
+/// Replace `Group(u16::MAX)` placeholders with their assigned group ids,
+/// consuming the DFS-ordered mismatch records.
+fn patch_group_ids<A: Accumulator>(
+    node: &mut VoNode<A>,
+    it: &mut core::slice::Iter<'_, (usize, usize)>,
+    rank: &std::collections::BTreeMap<usize, u16>,
+) {
+    match node {
+        VoNode::Internal { left, right, .. } => {
+            patch_group_ids(left, it, rank);
+            patch_group_ids(right, it, rank);
+        }
+        VoNode::InternalMismatch { proof, .. } | VoNode::LeafMismatch { proof, .. } => {
+            if matches!(proof, MismatchProof::Group(id) if *id == u16::MAX) {
+                let (_, clause) = it.next().expect("one record per placeholder");
+                *proof = MismatchProof::Group(rank[clause]);
+            }
+        }
+        VoNode::LeafMatch { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Query, RangeSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+    use vchain_acc::Acc1;
+
+    fn acc() -> Acc1 {
+        static A: OnceLock<Acc1> = OnceLock::new();
+        A.get_or_init(|| Acc1::keygen(128, &mut StdRng::seed_from_u64(3))).clone()
+    }
+
+    fn objects() -> Vec<Object> {
+        vec![
+            Object::new(1, 10, vec![4], vec!["Sedan".into(), "Benz".into()]),
+            Object::new(2, 10, vec![5], vec!["Sedan".into(), "Audi".into()]),
+            Object::new(3, 10, vec![6], vec!["Van".into(), "Benz".into()]),
+            Object::new(4, 10, vec![7], vec!["Van".into(), "BMW".into()]),
+        ]
+    }
+
+    #[test]
+    fn clustered_build_invariants() {
+        let a = acc();
+        let tree = IntraTree::build_clustered(&objects(), &a, 3);
+        assert_eq!(tree.leaf_count(), 4);
+        assert_eq!(tree.nodes.len(), 7, "4 leaves + 3 internal nodes");
+        // root multiset is the union of all leaf multisets
+        let root_ms = tree.root_multiset();
+        for o in objects() {
+            for e in object_multiset(&o, 3).elements() {
+                assert!(root_ms.contains(e));
+            }
+        }
+        assert!(tree.root_att().is_some());
+        assert!(tree.ads_size_bytes(&a) > 0);
+    }
+
+    #[test]
+    fn clustering_groups_similar_objects() {
+        // Fig. 6's point: the two "Sedan" objects (and the two "Van"
+        // objects) should end up as siblings under Jaccard clustering.
+        let a = acc();
+        let tree = IntraTree::build_clustered(&objects(), &a, 3);
+        let sibling_pairs: Vec<(usize, usize)> = tree
+            .nodes
+            .iter()
+            .filter_map(|n| match n.kind {
+                IntraNodeKind::Internal { left, right } => {
+                    match (&tree.nodes[left].kind, &tree.nodes[right].kind) {
+                        (IntraNodeKind::Leaf { obj_idx: l }, IntraNodeKind::Leaf { obj_idx: r }) => {
+                            Some((*l.min(r), *l.max(r)))
+                        }
+                        _ => None,
+                    }
+                }
+                _ => None,
+            })
+            .collect();
+        // objects 0,1 share "Sedan"; 2,3 share "Van" — with disjoint numeric
+        // prefixes those are the max-Jaccard pairings
+        assert!(
+            sibling_pairs.contains(&(0, 1)) || sibling_pairs.contains(&(2, 3)),
+            "expected similarity-based pairing, got {sibling_pairs:?}"
+        );
+    }
+
+    #[test]
+    fn nil_build_has_no_internal_digests() {
+        let a = acc();
+        let tree = IntraTree::build_nil(&objects(), &a, 3);
+        for n in &tree.nodes {
+            match n.kind {
+                IntraNodeKind::Leaf { .. } => assert!(n.att.is_some()),
+                IntraNodeKind::Internal { .. } => assert!(n.att.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = acc();
+        let t1 = IntraTree::build_clustered(&objects(), &a, 3);
+        let t2 = IntraTree::build_clustered(&objects(), &a, 3);
+        assert_eq!(t1.root_hash(), t2.root_hash());
+    }
+
+    #[test]
+    fn query_prunes_on_clustered_tree() {
+        let a = acc();
+        let tree = IntraTree::build_clustered(&objects(), &a, 3);
+        // "Sedan" ∧ (Benz ∨ BMW) — §5.1's running example: only object 1
+        let q = Query {
+            time_window: None,
+            ranges: vec![],
+            keywords: vec![vec!["Sedan".into()], vec!["Benz".into(), "BMW".into()]],
+        }
+        .compile(3);
+        let (results, vo) = tree.query(&objects(), &q, &a, false);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].id, 1);
+        assert!(vo.groups.is_empty(), "acc1 cannot batch");
+    }
+
+    #[test]
+    fn single_object_block() {
+        let a = acc();
+        let objs = vec![Object::new(9, 10, vec![2], vec!["X".into()])];
+        let tree = IntraTree::build_clustered(&objs, &a, 3);
+        assert_eq!(tree.nodes.len(), 1);
+        let q = Query { time_window: None, ranges: vec![], keywords: vec![vec!["X".into()]] }
+            .compile(3);
+        let (results, _) = tree.query(&objs, &q, &a, false);
+        assert_eq!(results.len(), 1);
+    }
+
+    #[test]
+    fn range_query_against_tree() {
+        let a = acc();
+        let tree = IntraTree::build_clustered(&objects(), &a, 3);
+        let q = Query {
+            time_window: None,
+            ranges: vec![RangeSpec { dim: 0, lo: 0, hi: 5 }],
+            keywords: vec![],
+        }
+        .compile(3);
+        let (results, _) = tree.query(&objects(), &q, &a, false);
+        let mut ids: Vec<u64> = results.iter().map(|o| o.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2], "values 4 and 5 lie in [0, 5]");
+    }
+}

@@ -1,0 +1,344 @@
+//! The inverted prefix tree (IP-Tree) for scalable subscription processing
+//! (paper §7.1, Fig. 8, Algorithm 6).
+//!
+//! A grid tree over the numeric space: each node is a dyadic cell (one
+//! binary prefix per dimension). Every node carries
+//!
+//! * a **range-condition inverted file (RCIF)**: the queries whose range
+//!   boxes fully or partially cover the cell, and
+//! * a **Boolean-condition inverted file (BCIF)**: for full-cover queries,
+//!   their Boolean clauses grouped by content, so one disjointness test
+//!   (and one proof) serves every query sharing the clause.
+//!
+//! Nodes split while any partially covering query remains (up to
+//! `max_depth`).
+
+use std::collections::BTreeMap;
+
+use vchain_acc::MultiSet;
+
+use crate::element::{Element, ElementId};
+use crate::query::CompiledQuery;
+
+/// Identifier assigned by the subscription engine at registration.
+pub type QueryId = u32;
+
+/// How a query's range box relates to a cell (paper Fig. 8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoverType {
+    /// The cell lies entirely inside the query box.
+    Full,
+    /// The boxes intersect but the cell is not contained.
+    Partial,
+}
+
+/// A dyadic grid cell: a `depth`-bit prefix in each grid dimension.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cell {
+    pub depth: u8,
+    /// `(dim, prefix_bits)` pairs, one per grid dimension.
+    pub prefixes: Vec<(u8, u64)>,
+}
+
+impl Cell {
+    /// The interned prefix elements of this cell (empty at the root).
+    pub fn elements(&self) -> Vec<ElementId> {
+        if self.depth == 0 {
+            return Vec::new();
+        }
+        self.prefixes
+            .iter()
+            .map(|(dim, bits)| {
+                ElementId::intern(&Element::Prefix { dim: *dim, len: self.depth, bits: *bits })
+            })
+            .collect()
+    }
+
+    /// `[lo, hi]` of this cell in dimension `dim`.
+    pub fn interval(&self, dim: u8, domain_bits: u8) -> (u64, u64) {
+        if self.depth == 0 {
+            return (0, (1u64 << domain_bits) - 1);
+        }
+        let bits = self
+            .prefixes
+            .iter()
+            .find(|(d, _)| *d == dim)
+            .map(|(_, b)| *b)
+            .expect("dimension not in grid");
+        crate::trans::prefix_interval(self.depth, bits, domain_bits)
+    }
+
+    /// Does a multiset contain *every* per-dim prefix of the cell? When
+    /// false for some dimension, no summarized object can lie in the cell.
+    pub fn may_contain(&self, ms: &MultiSet<ElementId>) -> bool {
+        self.elements().iter().all(|e| ms.contains(e))
+    }
+}
+
+/// One IP-Tree node.
+#[derive(Clone, Debug)]
+pub struct IpNode {
+    pub cell: Cell,
+    /// RCIF: `(query, cover type)`.
+    pub rcif: Vec<(QueryId, CoverType)>,
+    /// BCIF: Boolean clause content → full-cover queries sharing it.
+    pub bcif: Vec<(Vec<ElementId>, Vec<QueryId>)>,
+    pub children: Vec<IpNode>,
+}
+
+/// The inverted prefix tree.
+#[derive(Clone, Debug)]
+pub struct IpTree {
+    pub root: IpNode,
+    pub domain_bits: u8,
+    pub dims: Vec<u8>,
+    pub max_depth: u8,
+}
+
+/// The query box of a compiled query in one dimension (full domain when the
+/// query has no predicate there).
+fn query_interval(q: &CompiledQuery, dim: u8, domain_bits: u8) -> (u64, u64) {
+    q.ranges
+        .iter()
+        .find(|r| r.dim == dim)
+        .map(|r| (r.lo, r.hi))
+        .unwrap_or((0, (1u64 << domain_bits) - 1))
+}
+
+fn classify(q: &CompiledQuery, cell: &Cell, dims: &[u8], domain_bits: u8) -> Option<CoverType> {
+    let mut full = true;
+    for &dim in dims {
+        let (clo, chi) = cell.interval(dim, domain_bits);
+        let (qlo, qhi) = query_interval(q, dim, domain_bits);
+        if chi < qlo || clo > qhi {
+            return None; // disjoint
+        }
+        if !(qlo <= clo && chi <= qhi) {
+            full = false;
+        }
+    }
+    Some(if full { CoverType::Full } else { CoverType::Partial })
+}
+
+impl IpTree {
+    /// Algorithm 6: build over the registered subscription queries.
+    ///
+    /// `dims` is the set of grid dimensions (usually every dimension any
+    /// query constrains); `max_depth` caps the splitting (the paper switches
+    /// back to the no-IP-Tree case beyond a threshold).
+    pub fn build(
+        queries: &BTreeMap<QueryId, CompiledQuery>,
+        dims: Vec<u8>,
+        domain_bits: u8,
+        max_depth: u8,
+    ) -> Self {
+        assert!(max_depth <= domain_bits);
+        let root_cell = Cell { depth: 0, prefixes: dims.iter().map(|&d| (d, 0)).collect() };
+        let all: Vec<QueryId> = queries.keys().copied().collect();
+        let root = Self::build_node(root_cell, &all, queries, &dims, domain_bits, max_depth);
+        Self { root, domain_bits, dims, max_depth }
+    }
+
+    fn build_node(
+        cell: Cell,
+        candidates: &[QueryId],
+        queries: &BTreeMap<QueryId, CompiledQuery>,
+        dims: &[u8],
+        domain_bits: u8,
+        max_depth: u8,
+    ) -> IpNode {
+        let mut rcif = Vec::new();
+        let mut bcif_map: BTreeMap<Vec<ElementId>, Vec<QueryId>> = BTreeMap::new();
+        let mut partial = Vec::new();
+        for &qid in candidates {
+            let q = &queries[&qid];
+            match classify(q, &cell, dims, domain_bits) {
+                None => {}
+                Some(CoverType::Full) => {
+                    rcif.push((qid, CoverType::Full));
+                    // BCIF: the query's Boolean (keyword) clauses, keyed by
+                    // canonical content.
+                    for clause in q.cnf.0.iter() {
+                        let key: Vec<ElementId> = clause.0.iter().copied().collect();
+                        bcif_map.entry(key).or_default().push(qid);
+                    }
+                }
+                Some(CoverType::Partial) => {
+                    rcif.push((qid, CoverType::Partial));
+                    partial.push(qid);
+                }
+            }
+        }
+
+        let mut children = Vec::new();
+        if !partial.is_empty() && cell.depth < max_depth {
+            // split every grid dimension one more bit: 2^D children
+            let d = cell.prefixes.len();
+            for combo in 0..(1u64 << d) {
+                let prefixes = cell
+                    .prefixes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (dim, bits))| ((*dim), (bits << 1) | ((combo >> i) & 1)))
+                    .collect();
+                let child_cell = Cell { depth: cell.depth + 1, prefixes };
+                children.push(Self::build_node(
+                    child_cell,
+                    candidates,
+                    queries,
+                    dims,
+                    domain_bits,
+                    max_depth,
+                ));
+            }
+        }
+
+        IpNode {
+            cell,
+            rcif,
+            bcif: bcif_map.into_iter().collect(),
+            children,
+        }
+    }
+
+    /// The deepest cell that fully contains a query's range box — the unit
+    /// of proof sharing for range mismatches: if an intra node's multiset
+    /// is provably outside this cell, every query enclosed by the cell
+    /// mismatches for the same shared reason.
+    pub fn enclosing_cell(&self, q: &CompiledQuery) -> Cell {
+        let mut node = &self.root;
+        'descend: loop {
+            for child in &node.children {
+                let contains = self.dims.iter().all(|&dim| {
+                    let (clo, chi) = child.cell.interval(dim, self.domain_bits);
+                    let (qlo, qhi) = query_interval(q, dim, self.domain_bits);
+                    clo <= qlo && qhi <= chi
+                });
+                if contains {
+                    node = child;
+                    continue 'descend;
+                }
+            }
+            return node.cell.clone();
+        }
+    }
+
+    /// Total number of nodes (diagnostics / tests).
+    pub fn node_count(&self) -> usize {
+        fn rec(n: &IpNode) -> usize {
+            1 + n.children.iter().map(rec).sum::<usize>()
+        }
+        rec(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Query, RangeSpec};
+
+    fn q(lo0: u64, hi0: u64, lo1: u64, hi1: u64, kw: &str) -> CompiledQuery {
+        Query {
+            time_window: None,
+            ranges: vec![RangeSpec { dim: 0, lo: lo0, hi: hi0 }, RangeSpec { dim: 1, lo: lo1, hi: hi1 }],
+            keywords: vec![vec![kw.to_string()]],
+        }
+        .compile(4)
+    }
+
+    fn queries() -> BTreeMap<QueryId, CompiledQuery> {
+        // Domain [0, 15]²; mirrors Fig. 8's layout at larger scale.
+        [
+            (1, q(0, 7, 8, 15, "Van")),   // upper-left quadrant
+            (2, q(0, 7, 0, 15, "Van")),   // left half
+            (3, q(0, 3, 0, 11, "Sedan")), // partial
+            (4, q(8, 15, 0, 15, "Sedan")),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn rcif_cover_types_match_fig8() {
+        let qs = queries();
+        let t = IpTree::build(&qs, vec![0, 1], 4, 4);
+        // depth-1 child 0 is the cell x∈[0,7], y∈[0,7]
+        let c00 = &t.root.children[0];
+        assert_eq!(c00.cell.interval(0, 4), (0, 7));
+        assert_eq!(c00.cell.interval(1, 4), (0, 7));
+        let rc: BTreeMap<_, _> = c00.rcif.iter().copied().collect();
+        assert_eq!(rc.get(&2), Some(&CoverType::Full));
+        assert_eq!(rc.get(&3), Some(&CoverType::Partial));
+        assert_eq!(rc.get(&4), None, "q4 does not intersect the left half");
+        // upper-left cell x∈[0,7], y∈[8,15]: q1 and q2 full
+        let c01 = t
+            .root
+            .children
+            .iter()
+            .find(|c| c.cell.interval(1, 4) == (8, 15) && c.cell.interval(0, 4) == (0, 7))
+            .unwrap();
+        let rc: BTreeMap<_, _> = c01.rcif.iter().copied().collect();
+        assert_eq!(rc.get(&1), Some(&CoverType::Full));
+        assert_eq!(rc.get(&2), Some(&CoverType::Full));
+    }
+
+    #[test]
+    fn bcif_groups_shared_clauses() {
+        let qs = queries();
+        let t = IpTree::build(&qs, vec![0, 1], 4, 4);
+        let c01 = t
+            .root
+            .children
+            .iter()
+            .find(|c| c.cell.interval(1, 4) == (8, 15) && c.cell.interval(0, 4) == (0, 7))
+            .unwrap();
+        // q1 and q2 share the keyword clause {Van}
+        let van = ElementId::keyword("Van");
+        let shared = c01
+            .bcif
+            .iter()
+            .find(|(k, _)| k == &vec![van])
+            .map(|(_, qs)| qs.clone())
+            .unwrap();
+        assert_eq!(shared, vec![1, 2]);
+    }
+
+    #[test]
+    fn splits_until_no_partial_or_cap() {
+        let qs = queries();
+        let t = IpTree::build(&qs, vec![0, 1], 4, 4);
+        assert!(t.node_count() > 5, "partial queries force splits");
+        let shallow = IpTree::build(&qs, vec![0, 1], 4, 0);
+        assert_eq!(shallow.node_count(), 1, "depth cap 0 means root only");
+    }
+
+    #[test]
+    fn enclosing_cell_contains_box() {
+        let qs = queries();
+        let t = IpTree::build(&qs, vec![0, 1], 4, 4);
+        for q in qs.values() {
+            let c = t.enclosing_cell(q);
+            for &dim in &[0u8, 1] {
+                let (clo, chi) = c.interval(dim, 4);
+                let (qlo, qhi) = query_interval(q, dim, 4);
+                assert!(clo <= qlo && qhi <= chi);
+            }
+        }
+        // a tight box gets a deep cell
+        let tight: BTreeMap<QueryId, CompiledQuery> = [(9u32, q(4, 5, 8, 9, "x"))].into_iter().collect();
+        let t2 = IpTree::build(&tight, vec![0, 1], 4, 4);
+        let c = t2.enclosing_cell(&tight[&9]);
+        assert!(c.depth >= 2, "tight box should nest deeply, got depth {}", c.depth);
+    }
+
+    #[test]
+    fn cell_may_contain_semantics() {
+        let cell = Cell { depth: 1, prefixes: vec![(0, 1), (1, 0)] }; // x∈[8,15], y∈[0,7] of 4-bit
+        let o = vchain_chain::Object::new(1, 0, vec![9, 3], vec![]);
+        let ms = crate::query::object_multiset(&o, 4);
+        assert!(cell.may_contain(&ms));
+        let o2 = vchain_chain::Object::new(1, 0, vec![3, 3], vec![]);
+        let ms2 = crate::query::object_multiset(&o2, 4);
+        assert!(!cell.may_contain(&ms2));
+    }
+}

@@ -1,0 +1,50 @@
+//! # vChain — verifiable Boolean range queries over blockchain databases
+//!
+//! This crate implements the primary contribution of *"vChain: Enabling
+//! Verifiable Boolean Range Queries over Blockchain Databases"* (Xu, Zhang,
+//! Xu — SIGMOD 2019) on top of the substrates in this workspace
+//! (`vchain-pairing`, `vchain-acc`, `vchain-chain`):
+//!
+//! * [`element`] / [`trans`] — the numeric→set transformation `trans(·)`
+//!   (§5.3): values become binary-prefix sets, range predicates become
+//!   minimal prefix covers, so one accumulator-based ADS serves arbitrary
+//!   attribute combinations.
+//! * [`query`] — Boolean range queries (time-window & subscription, §3) and
+//!   their compilation into a unified CNF over set elements.
+//! * [`intra`] — the Jaccard-clustered authenticated intra-block index
+//!   (Algorithm 2) and its tree-search VO construction (Algorithm 3, §6.1).
+//! * [`inter`] — the skip-list inter-block index (§6.2, Algorithm 4).
+//! * [`miner`] / [`sp`] / [`verify`] — the three roles of Fig. 3: the miner
+//!   embeds ADS commitments into block headers, the service provider answers
+//!   queries with verification objects, and the light-client user checks
+//!   soundness and completeness against block headers alone.
+//! * [`batch`] — online batch verification via `Sum`/`ProofSum` (§6.3).
+//! * [`subscribe`] / [`iptree`] — verifiable subscription queries with the
+//!   inverted prefix tree (§7.1, Algorithms 6/7) and lazy authentication
+//!   (§7.2, Algorithm 5).
+//!
+//! The generic parameter `A: Accumulator` selects between the paper's two
+//! accumulator constructions (`vchain_acc::Acc1`, `vchain_acc::Acc2`).
+
+pub mod batch;
+pub mod element;
+pub mod inter;
+pub mod intra;
+pub mod iptree;
+pub mod miner;
+pub mod query;
+pub mod sp;
+pub mod subscribe;
+pub mod trans;
+pub mod verify;
+pub mod vo;
+
+pub use element::{Element, ElementId};
+pub use inter::{SkipEntry, SkipList};
+pub use intra::{IntraNodeKind, IntraTree};
+pub use miner::{IndexScheme, Miner, MinerConfig};
+pub use query::{Clause, Cnf, CompiledQuery, Query, RangeSpec};
+pub use sp::ServiceProvider;
+pub use subscribe::{SubscriptionEngine, SubscriptionMode, SubscriptionUpdate};
+pub use verify::{verify_response, VerifyError};
+pub use vo::{BlockCoverage, ClauseRef, QueryResponse, VoNode, VoSize};

@@ -1,0 +1,138 @@
+//! The service provider role (paper Fig. 3): answers time-window queries
+//! with `⟨R, VO⟩`, using the intra-block index (Algorithm 3) and the
+//! inter-block skip list (Algorithm 4).
+
+use vchain_acc::Accumulator;
+use vchain_chain::ChainStore;
+
+use crate::miner::{IndexScheme, IndexedBlock, MinerConfig};
+use crate::query::CompiledQuery;
+use crate::vo::{BlockCoverage, ClauseRef, QueryResponse};
+
+/// A full node serving verifiable queries.
+pub struct ServiceProvider<A: Accumulator> {
+    pub cfg: MinerConfig,
+    pub acc: A,
+    store: ChainStore,
+    indexed: Vec<IndexedBlock<A>>,
+    history: Vec<crate::inter::BlockSummary<A>>,
+    /// §6.3 online batch verification (effective with Construction 2 only).
+    pub batch_verify: bool,
+}
+
+impl<A: Accumulator> ServiceProvider<A> {
+    pub(crate) fn new(
+        cfg: MinerConfig,
+        acc: A,
+        store: ChainStore,
+        indexed: Vec<IndexedBlock<A>>,
+        history: Vec<crate::inter::BlockSummary<A>>,
+    ) -> Self {
+        let batch_verify = acc.supports_aggregation();
+        Self { cfg, acc, store, indexed, history, batch_verify }
+    }
+
+    pub fn store(&self) -> &ChainStore {
+        &self.store
+    }
+
+    pub fn indexed(&self) -> &[IndexedBlock<A>] {
+        &self.indexed
+    }
+
+    pub fn history(&self) -> &[crate::inter::BlockSummary<A>] {
+        &self.history
+    }
+
+    pub fn with_batch_verify(mut self, enabled: bool) -> Self {
+        self.batch_verify = enabled && self.acc.supports_aggregation();
+        self
+    }
+
+    /// Answer a time-window query (paper §3; Algorithms 3 & 4).
+    ///
+    /// The window is processed from the newest in-window block backwards.
+    /// Under the `Both` scheme, after each processed block the SP tries the
+    /// largest applicable skip whose summary mismatches the query, covering
+    /// a whole run of preceding blocks with one proof.
+    pub fn time_window_query(&self, q: &CompiledQuery) -> QueryResponse<A> {
+        let (ts, te) = q.time_window.expect("time-window query requires a window");
+        let heights = self.store.heights_in_window(ts, te);
+        let mut results = Vec::new();
+        let mut coverage = Vec::new();
+        let Some(&start) = heights.first() else {
+            return QueryResponse { results, coverage };
+        };
+        let end = *heights.last().expect("non-empty");
+
+        let mut h = end as i64;
+        while h >= start as i64 {
+            let height = h as u64;
+            // 1. process this block individually
+            let block = self.store.block(height).expect("height in range");
+            let idx = &self.indexed[height as usize];
+            let (block_results, vo) =
+                idx.tree.query(&block.objects, q, &self.acc, self.batch_verify);
+            if !block_results.is_empty() {
+                results.push((height, block_results));
+            }
+            coverage.push(BlockCoverage::Block { height, vo });
+            h -= 1;
+
+            // 2. greedily skip preceding mismatching runs
+            if self.cfg.scheme == IndexScheme::Both {
+                loop {
+                    if h < start as i64 {
+                        break;
+                    }
+                    let cur = (h + 1) as u64; // block whose skip list we use
+                    let Some(jump) = self.try_skip(cur, start, q) else { break };
+                    coverage.push(jump.0);
+                    h -= jump.1 as i64;
+                }
+            }
+        }
+        QueryResponse { results, coverage }
+    }
+
+    /// Try the largest skip at block `cur` covering `cur-distance ..= cur-1`
+    /// entirely inside `[start, cur-1]` whose summary mismatches the query.
+    fn try_skip(
+        &self,
+        cur: u64,
+        start: u64,
+        q: &CompiledQuery,
+    ) -> Option<(BlockCoverage<A>, u64)> {
+        let skiplist = &self.indexed[cur as usize].skiplist;
+        for entry in skiplist.entries.iter().rev() {
+            if entry.distance > cur || cur - entry.distance < start {
+                continue; // would overshoot the window start
+            }
+            if let Some(clause_idx) = q.cnf.find_disjoint_clause(&entry.ms) {
+                let clause_ms = q.cnf.0[clause_idx].to_multiset();
+                let proof = self
+                    .acc
+                    .prove_disjoint(&entry.ms, &clause_ms)
+                    .expect("disjointness established");
+                let siblings = skiplist
+                    .entries
+                    .iter()
+                    .filter(|e| e.distance != entry.distance)
+                    .map(|e| (e.distance, e.level_hash()))
+                    .collect();
+                return Some((
+                    BlockCoverage::Skip {
+                        height: cur,
+                        distance: entry.distance,
+                        att: entry.att.clone(),
+                        proof,
+                        clause: ClauseRef::Index(clause_idx as u16),
+                        siblings,
+                    },
+                    entry.distance,
+                ));
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,586 @@
+//! Verifiable subscription queries (paper §7).
+//!
+//! The [`SubscriptionEngine`] is the SP-side component that, for every newly
+//! confirmed block, produces per-query `⟨R, VO⟩` updates:
+//!
+//! * **Real-time mode** publishes an update to every registered query on
+//!   every block (match or mismatch).
+//! * **Lazy mode** (§7.2, Algorithm 5; requires the aggregating
+//!   Construction 2 and the inter-block index) buffers whole-block
+//!   mismatches on a stack and compresses runs with skip-list entries and
+//!   `ProofSum`, publishing only when a block's root multiset matches.
+//! * The **IP-Tree** (§7.1) can be enabled in either mode: queries are then
+//!   processed jointly per block, and mismatch proofs are shared — by
+//!   Boolean-clause content (the BCIF effect) and by enclosing grid cell
+//!   for range mismatches.
+
+use std::collections::{BTreeMap, HashMap};
+
+use vchain_acc::{Accumulator, MultiSet};
+use vchain_chain::{Block, LightClient, Object};
+
+use crate::element::ElementId;
+use crate::intra::{IntraNodeKind, IntraTree};
+use crate::iptree::{Cell, IpTree, QueryId};
+use crate::miner::{IndexScheme, IndexedBlock, MinerConfig};
+use crate::query::{CompiledQuery, Query};
+use crate::verify::{verify_with_expected, VerifyError};
+use crate::vo::{BlockCoverage, BlockVo, ClauseRef, MismatchProof, QueryResponse, VoNode};
+
+/// Publication policy (paper §7.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubscriptionMode {
+    Realtime,
+    Lazy,
+}
+
+/// One published update for one query: results plus the VO covering every
+/// block since the previous update.
+#[derive(Clone, Debug)]
+pub struct SubscriptionUpdate<A: Accumulator> {
+    pub query_id: QueryId,
+    /// Heights covered by this update (inclusive).
+    pub from_height: u64,
+    pub to_height: u64,
+    pub results: Vec<(u64, Vec<Object>)>,
+    pub coverage: Vec<BlockCoverage<A>>,
+}
+
+impl<A: Accumulator> SubscriptionUpdate<A> {
+    pub fn response(&self) -> QueryResponse<A> {
+        QueryResponse { results: self.results.clone(), coverage: self.coverage.clone() }
+    }
+}
+
+/// Verify a subscription update against the light client's headers: the
+/// same soundness/completeness machinery as time-window queries, with the
+/// expected coverage being the update's height interval.
+pub fn verify_subscription_update<A: Accumulator>(
+    q: &CompiledQuery,
+    update: &SubscriptionUpdate<A>,
+    light: &LightClient,
+    cfg: &MinerConfig,
+    acc: &A,
+) -> Result<Vec<Object>, VerifyError> {
+    let expected = (update.from_height..=update.to_height).collect();
+    verify_with_expected(q, &update.response(), light, cfg, acc, expected)
+}
+
+/// Per-query lazy-mode state: buffered whole-block mismatches, all sharing
+/// one clause (Algorithm 5's stack).
+struct LazyState<A: Accumulator> {
+    clause_idx: Option<usize>,
+    pending: Vec<BlockCoverage<A>>,
+    /// First height not yet reported to the subscriber.
+    from_height: u64,
+}
+
+/// The SP-side subscription processor.
+pub struct SubscriptionEngine<A: Accumulator> {
+    pub cfg: MinerConfig,
+    pub acc: A,
+    pub mode: SubscriptionMode,
+    pub use_iptree: bool,
+    queries: BTreeMap<QueryId, CompiledQuery>,
+    iptree: Option<IpTree>,
+    enclosing: BTreeMap<QueryId, Cell>,
+    lazy: BTreeMap<QueryId, LazyState<A>>,
+    next_id: QueryId,
+    next_height: u64,
+}
+
+impl<A: Accumulator> SubscriptionEngine<A> {
+    pub fn new(cfg: MinerConfig, acc: A, mode: SubscriptionMode, use_iptree: bool) -> Self {
+        if mode == SubscriptionMode::Lazy {
+            assert!(
+                acc.supports_aggregation() && cfg.scheme == IndexScheme::Both,
+                "lazy authentication needs Construction 2 and the inter-block index (§7.2)"
+            );
+        }
+        Self {
+            cfg,
+            acc,
+            mode,
+            use_iptree,
+            queries: BTreeMap::new(),
+            iptree: None,
+            enclosing: BTreeMap::new(),
+            lazy: BTreeMap::new(),
+            next_id: 0,
+            next_height: 0,
+        }
+    }
+
+    /// Number of registered queries.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    pub fn compiled(&self, id: QueryId) -> Option<&CompiledQuery> {
+        self.queries.get(&id)
+    }
+
+    /// Register a subscription (paper §3). Returns its id.
+    pub fn register(&mut self, q: &Query) -> QueryId {
+        assert!(q.time_window.is_none(), "subscription queries have no time window");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queries.insert(id, q.compile(self.cfg.domain_bits));
+        self.lazy.insert(
+            id,
+            LazyState { clause_idx: None, pending: Vec::new(), from_height: self.next_height },
+        );
+        self.rebuild_iptree();
+        id
+    }
+
+    /// Deregister; in lazy mode any buffered coverage is flushed as a final
+    /// (possibly result-less) update.
+    pub fn deregister(&mut self, id: QueryId) -> Option<SubscriptionUpdate<A>> {
+        self.queries.remove(&id)?;
+        let state = self.lazy.remove(&id);
+        self.rebuild_iptree();
+        match state {
+            Some(s) if !s.pending.is_empty() => Some(SubscriptionUpdate {
+                query_id: id,
+                from_height: s.from_height,
+                to_height: self.next_height.saturating_sub(1),
+                results: Vec::new(),
+                coverage: s.pending,
+            }),
+            _ => None,
+        }
+    }
+
+    fn rebuild_iptree(&mut self) {
+        if !self.use_iptree || self.queries.is_empty() {
+            self.iptree = None;
+            self.enclosing.clear();
+            return;
+        }
+        let mut dims: Vec<u8> = self
+            .queries
+            .values()
+            .flat_map(|q| q.ranges.iter().map(|r| r.dim))
+            .collect();
+        dims.sort_unstable();
+        dims.dedup();
+        if dims.is_empty() {
+            self.iptree = None;
+            self.enclosing.clear();
+            return;
+        }
+        // Depth cap (paper §7.1: "to prevent the tree from becoming too
+        // deep, we switch back to the case without the IP-Tree when the
+        // tree depth reaches some pre-defined threshold"): each split
+        // produces 2^D children, so bound the depth by a node budget of
+        // ~2^16 nodes rather than letting high-dimensional grids explode.
+        let max_depth = (16 / dims.len().max(1)) as u8;
+        let max_depth = max_depth.clamp(1, self.cfg.domain_bits);
+        let tree = IpTree::build(&self.queries, dims, self.cfg.domain_bits, max_depth);
+        self.enclosing = self
+            .queries
+            .iter()
+            .map(|(id, q)| (*id, tree.enclosing_cell(q)))
+            .collect();
+        self.iptree = Some(tree);
+    }
+
+    /// Process a newly confirmed block; returns the updates to publish.
+    pub fn process_block(
+        &mut self,
+        block: &Block,
+        indexed: &IndexedBlock<A>,
+    ) -> Vec<SubscriptionUpdate<A>> {
+        let height = block.header.height;
+        assert_eq!(height, self.next_height, "blocks must be processed in order");
+        self.next_height = height + 1;
+
+        // Per-query (results, block VO) for this block, with shared proofs
+        // when the IP-Tree is enabled.
+        let per_query: BTreeMap<QueryId, (Vec<Object>, BlockVo<A>)> = if self.use_iptree {
+            self.process_block_shared(block, indexed)
+        } else {
+            self.queries
+                .iter()
+                .map(|(id, q)| (*id, indexed.tree.query(&block.objects, q, &self.acc, false)))
+                .collect()
+        };
+
+        let mut updates = Vec::new();
+        for (qid, (results, vo)) in per_query {
+            match self.mode {
+                SubscriptionMode::Realtime => {
+                    let res = if results.is_empty() { Vec::new() } else { vec![(height, results)] };
+                    updates.push(SubscriptionUpdate {
+                        query_id: qid,
+                        from_height: height,
+                        to_height: height,
+                        results: res,
+                        coverage: vec![BlockCoverage::Block { height, vo }],
+                    });
+                }
+                SubscriptionMode::Lazy => {
+                    if let Some(u) = self.lazy_step(qid, height, results, vo, indexed) {
+                        updates.push(u);
+                    }
+                }
+            }
+        }
+        updates
+    }
+
+    /// Algorithm 5: buffer whole-block mismatches, compress with skips,
+    /// flush when the root matches.
+    fn lazy_step(
+        &mut self,
+        qid: QueryId,
+        height: u64,
+        results: Vec<Object>,
+        vo: BlockVo<A>,
+        indexed: &IndexedBlock<A>,
+    ) -> Option<SubscriptionUpdate<A>> {
+        let q = self.queries.get(&qid).expect("registered").clone();
+        let state = self.lazy.get_mut(&qid).expect("registered");
+        let root_clause = match &vo.root {
+            // whole-block mismatch: a single root-level mismatch node
+            VoNode::InternalMismatch { proof: MismatchProof::Inline { clause, .. }, .. }
+            | VoNode::LeafMismatch { proof: MismatchProof::Inline { clause, .. }, .. } => {
+                match clause {
+                    ClauseRef::Index(i) => Some(*i as usize),
+                    ClauseRef::Cell { .. } => None, // treat as unshareable run
+                }
+            }
+            _ => None,
+        };
+
+        match root_clause {
+            Some(ci) => {
+                // If the stack runs on a different clause, flush it first
+                // (paper: "Empty s") as a result-less update.
+                let mut flushed = None;
+                if state.clause_idx.is_some() && state.clause_idx != Some(ci) {
+                    flushed = Self::drain_update(qid, state, height.saturating_sub(1), Vec::new());
+                    state.from_height = height;
+                }
+                state.clause_idx = Some(ci);
+                state.pending.push(BlockCoverage::Block { height, vo });
+                self.compress(qid, height, indexed);
+                flushed
+            }
+            None => {
+                // Root matched (or unshareable): flush everything buffered
+                // plus this block.
+                let state = self.lazy.get_mut(&qid).expect("registered");
+                state.pending.push(BlockCoverage::Block { height, vo });
+                let res = if results.is_empty() { Vec::new() } else { vec![(height, results)] };
+                let update = Self::drain_update(qid, state, height, res);
+                state.from_height = height + 1;
+                state.clause_idx = None;
+                let _ = q;
+                update
+            }
+        }
+    }
+
+    fn drain_update(
+        qid: QueryId,
+        state: &mut LazyState<A>,
+        to_height: u64,
+        results: Vec<(u64, Vec<Object>)>,
+    ) -> Option<SubscriptionUpdate<A>> {
+        if state.pending.is_empty() && results.is_empty() {
+            return None;
+        }
+        Some(SubscriptionUpdate {
+            query_id: qid,
+            from_height: state.from_height,
+            to_height,
+            results,
+            coverage: std::mem::take(&mut state.pending),
+        })
+    }
+
+    /// Compress the top of the stack with the *current* block's skip list:
+    /// if the preceding `d` blocks are exactly the top pending entries, one
+    /// skip entry plus `ProofSum` replaces them (paper Algorithm 5).
+    fn compress(&mut self, qid: QueryId, height: u64, indexed: &IndexedBlock<A>) {
+        let state = self.lazy.get_mut(&qid).expect("registered");
+        let q = &self.queries[&qid];
+        let Some(clause_idx) = state.clause_idx else { return };
+        for entry in indexed.skiplist.entries.iter().rev() {
+            let d = entry.distance;
+            // the skip at `height` covers `height-d ..= height-1`; with the
+            // current block just pushed, those are the entries *below* it.
+            if state.pending.len() < 2 {
+                return;
+            }
+            let top = state.pending.last().expect("non-empty");
+            let (top_first, _) = coverage_span(top);
+            if top_first != height {
+                return; // current block must sit on top
+            }
+            // collect entries below the top until they span exactly d blocks
+            let mut span = 0u64;
+            let mut take = 0usize;
+            for cov in state.pending[..state.pending.len() - 1].iter().rev() {
+                let (first, last) = coverage_span(cov);
+                if span == 0 && last != height - 1 {
+                    break; // not contiguous with the current block
+                }
+                span += last - first + 1;
+                take += 1;
+                if span >= d {
+                    break;
+                }
+            }
+            if span != d {
+                continue; // try a smaller skip distance
+            }
+            // The skip's multiset must mismatch the same clause (it is the
+            // sum of the covered blocks' root multisets, each disjoint from
+            // the clause, so this always holds — asserted here).
+            let clause_ms = q.cnf.0[clause_idx].to_multiset();
+            debug_assert!(entry.ms.is_disjoint(&clause_ms));
+            // Aggregate the member proofs with ProofSum.
+            let members: Vec<A::Proof> = state.pending
+                [state.pending.len() - 1 - take..state.pending.len() - 1]
+                .iter()
+                .map(extract_proof::<A>)
+                .collect();
+            let agg = match self.acc.proof_sum(&members) {
+                Ok(p) => p,
+                Err(_) => return,
+            };
+            let siblings = indexed
+                .skiplist
+                .entries
+                .iter()
+                .filter(|e| e.distance != d)
+                .map(|e| (e.distance, e.level_hash()))
+                .collect();
+            let skip_cov = BlockCoverage::Skip {
+                height,
+                distance: d,
+                att: entry.att.clone(),
+                proof: agg,
+                clause: ClauseRef::Index(clause_idx as u16),
+                siblings,
+            };
+            let keep_from = state.pending.len() - 1 - take;
+            let current = state.pending.pop().expect("top");
+            state.pending.truncate(keep_from);
+            state.pending.push(skip_cov);
+            state.pending.push(current);
+            return;
+        }
+    }
+
+    /// IP-Tree joint processing (§7.1, Algorithm 7 in spirit): one traversal
+    /// of the intra-block index for *all* queries, sharing mismatch proofs
+    /// by clause content and by enclosing grid cell.
+    fn process_block_shared(
+        &self,
+        block: &Block,
+        indexed: &IndexedBlock<A>,
+    ) -> BTreeMap<QueryId, (Vec<Object>, BlockVo<A>)> {
+        let tree = &indexed.tree;
+        let qids: Vec<QueryId> = self.queries.keys().copied().collect();
+        let mut proof_cache: HashMap<Vec<u32>, HashMap<usize, A::Proof>> = HashMap::new();
+        let mut out: BTreeMap<QueryId, (Vec<Object>, Option<VoNode<A>>)> =
+            qids.iter().map(|&id| (id, (Vec::new(), None))).collect();
+
+        let roots = self.shared_walk(tree, tree.root, &block.objects, &qids, &mut proof_cache, &mut out);
+        roots
+            .into_iter()
+            .map(|(qid, node)| {
+                let (results, _) = out.remove(&qid).expect("present");
+                (qid, (results, BlockVo { root: node, groups: Vec::new() }))
+            })
+            .collect()
+    }
+
+    /// Returns, per active query, the VO node for this subtree.
+    fn shared_walk(
+        &self,
+        tree: &IntraTree<A>,
+        node_idx: usize,
+        objects: &[Object],
+        active: &[QueryId],
+        proof_cache: &mut HashMap<Vec<u32>, HashMap<usize, A::Proof>>,
+        out: &mut BTreeMap<QueryId, (Vec<Object>, Option<VoNode<A>>)>,
+    ) -> BTreeMap<QueryId, VoNode<A>> {
+        let node = &tree.nodes[node_idx];
+        let mut results_map: BTreeMap<QueryId, VoNode<A>> = BTreeMap::new();
+        let mut descend: Vec<QueryId> = Vec::new();
+
+        // 1. Range sharing: queries grouped by enclosing cell; one proof per
+        //    cell whose slabs are all absent from the node's multiset.
+        let mut cell_refuted: BTreeMap<QueryId, (ClauseRef, A::Proof)> = BTreeMap::new();
+        if !self.enclosing.is_empty() {
+            let mut by_cell: BTreeMap<&Cell, Vec<QueryId>> = BTreeMap::new();
+            for &qid in active {
+                if let Some(c) = self.enclosing.get(&qid) {
+                    if c.depth > 0 {
+                        by_cell.entry(c).or_default().push(qid);
+                    }
+                }
+            }
+            for (cell, qids) in by_cell {
+                // The shared proof covers only the dimensions whose slab
+                // prefix is *absent* from the node's multiset: disjointness
+                // on any one dimension already refutes every query whose
+                // box is contained in the cell.
+                let absent: Vec<(u8, u64)> = cell
+                    .prefixes
+                    .iter()
+                    .zip(cell.elements())
+                    .filter(|(_, e)| !node.ms.contains(e))
+                    .map(|((dim, bits), _)| (*dim, *bits))
+                    .collect();
+                if absent.is_empty() {
+                    continue; // the node may contain cell objects: no sharing
+                }
+                let clause_ms: MultiSet<ElementId> = absent
+                    .iter()
+                    .map(|(dim, bits)| {
+                        ElementId::intern(&crate::element::Element::Prefix {
+                            dim: *dim,
+                            len: cell.depth,
+                            bits: *bits,
+                        })
+                    })
+                    .collect();
+                let key: Vec<u32> = clause_ms.elements().map(|e| e.raw()).collect();
+                let proof = proof_cache
+                    .entry(key)
+                    .or_default()
+                    .entry(node_idx)
+                    .or_insert_with(|| {
+                        self.acc
+                            .prove_disjoint(&node.ms, &clause_ms)
+                            .expect("absent prefixes are disjoint by construction")
+                    })
+                    .clone();
+                let clause = ClauseRef::Cell { len: cell.depth, prefixes: absent };
+                for qid in qids {
+                    cell_refuted.insert(qid, (clause.clone(), proof.clone()));
+                }
+            }
+        }
+
+        for &qid in active {
+            let q = &self.queries[&qid];
+            if let Some((clause, proof)) = cell_refuted.get(&qid) {
+                results_map.insert(
+                    qid,
+                    self.mismatch_node(tree, node_idx, objects, MismatchProof::Inline {
+                        proof: proof.clone(),
+                        clause: clause.clone(),
+                    }),
+                );
+                continue;
+            }
+            // 2. Clause-content sharing (the BCIF effect): identical clause
+            //    sets across queries reuse one proof per node.
+            match q.cnf.find_disjoint_clause(&node.ms) {
+                Some(ci) => {
+                    let clause_ms = q.cnf.0[ci].to_multiset();
+                    let key: Vec<u32> = clause_ms.elements().map(|e| e.raw()).collect();
+                    let proof = proof_cache
+                        .entry(key)
+                        .or_default()
+                        .entry(node_idx)
+                        .or_insert_with(|| {
+                            self.acc
+                                .prove_disjoint(&node.ms, &clause_ms)
+                                .expect("clause found disjoint")
+                        })
+                        .clone();
+                    results_map.insert(
+                        qid,
+                        self.mismatch_node(tree, node_idx, objects, MismatchProof::Inline {
+                            proof,
+                            clause: ClauseRef::Index(ci as u16),
+                        }),
+                    );
+                }
+                None => descend.push(qid),
+            }
+        }
+
+        if descend.is_empty() {
+            return results_map;
+        }
+
+        match &node.kind {
+            IntraNodeKind::Leaf { obj_idx } => {
+                for qid in descend {
+                    let (results, _) = out.get_mut(&qid).expect("present");
+                    let att = node.att.clone().expect("leaves carry AttDigest");
+                    let result_idx = results.len() as u32;
+                    results.push(objects[*obj_idx].clone());
+                    results_map.insert(qid, VoNode::LeafMatch { att, result_idx });
+                }
+            }
+            IntraNodeKind::Internal { left, right } => {
+                let mut l = self.shared_walk(tree, *left, objects, &descend, proof_cache, out);
+                let mut r = self.shared_walk(tree, *right, objects, &descend, proof_cache, out);
+                for qid in descend {
+                    let ln = l.remove(&qid).expect("child VO");
+                    let rn = r.remove(&qid).expect("child VO");
+                    results_map.insert(
+                        qid,
+                        VoNode::Internal {
+                            att: node.att.clone(),
+                            left: Box::new(ln),
+                            right: Box::new(rn),
+                        },
+                    );
+                }
+            }
+        }
+        results_map
+    }
+
+    fn mismatch_node(
+        &self,
+        tree: &IntraTree<A>,
+        node_idx: usize,
+        objects: &[Object],
+        proof: MismatchProof<A>,
+    ) -> VoNode<A> {
+        let node = &tree.nodes[node_idx];
+        let att = node.att.clone().expect("pruning requires AttDigest");
+        match &node.kind {
+            IntraNodeKind::Leaf { obj_idx } => {
+                VoNode::LeafMismatch { obj_hash: objects[*obj_idx].digest(), att, proof }
+            }
+            IntraNodeKind::Internal { left, right } => {
+                let child_hash =
+                    vchain_hash::hash_pair(&tree.nodes[*left].hash, &tree.nodes[*right].hash);
+                VoNode::InternalMismatch { child_hash, att, proof }
+            }
+        }
+    }
+}
+
+fn coverage_span<A: Accumulator>(cov: &BlockCoverage<A>) -> (u64, u64) {
+    match cov {
+        BlockCoverage::Block { height, .. } => (*height, *height),
+        BlockCoverage::Skip { height, distance, .. } => (*height - *distance, *height - 1),
+    }
+}
+
+fn extract_proof<A: Accumulator>(cov: &BlockCoverage<A>) -> A::Proof {
+    match cov {
+        BlockCoverage::Block { vo, .. } => match &vo.root {
+            VoNode::InternalMismatch { proof: MismatchProof::Inline { proof, .. }, .. }
+            | VoNode::LeafMismatch { proof: MismatchProof::Inline { proof, .. }, .. } => {
+                proof.clone()
+            }
+            _ => unreachable!("lazy pending entries are whole-block mismatches"),
+        },
+        BlockCoverage::Skip { proof, .. } => proof.clone(),
+    }
+}

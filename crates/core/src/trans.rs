@@ -1,0 +1,207 @@
+//! The numeric ↔ set transformation of §5.3.
+//!
+//! * A value `v` in a `domain_bits`-bit dimension becomes its set of binary
+//!   prefixes `trans(v) = {b₁*, b₁b₂*, …, b₁…b_H}` (Fig. 5's example:
+//!   `trans(4) = {1*, 10*, 100}`).
+//! * A range `[lo, hi]` becomes the *minimal* set of trie nodes exactly
+//!   covering it; `v ∈ [lo, hi] ⟺ trans(v) ∩ cover([lo, hi]) ≠ ∅`.
+//!
+//! Both directions are exercised against direct interval arithmetic by the
+//! property tests below.
+
+use crate::element::{Element, ElementId};
+
+/// Largest supported dimension width. Kept small so the distinct-prefix
+/// universe stays within Construction 2's public-key bound (DESIGN.md §2).
+pub const MAX_DOMAIN_BITS: u8 = 32;
+
+/// `trans(v)` for one dimension: all `domain_bits` prefixes of `v`.
+pub fn trans_value(dim: u8, value: u64, domain_bits: u8) -> Vec<Element> {
+    assert!(domain_bits >= 1 && domain_bits <= MAX_DOMAIN_BITS);
+    assert!(
+        domain_bits == 64 || value < (1u64 << domain_bits),
+        "value {value} outside {domain_bits}-bit domain"
+    );
+    (1..=domain_bits)
+        .map(|len| Element::Prefix { dim, len, bits: value >> (domain_bits - len) })
+        .collect()
+}
+
+/// Interned version of [`trans_value`].
+pub fn trans_value_ids(dim: u8, value: u64, domain_bits: u8) -> Vec<ElementId> {
+    trans_value(dim, value, domain_bits)
+        .iter()
+        .map(ElementId::intern)
+        .collect()
+}
+
+/// The minimal prefix cover of `[lo, hi]` (inclusive) in a `domain_bits`-bit
+/// dimension. Returns `None` when the range covers the whole domain — the
+/// predicate is vacuous and compiles to no clause at all.
+pub fn range_cover(dim: u8, lo: u64, hi: u64, domain_bits: u8) -> Option<Vec<Element>> {
+    assert!(domain_bits >= 1 && domain_bits <= MAX_DOMAIN_BITS);
+    let max = (1u64 << domain_bits) - 1;
+    assert!(lo <= hi, "empty range [{lo}, {hi}]");
+    assert!(hi <= max, "range end {hi} outside {domain_bits}-bit domain");
+    if lo == 0 && hi == max {
+        return None;
+    }
+    let mut out = Vec::new();
+    cover_rec(dim, 0, 0, domain_bits, lo, hi, &mut out);
+    Some(out)
+}
+
+fn cover_rec(dim: u8, node_bits: u64, node_len: u8, h: u8, lo: u64, hi: u64, out: &mut Vec<Element>) {
+    let span = h - node_len;
+    let node_lo = node_bits << span;
+    let node_hi = node_lo + ((1u64 << span) - 1);
+    if hi < node_lo || lo > node_hi {
+        return; // disjoint
+    }
+    if lo <= node_lo && node_hi <= hi {
+        debug_assert!(node_len >= 1, "full-domain cover handled by caller");
+        out.push(Element::Prefix { dim, len: node_len, bits: node_bits });
+        return;
+    }
+    cover_rec(dim, node_bits << 1, node_len + 1, h, lo, hi, out);
+    cover_rec(dim, (node_bits << 1) | 1, node_len + 1, h, lo, hi, out);
+}
+
+/// Interned version of [`range_cover`].
+pub fn range_cover_ids(dim: u8, lo: u64, hi: u64, domain_bits: u8) -> Option<Vec<ElementId>> {
+    range_cover(dim, lo, hi, domain_bits)
+        .map(|es| es.iter().map(ElementId::intern).collect())
+}
+
+/// The inclusive interval a prefix element denotes (for verifier-side
+/// containment checks on shared subscription proofs).
+pub fn prefix_interval(len: u8, bits: u64, domain_bits: u8) -> (u64, u64) {
+    assert!(len >= 1 && len <= domain_bits);
+    let span = domain_bits - len;
+    let lo = bits << span;
+    (lo, lo + ((1u64 << span) - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn prefix_set(v: u64, bits: u8) -> std::collections::BTreeSet<Element> {
+        trans_value(0, v, bits).into_iter().collect()
+    }
+
+    #[test]
+    fn paper_example_trans_4() {
+        // Fig. 5: domain [0,7], trans(4) = {1*, 10*, 100}
+        let t = trans_value(0, 4, 3);
+        assert_eq!(
+            t,
+            vec![
+                Element::Prefix { dim: 0, len: 1, bits: 0b1 },
+                Element::Prefix { dim: 0, len: 2, bits: 0b10 },
+                Element::Prefix { dim: 0, len: 3, bits: 0b100 },
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_example_cover_0_6() {
+        // Fig. 5: [0, 6] covers as {0*, 10*, 110}
+        let c = range_cover(0, 0, 6, 3).unwrap();
+        let set: std::collections::BTreeSet<_> = c.into_iter().collect();
+        assert_eq!(
+            set,
+            [
+                Element::Prefix { dim: 0, len: 1, bits: 0b0 },
+                Element::Prefix { dim: 0, len: 2, bits: 0b10 },
+                Element::Prefix { dim: 0, len: 3, bits: 0b110 },
+            ]
+            .into_iter()
+            .collect()
+        );
+    }
+
+    #[test]
+    fn paper_example_membership() {
+        // 4 ∈ [0,6]: intersection {10*}
+        let t = prefix_set(4, 3);
+        let c: std::collections::BTreeSet<_> = range_cover(0, 0, 6, 3).unwrap().into_iter().collect();
+        assert_eq!(t.intersection(&c).count(), 1);
+        // 7 ∉ [0,6]
+        let t7 = prefix_set(7, 3);
+        assert_eq!(t7.intersection(&c).count(), 0);
+    }
+
+    #[test]
+    fn full_domain_is_vacuous() {
+        assert!(range_cover(0, 0, 255, 8).is_none());
+        assert!(range_cover(0, 0, 254, 8).is_some());
+    }
+
+    #[test]
+    fn point_range() {
+        let c = range_cover(0, 5, 5, 3).unwrap();
+        assert_eq!(c, vec![Element::Prefix { dim: 0, len: 3, bits: 5 }]);
+    }
+
+    #[test]
+    fn prefix_interval_round_trip() {
+        let (lo, hi) = prefix_interval(2, 0b10, 3);
+        assert_eq!((lo, hi), (4, 5));
+        let (lo, hi) = prefix_interval(1, 0b1, 8);
+        assert_eq!((lo, hi), (128, 255));
+    }
+
+    #[test]
+    fn dimension_tag_is_kept() {
+        let a = trans_value(0, 4, 3);
+        let b = trans_value(1, 4, 3);
+        assert!(a.iter().all(|e| !b.contains(e)), "different dims never share elements");
+    }
+
+    proptest! {
+        #[test]
+        fn membership_equivalence(v in 0u64..256, lo in 0u64..256, hi in 0u64..256) {
+            prop_assume!(lo <= hi);
+            let bits = 8;
+            let cover = range_cover(0, lo, hi, bits);
+            let inside = v >= lo && v <= hi;
+            match cover {
+                None => prop_assert!(inside, "vacuous cover must mean full range"),
+                Some(c) => {
+                    let cs: std::collections::BTreeSet<_> = c.into_iter().collect();
+                    let ts = prefix_set(v, bits);
+                    let intersects = ts.intersection(&cs).count() > 0;
+                    prop_assert_eq!(intersects, inside);
+                }
+            }
+        }
+
+        #[test]
+        fn cover_is_minimal_and_disjoint(lo in 0u64..64, hi in 0u64..64) {
+            prop_assume!(lo <= hi);
+            let bits = 6;
+            if let Some(c) = range_cover(0, lo, hi, bits) {
+                // intervals are disjoint and exactly tile [lo, hi]
+                let mut ivs: Vec<(u64, u64)> = c.iter().map(|e| match e {
+                    Element::Prefix { len, bits: b, .. } => prefix_interval(*len, *b, bits),
+                    _ => unreachable!(),
+                }).collect();
+                ivs.sort_unstable();
+                prop_assert_eq!(ivs.first().unwrap().0, lo);
+                prop_assert_eq!(ivs.last().unwrap().1, hi);
+                for w in ivs.windows(2) {
+                    prop_assert_eq!(w[0].1 + 1, w[1].0, "gaps or overlap in cover");
+                }
+                // minimality: no two siblings both present (they would merge)
+                for e in &c {
+                    if let Element::Prefix { len, bits: b, dim } = e {
+                        let sib = Element::Prefix { dim: *dim, len: *len, bits: b ^ 1 };
+                        prop_assert!(!c.contains(&sib), "sibling pair should have merged");
+                    }
+                }
+            }
+        }
+    }
+}

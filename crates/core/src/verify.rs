@@ -1,0 +1,374 @@
+//! Client-side result verification (paper §5.1, §6; security model §8).
+//!
+//! The light-node user holds only validated block headers. Given `⟨R, VO⟩`
+//! from the untrusted SP, verification establishes:
+//!
+//! * **Soundness** — every returned object is authentic (its leaf hash
+//!   reconstructs the header commitment) and satisfies the query (checked
+//!   directly), and every mismatch proof verifies against a clause that is
+//!   genuinely part of the query.
+//! * **Completeness** — the coverage entries reconstruct the committed ADS
+//!   roots, so no leaf can be hidden; every in-window block is covered
+//!   exactly once; skips verify against the committed skip-list roots.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use vchain_acc::{Accumulator, MultiSet};
+use vchain_chain::{LightClient, Object};
+use vchain_hash::{hash_pair, Digest};
+
+use crate::element::ElementId;
+use crate::inter::{level_hash_from_parts, pre_skipped_hash, skiplist_root_from_hashes};
+use crate::intra::{internal_hash, leaf_hash};
+use crate::miner::{IndexScheme, MinerConfig};
+use crate::query::CompiledQuery;
+use crate::vo::{BlockCoverage, BlockVo, ClauseRef, MismatchProof, QueryResponse, VoNode};
+
+/// Why verification rejected a response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The reconstructed ADS root differs from the block header.
+    RootMismatch { height: u64 },
+    /// A disjointness proof failed.
+    BadProof { height: u64 },
+    /// A clause reference is not valid for this query.
+    BadClause { height: u64 },
+    /// A returned object does not satisfy the query (or its timestamp lies
+    /// outside the window).
+    ResultNotMatching { height: u64, object_id: u64 },
+    /// Results referenced by the VO are missing or duplicated.
+    ResultIndexing { height: u64 },
+    /// A block in the window is not covered by the VO.
+    MissingCoverage { height: u64 },
+    /// A block is covered more than once.
+    DuplicateCoverage { height: u64 },
+    /// The skip hash chain does not match the light client's headers.
+    SkipHashMismatch { height: u64 },
+    /// The reconstructed skip-list root differs from the header.
+    SkipRootMismatch { height: u64 },
+    /// The response used a structure the scheme does not provide.
+    SchemeViolation,
+    /// The light client has no header at this height.
+    UnknownBlock { height: u64 },
+    /// A batch group reference is dangling.
+    BadGroup { height: u64 },
+    /// Batch groups require an aggregating accumulator.
+    AggregationUnsupported,
+}
+
+impl core::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify a time-window query response against the light client's headers.
+/// On success returns the verified result objects (newest block first).
+pub fn verify_response<A: Accumulator>(
+    q: &CompiledQuery,
+    response: &QueryResponse<A>,
+    light: &LightClient,
+    cfg: &MinerConfig,
+    acc: &A,
+) -> Result<Vec<Object>, VerifyError> {
+    let (ts, te) = q.time_window.expect("time-window verification requires a window");
+
+    // Expected coverage: every known block whose timestamp is in-window.
+    let expected: BTreeSet<u64> = light
+        .headers()
+        .iter()
+        .filter(|h| h.timestamp >= ts && h.timestamp <= te)
+        .map(|h| h.height)
+        .collect();
+    verify_with_expected(q, response, light, cfg, acc, expected)
+}
+
+/// Core verification against an explicit set of expected block heights —
+/// shared by time-window queries and subscription updates (§7), whose
+/// expected coverage is the interval since the last update.
+pub fn verify_with_expected<A: Accumulator>(
+    q: &CompiledQuery,
+    response: &QueryResponse<A>,
+    light: &LightClient,
+    cfg: &MinerConfig,
+    acc: &A,
+    expected: BTreeSet<u64>,
+) -> Result<Vec<Object>, VerifyError> {
+    let results_by_height: BTreeMap<u64, &Vec<Object>> =
+        response.results.iter().map(|(h, v)| (*h, v)).collect();
+    if results_by_height.len() != response.results.len() {
+        return Err(VerifyError::ResultIndexing { height: 0 });
+    }
+
+    let mut covered: BTreeSet<u64> = BTreeSet::new();
+    let mut verified_results = Vec::new();
+    // Cache clause accumulator values — they are query-side and reusable.
+    let mut clause_cache: ClauseCache<A> = ClauseCache::new();
+
+    for cov in &response.coverage {
+        match cov {
+            BlockCoverage::Block { height, vo } => {
+                let header = light
+                    .header(*height)
+                    .ok_or(VerifyError::UnknownBlock { height: *height })?;
+                if !covered.insert(*height) {
+                    return Err(VerifyError::DuplicateCoverage { height: *height });
+                }
+                static EMPTY: Vec<Object> = Vec::new();
+                let block_results = results_by_height.get(height).copied().unwrap_or(&EMPTY);
+                let root = verify_block_vo(
+                    vo,
+                    block_results,
+                    q,
+                    acc,
+                    *height,
+                    cfg,
+                    &mut clause_cache,
+                )?;
+                if root != header.ads_root {
+                    return Err(VerifyError::RootMismatch { height: *height });
+                }
+                // every result object satisfies the query *and* the window
+                for o in block_results {
+                    if !q.object_matches(o) {
+                        return Err(VerifyError::ResultNotMatching {
+                            height: *height,
+                            object_id: o.id,
+                        });
+                    }
+                }
+                verified_results.extend(block_results.iter().cloned());
+            }
+            BlockCoverage::Skip { height, distance, att, proof, clause, siblings } => {
+                if cfg.scheme != IndexScheme::Both {
+                    return Err(VerifyError::SchemeViolation);
+                }
+                let header = light
+                    .header(*height)
+                    .ok_or(VerifyError::UnknownBlock { height: *height })?;
+                if *distance > *height {
+                    return Err(VerifyError::SkipHashMismatch { height: *height });
+                }
+                // 1. the covered run: mark blocks as covered
+                for hh in (*height - *distance)..*height {
+                    // blocks outside the window may be covered harmlessly,
+                    // but duplicates within the window are rejected
+                    if expected.contains(&hh) && !covered.insert(hh) {
+                        return Err(VerifyError::DuplicateCoverage { height: hh });
+                    }
+                }
+                // 2. recompute PreSkippedHash from the user's own headers
+                let mut hashes = Vec::with_capacity(*distance as usize);
+                for hh in (*height - *distance)..*height {
+                    hashes.push(
+                        light.block_hash(hh).ok_or(VerifyError::UnknownBlock { height: hh })?,
+                    );
+                }
+                let psh = pre_skipped_hash(&hashes);
+                // 3. rebuild SkipListRoot with the provided sibling levels
+                let mut level_hashes: Vec<(u64, Digest)> = siblings.clone();
+                level_hashes.push((*distance, level_hash_from_parts::<A>(&psh, att)));
+                level_hashes.sort_by_key(|(d, _)| *d);
+                let root = skiplist_root_from_hashes(
+                    &level_hashes.iter().map(|(_, h)| *h).collect::<Vec<_>>(),
+                );
+                if root != header.skiplist_root {
+                    return Err(VerifyError::SkipRootMismatch { height: *height });
+                }
+                // 4. the disjointness proof against a valid clause
+                let clause_val = resolve_clause(acc, q, clause, &mut clause_cache)
+                    .ok_or(VerifyError::BadClause { height: *height })?;
+                if !acc.verify_disjoint(att, &clause_val, proof) {
+                    return Err(VerifyError::BadProof { height: *height });
+                }
+            }
+        }
+    }
+
+    // Completeness: every expected block covered.
+    if let Some(&missing) = expected.difference(&covered).next() {
+        return Err(VerifyError::MissingCoverage { height: missing });
+    }
+    // No results smuggled in for uncovered blocks.
+    for h in results_by_height.keys() {
+        if !expected.contains(h) {
+            return Err(VerifyError::ResultIndexing { height: *h });
+        }
+    }
+
+    Ok(verified_results)
+}
+
+/// A cache of clause accumulator values. Clause sets are query-side and
+/// reused across blocks, so the verifier computes each `acc(ϒᵢ)` once.
+pub struct ClauseCache<A: Accumulator>(HashMap<ClauseKey, A::Value>);
+
+impl<A: Accumulator> ClauseCache<A> {
+    pub fn new() -> Self {
+        Self(HashMap::new())
+    }
+}
+
+impl<A: Accumulator> Default for ClauseCache<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum ClauseKey {
+    Index(u16),
+    Cell(u8, Vec<(u8, u64)>),
+}
+
+fn clause_key(c: &ClauseRef) -> ClauseKey {
+    match c {
+        ClauseRef::Index(i) => ClauseKey::Index(*i),
+        ClauseRef::Cell { len, prefixes } => ClauseKey::Cell(*len, prefixes.clone()),
+    }
+}
+
+/// Resolve a clause reference to its accumulator value, caching by key.
+/// `None` when the reference is not valid for this query.
+pub fn resolve_clause<A: Accumulator>(
+    acc: &A,
+    q: &CompiledQuery,
+    clause: &ClauseRef,
+    cache: &mut ClauseCache<A>,
+) -> Option<A::Value> {
+    let key = clause_key(clause);
+    if let Some(v) = cache.0.get(&key) {
+        return Some(v.clone());
+    }
+    let ms = clause.resolve(q).ok()?;
+    let v = acc.setup(&ms);
+    cache.0.insert(key, v.clone());
+    Some(v)
+}
+
+/// Verify one block VO and return the reconstructed ADS root.
+pub fn verify_block_vo<A: Accumulator>(
+    vo: &BlockVo<A>,
+    block_results: &[Object],
+    q: &CompiledQuery,
+    acc: &A,
+    height: u64,
+    cfg: &MinerConfig,
+    clause_cache: &mut ClauseCache<A>,
+) -> Result<Digest, VerifyError> {
+    let mut consumed = vec![false; block_results.len()];
+    // group id -> summed member AttDigests (verified after the walk)
+    let mut group_members: BTreeMap<u16, Vec<A::Value>> = BTreeMap::new();
+    let root = walk(
+        &vo.root,
+        block_results,
+        &mut consumed,
+        q,
+        acc,
+        height,
+        cfg,
+        clause_cache,
+        &mut group_members,
+    )?;
+    if !consumed.iter().all(|&c| c) {
+        return Err(VerifyError::ResultIndexing { height });
+    }
+    // §6.3: verify each batch group with one Sum + one VerifyDisjoint.
+    for (gid, members) in group_members {
+        let g = vo.groups.get(gid as usize).ok_or(VerifyError::BadGroup { height })?;
+        if !acc.supports_aggregation() {
+            return Err(VerifyError::AggregationUnsupported);
+        }
+        let summed = acc.sum(&members).map_err(|_| VerifyError::AggregationUnsupported)?;
+        let clause_val = resolve_clause(acc, q, &g.clause, clause_cache)
+            .ok_or(VerifyError::BadClause { height })?;
+        if !acc.verify_disjoint(&summed, &clause_val, &g.proof) {
+            return Err(VerifyError::BadProof { height });
+        }
+    }
+    Ok(root)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk<A: Accumulator>(
+    node: &VoNode<A>,
+    block_results: &[Object],
+    consumed: &mut [bool],
+    q: &CompiledQuery,
+    acc: &A,
+    height: u64,
+    cfg: &MinerConfig,
+    clause_cache: &mut ClauseCache<A>,
+    group_members: &mut BTreeMap<u16, Vec<A::Value>>,
+) -> Result<Digest, VerifyError> {
+    match node {
+        VoNode::Internal { att, left, right } => {
+            let hl = walk(left, block_results, consumed, q, acc, height, cfg, clause_cache, group_members)?;
+            let hr = walk(right, block_results, consumed, q, acc, height, cfg, clause_cache, group_members)?;
+            let pair = hash_pair(&hl, &hr);
+            match (att, cfg.scheme) {
+                // `nil` internal nodes are plain Merkle pairs
+                (None, IndexScheme::Nil) => Ok(pair),
+                (Some(a), IndexScheme::Intra | IndexScheme::Both) => {
+                    Ok(internal_hash::<A>(&pair, a))
+                }
+                // scheme/structure mismatch — an SP cannot downgrade the
+                // index to dodge pruning commitments
+                _ => Err(VerifyError::SchemeViolation),
+            }
+        }
+        VoNode::InternalMismatch { child_hash, att, proof } => {
+            if cfg.scheme == IndexScheme::Nil {
+                return Err(VerifyError::SchemeViolation);
+            }
+            check_mismatch_proof(att, proof, q, acc, height, clause_cache, group_members)?;
+            Ok(internal_hash::<A>(child_hash, att))
+        }
+        VoNode::LeafMatch { att, result_idx } => {
+            let idx = *result_idx as usize;
+            let obj = block_results.get(idx).ok_or(VerifyError::ResultIndexing { height })?;
+            if consumed[idx] {
+                return Err(VerifyError::ResultIndexing { height });
+            }
+            consumed[idx] = true;
+            Ok(leaf_hash::<A>(&obj.digest(), att))
+        }
+        VoNode::LeafMismatch { obj_hash, att, proof } => {
+            check_mismatch_proof(att, proof, q, acc, height, clause_cache, group_members)?;
+            Ok(leaf_hash::<A>(obj_hash, att))
+        }
+    }
+}
+
+fn check_mismatch_proof<A: Accumulator>(
+    att: &A::Value,
+    proof: &MismatchProof<A>,
+    q: &CompiledQuery,
+    acc: &A,
+    height: u64,
+    clause_cache: &mut ClauseCache<A>,
+    group_members: &mut BTreeMap<u16, Vec<A::Value>>,
+) -> Result<(), VerifyError> {
+    match proof {
+        MismatchProof::Inline { proof, clause } => {
+            let clause_val = resolve_clause(acc, q, clause, clause_cache)
+                .ok_or(VerifyError::BadClause { height })?;
+            if !acc.verify_disjoint(att, &clause_val, proof) {
+                return Err(VerifyError::BadProof { height });
+            }
+            Ok(())
+        }
+        MismatchProof::Group(gid) => {
+            group_members.entry(*gid).or_default().push(att.clone());
+            Ok(())
+        }
+    }
+}
+
+/// Verify a clause reference alone resolves to a valid multiset for `q`
+/// (exported for subscription verification).
+pub fn clause_multiset(q: &CompiledQuery, clause: &ClauseRef) -> Option<MultiSet<ElementId>> {
+    clause.resolve(q).ok()
+}

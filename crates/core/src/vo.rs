@@ -1,0 +1,256 @@
+//! Verification objects (VOs) — the cryptographic proofs the SP returns
+//! alongside query results (paper §3, threat model; §5–§6 construction).
+//!
+//! A VO mirrors the pruned intra-block index: explored internal nodes carry
+//! their AttDigest (needed to rebuild the Merkle commitment), pruned
+//! subtrees carry a disjointness proof, matched leaves point into the result
+//! set. Inter-block skips and §6.3 batch-verification groups ride alongside.
+
+use vchain_acc::{AccError, Accumulator, MultiSet};
+use vchain_chain::Object;
+use vchain_hash::Digest;
+
+use crate::element::ElementId;
+use crate::query::CompiledQuery;
+use crate::trans::prefix_interval;
+
+/// Which set a disjointness proof was made against.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClauseRef {
+    /// Clause `i` of the compiled query's CNF — the verifier re-derives the
+    /// set itself, so the SP cannot substitute a weaker clause.
+    Index(u16),
+    /// A grid cell: one binary prefix of length `len` per listed dimension.
+    /// Used by the IP-Tree subscription path (§7.1) where one proof against
+    /// a cell is shared by every query whose range box lies inside it; the
+    /// verifier checks the containment before trusting it.
+    Cell { len: u8, prefixes: Vec<(u8, u64)> },
+}
+
+/// Errors raised when a [`ClauseRef`] cannot be resolved for a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClauseError {
+    OutOfRange(u16),
+    NoSuchDim(u8),
+    NotContaining { dim: u8 },
+    EmptyCell,
+}
+
+impl ClauseRef {
+    /// Resolve to the element set whose disjointness implies the query
+    /// mismatches, verifying the reference is *valid for this query*.
+    pub fn resolve(&self, q: &CompiledQuery) -> Result<MultiSet<ElementId>, ClauseError> {
+        match self {
+            ClauseRef::Index(i) => q
+                .cnf
+                .0
+                .get(*i as usize)
+                .map(|c| c.to_multiset())
+                .ok_or(ClauseError::OutOfRange(*i)),
+            ClauseRef::Cell { len, prefixes } => {
+                if prefixes.is_empty() {
+                    return Err(ClauseError::EmptyCell);
+                }
+                // Disjoint(W, cell-prefixes) proves every covered object
+                // lies outside each dimension's slab, hence outside the
+                // cell. That implies a query mismatch only when the query's
+                // own range box is contained in the cell — checked per dim.
+                let mut out = MultiSet::new();
+                for (dim, bits) in prefixes {
+                    let r = q
+                        .ranges
+                        .iter()
+                        .find(|r| r.dim == *dim)
+                        .ok_or(ClauseError::NoSuchDim(*dim))?;
+                    let (lo, hi) = prefix_interval(*len, *bits, q.domain_bits);
+                    if r.lo < lo || r.hi > hi {
+                        return Err(ClauseError::NotContaining { dim: *dim });
+                    }
+                    let e = crate::element::Element::Prefix { dim: *dim, len: *len, bits: *bits };
+                    out.insert(ElementId::intern(&e));
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Nominal wire size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            ClauseRef::Index(_) => 2,
+            ClauseRef::Cell { prefixes, .. } => 1 + 9 * prefixes.len(),
+        }
+    }
+}
+
+/// How a mismatch is proven: inline, or as a member of a §6.3 batch group.
+#[derive(Clone, Debug)]
+pub enum MismatchProof<A: Accumulator> {
+    Inline { proof: A::Proof, clause: ClauseRef },
+    /// Index into [`BlockVo::groups`]; the verifier sums the member
+    /// AttDigests with `Sum(·)` and checks the group's single proof.
+    Group(u16),
+}
+
+/// One node of the pruned intra-block index, as shipped to the verifier.
+#[derive(Clone, Debug)]
+pub enum VoNode<A: Accumulator> {
+    /// An explored internal node (its subtree contains results).
+    Internal {
+        /// `AttDigest_n`; `None` under the `nil` scheme where internal nodes
+        /// are plain Merkle nodes.
+        att: Option<A::Value>,
+        left: Box<VoNode<A>>,
+        right: Box<VoNode<A>>,
+    },
+    /// A pruned internal node: everything below mismatches `clause`.
+    InternalMismatch {
+        /// `hash(hash_l | hash_r)` — opaque, binds the hidden subtree.
+        child_hash: Digest,
+        att: A::Value,
+        proof: MismatchProof<A>,
+    },
+    /// A matching leaf; the object is in the result set.
+    LeafMatch {
+        att: A::Value,
+        /// Index into this block's result list.
+        result_idx: u32,
+    },
+    /// A mismatching leaf.
+    LeafMismatch {
+        obj_hash: Digest,
+        att: A::Value,
+        proof: MismatchProof<A>,
+    },
+}
+
+/// A batch-verification group (§6.3): one proof for several mismatch nodes
+/// sharing the same reason.
+#[derive(Clone, Debug)]
+pub struct GroupProof<A: Accumulator> {
+    pub clause: ClauseRef,
+    pub proof: A::Proof,
+}
+
+/// The VO for one block.
+#[derive(Clone, Debug)]
+pub struct BlockVo<A: Accumulator> {
+    pub root: VoNode<A>,
+    pub groups: Vec<GroupProof<A>>,
+}
+
+/// Coverage of one stretch of the query window.
+#[derive(Clone, Debug)]
+pub enum BlockCoverage<A: Accumulator> {
+    /// An individually processed block.
+    Block { height: u64, vo: BlockVo<A> },
+    /// An inter-block skip (§6.2): blocks `height-distance ..= height-1`
+    /// all mismatch `clause`.
+    Skip {
+        /// The block whose skip list is being used.
+        height: u64,
+        distance: u64,
+        att: A::Value,
+        proof: A::Proof,
+        clause: ClauseRef,
+        /// `(distance, hash_Lk)` of the *other* levels, to rebuild
+        /// `SkipListRoot`.
+        siblings: Vec<(u64, Digest)>,
+    },
+}
+
+/// The SP's full answer: results grouped by block (descending height) plus
+/// the VO covering every block of the window.
+#[derive(Clone, Debug)]
+pub struct QueryResponse<A: Accumulator> {
+    pub results: Vec<(u64, Vec<Object>)>,
+    pub coverage: Vec<BlockCoverage<A>>,
+}
+
+/// Nominal wire-size accounting (compressed points + digests), the paper's
+/// "VO size" metric. Result objects are *not* part of the VO.
+pub trait VoSize<A: Accumulator> {
+    fn vo_size_bytes(&self, acc: &A) -> usize;
+}
+
+impl<A: Accumulator> VoSize<A> for VoNode<A> {
+    fn vo_size_bytes(&self, acc: &A) -> usize {
+        let tag = 1usize;
+        match self {
+            VoNode::Internal { att, left, right } => {
+                tag + att.as_ref().map(|_| acc.value_size()).unwrap_or(0)
+                    + left.vo_size_bytes(acc)
+                    + right.vo_size_bytes(acc)
+            }
+            VoNode::InternalMismatch { att: _, proof, .. } => {
+                tag + Digest::LEN + acc.value_size() + proof_size(acc, proof)
+            }
+            VoNode::LeafMatch { .. } => tag + acc.value_size() + 4,
+            VoNode::LeafMismatch { proof, .. } => {
+                tag + Digest::LEN + acc.value_size() + proof_size(acc, proof)
+            }
+        }
+    }
+}
+
+fn proof_size<A: Accumulator>(acc: &A, p: &MismatchProof<A>) -> usize {
+    match p {
+        MismatchProof::Inline { clause, .. } => acc.proof_size() + clause.size_bytes(),
+        MismatchProof::Group(_) => 2,
+    }
+}
+
+impl<A: Accumulator> VoSize<A> for BlockVo<A> {
+    fn vo_size_bytes(&self, acc: &A) -> usize {
+        self.root.vo_size_bytes(acc)
+            + self
+                .groups
+                .iter()
+                .map(|g| acc.proof_size() + g.clause.size_bytes())
+                .sum::<usize>()
+    }
+}
+
+impl<A: Accumulator> VoSize<A> for BlockCoverage<A> {
+    fn vo_size_bytes(&self, acc: &A) -> usize {
+        match self {
+            BlockCoverage::Block { vo, .. } => 8 + vo.vo_size_bytes(acc),
+            BlockCoverage::Skip { clause, siblings, .. } => {
+                8 + 8 + acc.value_size() + acc.proof_size() + clause.size_bytes()
+                    + siblings.len() * (8 + Digest::LEN)
+            }
+        }
+    }
+}
+
+impl<A: Accumulator> VoSize<A> for QueryResponse<A> {
+    fn vo_size_bytes(&self, acc: &A) -> usize {
+        self.coverage.iter().map(|c| c.vo_size_bytes(acc)).sum()
+    }
+}
+
+impl<A: Accumulator> QueryResponse<A> {
+    /// Total number of result objects.
+    pub fn result_count(&self) -> usize {
+        self.results.iter().map(|(_, v)| v.len()).sum()
+    }
+
+    /// Flatten results (descending height order preserved).
+    pub fn all_results(&self) -> impl Iterator<Item = &Object> {
+        self.results.iter().flat_map(|(_, v)| v.iter())
+    }
+}
+
+/// Convenience: the accumulator value of a resolved clause (verifier side).
+pub fn clause_acc_value<A: Accumulator>(
+    acc: &A,
+    q: &CompiledQuery,
+    clause: &ClauseRef,
+) -> Result<(MultiSet<ElementId>, A::Value), ClauseError> {
+    let ms = clause.resolve(q)?;
+    let v = acc.setup(&ms);
+    Ok((ms, v))
+}
+
+/// Re-exported for `sp`/`verify` signatures.
+pub type AccResult<T> = Result<T, AccError>;

@@ -1,0 +1,288 @@
+//! End-to-end pipeline tests: miner → service provider → light-client
+//! verification, across index schemes and both accumulator constructions,
+//! including adversarial-SP cases (paper §8's unforgeability experiment,
+//! run literally).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vchain_acc::{Acc1, Acc2, Accumulator};
+use vchain_chain::{Difficulty, LightClient, Object};
+use vchain_core::miner::{IndexScheme, Miner, MinerConfig};
+use vchain_core::query::{Query, RangeSpec};
+use vchain_core::verify::{verify_response, VerifyError};
+use vchain_core::vo::{BlockCoverage, QueryResponse, VoSize};
+
+const DOMAIN_BITS: u8 = 6;
+
+fn cfg(scheme: IndexScheme) -> MinerConfig {
+    MinerConfig { scheme, skip_levels: 3, domain_bits: DOMAIN_BITS, difficulty: Difficulty(2) }
+}
+
+/// Deterministic mini-workload: 12 blocks × 4 objects with two numeric dims
+/// and car-ish keywords.
+fn workload(seed: u64) -> Vec<Vec<Object>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kinds = ["Sedan", "Van", "Truck"];
+    let brands = ["Benz", "BMW", "Audi", "Toyota"];
+    let mut id = 0;
+    (0..12)
+        .map(|b| {
+            (0..4)
+                .map(|_| {
+                    id += 1;
+                    Object::new(
+                        id,
+                        (b as u64 + 1) * 10,
+                        vec![rng.gen_range(0..64), rng.gen_range(0..64)],
+                        vec![
+                            kinds[rng.gen_range(0..kinds.len())].to_string(),
+                            brands[rng.gen_range(0..brands.len())].to_string(),
+                        ],
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn build_chain<A: Accumulator>(scheme: IndexScheme, acc: A) -> (Miner<A>, LightClient) {
+    let c = cfg(scheme);
+    let mut miner = Miner::new(c, acc);
+    let mut light = LightClient::new(c.difficulty);
+    for (i, objs) in workload(7).into_iter().enumerate() {
+        miner.mine_block((i as u64 + 1) * 10, objs);
+    }
+    for h in miner.headers() {
+        light.sync_header(h).expect("headers validate");
+    }
+    (miner, light)
+}
+
+fn sample_query() -> Query {
+    Query {
+        time_window: Some((20, 90)),
+        ranges: vec![RangeSpec { dim: 0, lo: 5, hi: 40 }],
+        keywords: vec![vec!["Sedan".into(), "Van".into()], vec!["Benz".into(), "BMW".into()]],
+    }
+}
+
+/// Ground truth by naive scan over the full chain.
+fn naive_results<A: Accumulator>(miner: &Miner<A>, q: &Query) -> Vec<u64> {
+    let cq = q.compile(DOMAIN_BITS);
+    let mut ids: Vec<u64> = miner
+        .store()
+        .blocks()
+        .iter()
+        .flat_map(|b| b.objects.iter())
+        .filter(|o| cq.object_matches(o))
+        .map(|o| o.id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn run_roundtrip<A: Accumulator>(scheme: IndexScheme, acc: A, batch: bool) {
+    let (miner, light) = build_chain(scheme, acc.clone());
+    let q = sample_query();
+    let expected = naive_results(&miner, &q);
+    let cq = q.compile(DOMAIN_BITS);
+    let sp = miner.into_service_provider().with_batch_verify(batch);
+    let resp = sp.time_window_query(&cq);
+    assert!(resp.vo_size_bytes(&sp.acc) > 0);
+    let verified =
+        verify_response(&cq, &resp, &light, &sp.cfg, &sp.acc).expect("honest SP must verify");
+    let mut got: Vec<u64> = verified.iter().map(|o| o.id).collect();
+    got.sort_unstable();
+    assert_eq!(got, expected, "verified results must equal the naive scan");
+}
+
+#[test]
+fn roundtrip_acc1_nil() {
+    run_roundtrip(IndexScheme::Nil, Acc1::keygen(600, &mut StdRng::seed_from_u64(1)), false);
+}
+
+#[test]
+fn roundtrip_acc1_intra() {
+    run_roundtrip(IndexScheme::Intra, Acc1::keygen(600, &mut StdRng::seed_from_u64(2)), false);
+}
+
+#[test]
+fn roundtrip_acc1_both() {
+    run_roundtrip(IndexScheme::Both, Acc1::keygen(4000, &mut StdRng::seed_from_u64(3)), false);
+}
+
+#[test]
+fn roundtrip_acc2_nil() {
+    run_roundtrip(IndexScheme::Nil, Acc2::keygen(4096, &mut StdRng::seed_from_u64(4)), false);
+}
+
+#[test]
+fn roundtrip_acc2_both_with_batch() {
+    run_roundtrip(IndexScheme::Both, Acc2::keygen(4096, &mut StdRng::seed_from_u64(5)), true);
+}
+
+#[test]
+fn skips_actually_occur_under_both() {
+    // A very selective query over a long window must trigger skip coverage.
+    let acc = Acc2::keygen(4096, &mut StdRng::seed_from_u64(6));
+    let (miner, light) = build_chain(IndexScheme::Both, acc);
+    let q = Query {
+        time_window: Some((10, 120)),
+        ranges: vec![],
+        keywords: vec![vec!["NoSuchKeyword".into()]],
+    };
+    let cq = q.compile(DOMAIN_BITS);
+    let sp = miner.into_service_provider();
+    let resp = sp.time_window_query(&cq);
+    let skips = resp
+        .coverage
+        .iter()
+        .filter(|c| matches!(c, BlockCoverage::Skip { .. }))
+        .count();
+    assert!(skips > 0, "expected inter-block skips for an all-mismatch query");
+    let verified = verify_response(&cq, &resp, &light, &sp.cfg, &sp.acc).unwrap();
+    assert!(verified.is_empty());
+}
+
+#[test]
+fn adversarial_sp_is_caught() {
+    let acc = Acc1::keygen(600, &mut StdRng::seed_from_u64(8));
+    let (miner, light) = build_chain(IndexScheme::Intra, acc);
+    let q = sample_query();
+    let cq = q.compile(DOMAIN_BITS);
+    let sp = miner.into_service_provider();
+    let honest = sp.time_window_query(&cq);
+    assert!(verify_response(&cq, &honest, &light, &sp.cfg, &sp.acc).is_ok());
+    assert!(
+        honest.result_count() > 0,
+        "need at least one result for the tampering cases below"
+    );
+
+    // Case 1 (soundness): tamper with a returned object's payload.
+    let mut tampered = honest.clone();
+    tampered.results[0].1[0].numeric[0] ^= 1;
+    let e = verify_response(&cq, &tampered, &light, &sp.cfg, &sp.acc).unwrap_err();
+    assert!(
+        matches!(e, VerifyError::RootMismatch { .. } | VerifyError::ResultNotMatching { .. }),
+        "tampered object must be rejected, got {e:?}"
+    );
+
+    // Case 2 (soundness): smuggle in an object that does not satisfy q.
+    let mut smuggled = honest.clone();
+    let alien = Object::new(999_999, 25, vec![63, 63], vec!["Truck".into(), "Toyota".into()]);
+    smuggled.results[0].1.push(alien);
+    assert!(verify_response(&cq, &smuggled, &light, &sp.cfg, &sp.acc).is_err());
+
+    // Case 3 (completeness): drop an entire covered block.
+    let mut dropped = honest.clone();
+    dropped.coverage.remove(0);
+    let e = verify_response(&cq, &dropped, &light, &sp.cfg, &sp.acc).unwrap_err();
+    assert!(matches!(e, VerifyError::MissingCoverage { .. }), "got {e:?}");
+
+    // Case 4 (completeness): drop a result but keep its coverage.
+    let mut hidden = honest.clone();
+    hidden.results[0].1.remove(0);
+    assert!(verify_response(&cq, &hidden, &light, &sp.cfg, &sp.acc).is_err());
+
+    // Case 5: empty response claims nothing matched.
+    let empty: QueryResponse<Acc1> = QueryResponse { results: vec![], coverage: vec![] };
+    let e = verify_response(&cq, &empty, &light, &sp.cfg, &sp.acc).unwrap_err();
+    assert!(matches!(e, VerifyError::MissingCoverage { .. }));
+}
+
+#[test]
+fn proof_swapped_between_clauses_fails() {
+    // A proof made against one clause must not verify for another: swap the
+    // clause reference inside a mismatch VO node.
+    use vchain_core::vo::{MismatchProof, VoNode};
+    let acc = Acc1::keygen(600, &mut StdRng::seed_from_u64(9));
+    let (miner, light) = build_chain(IndexScheme::Intra, acc);
+    // query with two clauses having different content
+    let q = Query {
+        time_window: Some((20, 90)),
+        ranges: vec![],
+        keywords: vec![vec!["Sedan".into()], vec!["Benz".into()]],
+    };
+    let cq = q.compile(DOMAIN_BITS);
+    let sp = miner.into_service_provider();
+    let mut resp = sp.time_window_query(&cq);
+
+    fn flip_clause<A: Accumulator>(n: &mut VoNode<A>) -> bool {
+        match n {
+            VoNode::Internal { left, right, .. } => flip_clause(left) || flip_clause(right),
+            VoNode::InternalMismatch { proof, .. } | VoNode::LeafMismatch { proof, .. } => {
+                if let MismatchProof::Inline { clause, .. } = proof {
+                    if let vchain_core::vo::ClauseRef::Index(i) = clause {
+                        *i ^= 1; // swap clause 0 <-> 1
+                        return true;
+                    }
+                }
+                false
+            }
+            _ => false,
+        }
+    }
+
+    let mut flipped = false;
+    for cov in &mut resp.coverage {
+        if let BlockCoverage::Block { vo, .. } = cov {
+            if flip_clause(&mut vo.root) {
+                flipped = true;
+                break;
+            }
+        }
+    }
+    assert!(flipped, "expected at least one inline mismatch proof to attack");
+    assert!(verify_response(&cq, &resp, &light, &sp.cfg, &sp.acc).is_err());
+}
+
+#[test]
+fn vo_size_smaller_with_intra_index_on_clustered_data() {
+    // Clustered objects => intra index prunes subtrees => smaller VO than nil.
+    let mk = |scheme| {
+        let acc = Acc1::keygen(600, &mut StdRng::seed_from_u64(10));
+        let c = cfg(scheme);
+        let mut miner = Miner::new(c, acc);
+        // homogeneous blocks: all objects share keywords => great clustering
+        for b in 0..6u64 {
+            let objs: Vec<Object> = (0..8)
+                .map(|i| {
+                    Object::new(b * 8 + i, (b + 1) * 10, vec![10], vec!["CommonKw".into()])
+                })
+                .collect();
+            miner.mine_block((b + 1) * 10, objs);
+        }
+        miner.into_service_provider()
+    };
+    let q = Query {
+        time_window: Some((10, 60)),
+        ranges: vec![],
+        keywords: vec![vec!["Absent".into()]],
+    }
+    .compile(DOMAIN_BITS);
+    let sp_nil = mk(IndexScheme::Nil);
+    let sp_intra = mk(IndexScheme::Intra);
+    let vo_nil = sp_nil.time_window_query(&q).vo_size_bytes(&sp_nil.acc);
+    let vo_intra = sp_intra.time_window_query(&q).vo_size_bytes(&sp_intra.acc);
+    assert!(
+        vo_intra < vo_nil,
+        "intra index must shrink the VO on clustered data: {vo_intra} vs {vo_nil}"
+    );
+}
+
+#[test]
+fn empty_window_verifies_trivially() {
+    let acc = Acc1::keygen(600, &mut StdRng::seed_from_u64(11));
+    let (miner, light) = build_chain(IndexScheme::Intra, acc);
+    let q = Query {
+        time_window: Some((5000, 6000)),
+        ranges: vec![],
+        keywords: vec![vec!["Sedan".into()]],
+    };
+    let cq = q.compile(DOMAIN_BITS);
+    let sp = miner.into_service_provider();
+    let resp = sp.time_window_query(&cq);
+    assert_eq!(resp.coverage.len(), 0);
+    let verified = verify_response(&cq, &resp, &light, &sp.cfg, &sp.acc).unwrap();
+    assert!(verified.is_empty());
+}

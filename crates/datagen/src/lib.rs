@@ -1,0 +1,17 @@
+//! Synthetic workloads reproducing the statistical shape of the vChain
+//! paper's three evaluation datasets (§9), plus the MHT baseline used in
+//! Fig. 16 (Appendix D.1).
+//!
+//! The paper's raw datasets (Foursquare check-ins, Kaggle hourly weather,
+//! an Ethereum transaction slice) are not redistributable; the evaluation's
+//! trends depend only on a handful of moments — objects per block, numeric
+//! dimensionality, keywords per record and their skew — which these
+//! generators match (see DESIGN.md §2 for the substitution argument).
+
+pub mod mht_baseline;
+pub mod workload;
+pub mod zipf;
+
+pub use mht_baseline::MhtBaseline;
+pub use workload::{Dataset, QueryGen, Workload, WorkloadSpec};
+pub use zipf::Zipf;

@@ -1,0 +1,310 @@
+//! Dataset simulators and query generators (paper §9 defaults).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vchain_chain::Object;
+use vchain_core::query::{Query, RangeSpec};
+
+use crate::zipf::Zipf;
+
+/// Which of the paper's three evaluation datasets to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dataset {
+    /// Foursquare check-ins: 2-d location + ~2 place keywords, 30 s blocks.
+    FourSquare,
+    /// Hourly weather: 7 numeric attributes + ~2 description keywords,
+    /// 1 h blocks (two dims used per range predicate).
+    Weather,
+    /// Ethereum transfers: 1 numeric amount + ~2 sparse addresses,
+    /// 15 s blocks.
+    Ethereum,
+}
+
+/// Generation parameters (defaults mirror §9; scale is configurable).
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    pub dataset: Dataset,
+    /// Numeric dimension width in bits (quantized domain).
+    pub domain_bits: u8,
+    pub objects_per_block: usize,
+    pub num_blocks: usize,
+    /// Keyword vocabulary size (places / weather terms / addresses).
+    pub vocab: usize,
+    /// Average keywords per object (paper: ~2 in all three datasets).
+    pub keywords_per_object: usize,
+    /// Zipf exponent of the keyword distribution.
+    pub skew: f64,
+    /// Seconds between consecutive blocks.
+    pub block_interval: u64,
+    /// Default numeric-range selectivity for generated queries.
+    pub selectivity: f64,
+    /// Default disjunctive Boolean function size for generated queries.
+    pub bool_size: usize,
+    /// Dimensions touched by each range predicate (paper: 2 for WX, all
+    /// otherwise).
+    pub dims_per_query: usize,
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Paper-default moments at a configurable block count.
+    pub fn paper_defaults(dataset: Dataset, num_blocks: usize) -> Self {
+        match dataset {
+            Dataset::FourSquare => Self {
+                dataset,
+                domain_bits: 8,
+                objects_per_block: 12,
+                num_blocks,
+                vocab: 300,
+                keywords_per_object: 2,
+                skew: 1.0,
+                block_interval: 30,
+                selectivity: 0.10,
+                bool_size: 3,
+                dims_per_query: 2,
+                seed: 0x45_51,
+            },
+            Dataset::Weather => Self {
+                dataset,
+                domain_bits: 8,
+                objects_per_block: 16,
+                num_blocks,
+                vocab: 80,
+                keywords_per_object: 2,
+                skew: 0.8,
+                block_interval: 3600,
+                selectivity: 0.10,
+                bool_size: 3,
+                dims_per_query: 2,
+                seed: 0x57_58,
+            },
+            Dataset::Ethereum => Self {
+                dataset,
+                domain_bits: 8,
+                objects_per_block: 8,
+                num_blocks,
+                vocab: 1200,
+                keywords_per_object: 2,
+                skew: 1.1,
+                block_interval: 15,
+                selectivity: 0.50,
+                bool_size: 9,
+                dims_per_query: 1,
+                seed: 0x45_54,
+            },
+        }
+    }
+
+    pub fn dims(&self) -> usize {
+        match self.dataset {
+            Dataset::FourSquare => 2,
+            Dataset::Weather => 7,
+            Dataset::Ethereum => 1,
+        }
+    }
+
+    fn keyword(&self, rank: usize) -> String {
+        match self.dataset {
+            Dataset::FourSquare => format!("place:{rank}"),
+            Dataset::Weather => format!("wx:{rank}"),
+            Dataset::Ethereum => format!("addr:{rank:05x}"),
+        }
+    }
+
+    /// Generate the block stream: `(timestamp, objects)` per block.
+    pub fn generate(&self) -> Workload {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let zipf = Zipf::new(self.vocab, self.skew);
+        let dims = self.dims();
+        let max = (1u64 << self.domain_bits) - 1;
+        let mut id = 0u64;
+        let blocks = (0..self.num_blocks)
+            .map(|b| {
+                let ts = (b as u64 + 1) * self.block_interval;
+                let objects = (0..self.objects_per_block)
+                    .map(|_| {
+                        id += 1;
+                        let numeric: Vec<u64> = (0..dims)
+                            .map(|_| match self.dataset {
+                                // heavy-tailed transfer amounts
+                                Dataset::Ethereum => {
+                                    let x: f64 = rng.gen::<f64>();
+                                    ((x * x * x) * max as f64) as u64
+                                }
+                                _ => rng.gen_range(0..=max),
+                            })
+                            .collect();
+                        // keywords: Zipf over the vocabulary, deduplicated
+                        let mut kws = Vec::with_capacity(self.keywords_per_object);
+                        while kws.len() < self.keywords_per_object {
+                            let k = self.keyword(zipf.sample(&mut rng));
+                            if !kws.contains(&k) {
+                                kws.push(k);
+                            }
+                        }
+                        Object::new(id, ts, numeric, kws)
+                    })
+                    .collect();
+                (ts, objects)
+            })
+            .collect();
+        Workload { spec: self.clone(), blocks }
+    }
+
+    /// A query generator sharing this spec's distributions.
+    pub fn query_gen(&self, seed: u64) -> QueryGen {
+        QueryGen { spec: self.clone(), rng: StdRng::seed_from_u64(seed), zipf: Zipf::new(self.vocab, self.skew) }
+    }
+}
+
+/// A generated block stream.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    pub spec: WorkloadSpec,
+    /// `(timestamp, objects)` per block, in height order.
+    pub blocks: Vec<(u64, Vec<Object>)>,
+}
+
+impl Workload {
+    pub fn total_objects(&self) -> usize {
+        self.blocks.iter().map(|(_, o)| o.len()).sum()
+    }
+
+    /// Timestamp window covering the last `n` blocks.
+    pub fn window_of_last(&self, n: usize) -> (u64, u64) {
+        let len = self.blocks.len();
+        assert!(n >= 1 && n <= len);
+        (self.blocks[len - n].0, self.blocks[len - 1].0)
+    }
+}
+
+/// Random query generation with the paper's default shapes: a numeric range
+/// predicate of a target selectivity plus a disjunctive Boolean function.
+pub struct QueryGen {
+    spec: WorkloadSpec,
+    rng: StdRng,
+    zipf: Zipf,
+}
+
+impl QueryGen {
+    /// One time-window query over `[ts, te]`.
+    pub fn time_window(&mut self, window: (u64, u64)) -> Query {
+        self.make(Some(window), self.spec.selectivity, self.spec.bool_size)
+    }
+
+    /// One subscription query.
+    pub fn subscription(&mut self) -> Query {
+        self.make(None, self.spec.selectivity, self.spec.bool_size)
+    }
+
+    /// Explicit-parameter variant (selectivity sweeps, Figs. 17–19).
+    pub fn with_params(
+        &mut self,
+        window: Option<(u64, u64)>,
+        selectivity: f64,
+        bool_size: usize,
+    ) -> Query {
+        self.make(window, selectivity, bool_size)
+    }
+
+    fn make(&mut self, window: Option<(u64, u64)>, selectivity: f64, bool_size: usize) -> Query {
+        let max = (1u64 << self.spec.domain_bits) - 1;
+        let width = ((max as f64 + 1.0) * selectivity).max(1.0) as u64;
+        let dims = self.spec.dims();
+        // choose `dims_per_query` distinct dimensions
+        let mut chosen: Vec<u8> = (0..dims as u8).collect();
+        for i in (1..chosen.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            chosen.swap(i, j);
+        }
+        chosen.truncate(self.spec.dims_per_query.min(dims));
+
+        let ranges = chosen
+            .into_iter()
+            .map(|dim| {
+                let lo = self.rng.gen_range(0..=(max + 1 - width));
+                RangeSpec { dim, lo, hi: lo + width - 1 }
+            })
+            .collect();
+
+        // disjunctive Boolean function: one OR-clause of `bool_size` keywords
+        let mut kws = Vec::with_capacity(bool_size);
+        while kws.len() < bool_size {
+            let k = self.spec.keyword(self.zipf.sample(&mut self.rng));
+            if !kws.contains(&k) {
+                kws.push(k);
+            }
+        }
+        Query { time_window: window, ranges, keywords: vec![kws] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::paper_defaults(Dataset::FourSquare, 5);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.blocks, b.blocks);
+        assert_eq!(a.total_objects(), 5 * spec.objects_per_block);
+    }
+
+    #[test]
+    fn moments_match_spec() {
+        for ds in [Dataset::FourSquare, Dataset::Weather, Dataset::Ethereum] {
+            let spec = WorkloadSpec::paper_defaults(ds, 4);
+            let w = spec.generate();
+            for (_, objs) in &w.blocks {
+                assert_eq!(objs.len(), spec.objects_per_block);
+                for o in objs {
+                    assert_eq!(o.numeric.len(), spec.dims());
+                    assert_eq!(o.keywords.len(), spec.keywords_per_object);
+                    for v in &o.numeric {
+                        assert!(*v < (1 << spec.domain_bits));
+                    }
+                }
+            }
+            // timestamps strictly increase by the block interval
+            for w2 in w.blocks.windows(2) {
+                assert_eq!(w2[1].0 - w2[0].0, spec.block_interval);
+            }
+        }
+    }
+
+    #[test]
+    fn queries_have_requested_shape() {
+        let spec = WorkloadSpec::paper_defaults(Dataset::Weather, 4);
+        let mut qg = spec.query_gen(1);
+        let q = qg.time_window((0, 100));
+        assert_eq!(q.ranges.len(), 2, "WX uses two dims per predicate");
+        assert_eq!(q.keywords.len(), 1);
+        assert_eq!(q.keywords[0].len(), 3);
+        let width = q.ranges[0].hi - q.ranges[0].lo + 1;
+        assert_eq!(width, 25, "10% of a 256-wide domain, floored");
+        // dims are distinct
+        assert_ne!(q.ranges[0].dim, q.ranges[1].dim);
+    }
+
+    #[test]
+    fn eth_selectivity_is_half_domain() {
+        let spec = WorkloadSpec::paper_defaults(Dataset::Ethereum, 4);
+        let mut qg = spec.query_gen(2);
+        let q = qg.subscription();
+        let width = q.ranges[0].hi - q.ranges[0].lo + 1;
+        assert_eq!(width, 128);
+        assert_eq!(q.keywords[0].len(), 9);
+        assert!(q.time_window.is_none());
+    }
+
+    #[test]
+    fn window_of_last() {
+        let spec = WorkloadSpec::paper_defaults(Dataset::FourSquare, 10);
+        let w = spec.generate();
+        let (ts, te) = w.window_of_last(3);
+        assert_eq!(te - ts, 2 * spec.block_interval);
+        assert_eq!(te, w.blocks.last().unwrap().0);
+    }
+}

@@ -1,0 +1,551 @@
+//! Short-Weierstrass groups `G1` (over `Fp`) and `G2` (over `Fp2`, the
+//! sextic twist), with complete projective formulas, scalar multiplication
+//! and Pippenger multi-exponentiation.
+//!
+//! The addition/doubling formulas are the complete formulas for `a = 0`
+//! curves of Renes–Costello–Batina (EUROCRYPT'16, Algorithms 7 & 9): no
+//! special cases for the identity or for doubling, which removes a whole
+//! class of edge-case bugs (and is validated by the group-law property
+//! tests at the bottom of this file).
+
+use core::fmt;
+use std::sync::OnceLock;
+
+use vchain_bigint::{U256, U384};
+
+use crate::field::Field;
+use crate::fp::{Fp, Fr};
+use crate::fp2::Fp2;
+use crate::params;
+
+/// Static description of one of the two source groups.
+pub trait CurveSpec: Copy + Clone + Send + Sync + 'static {
+    /// The coordinate field.
+    type F: Field;
+    /// The curve constant `b` in `y² = x³ + b`.
+    fn b() -> Self::F;
+    /// `3·b`, used by the complete formulas.
+    fn b3() -> Self::F;
+    /// The (checked) published generator.
+    fn generator() -> Affine<Self>;
+    /// Compressed point size in bytes, for VO size accounting.
+    const COMPRESSED_BYTES: usize;
+    /// Human-readable name for diagnostics.
+    const NAME: &'static str;
+}
+
+/// The group `E(Fp) : y² = x³ + 4`.
+#[derive(Clone, Copy)]
+pub struct G1Spec;
+
+/// The twist group `E'(Fp2) : y² = x³ + 4(1 + u)`.
+#[derive(Clone, Copy)]
+pub struct G2Spec;
+
+static G1_GEN: OnceLock<Affine<G1Spec>> = OnceLock::new();
+static G2_GEN: OnceLock<Affine<G2Spec>> = OnceLock::new();
+
+impl CurveSpec for G1Spec {
+    type F = Fp;
+
+    fn b() -> Fp {
+        Fp::from_u64(4)
+    }
+
+    fn b3() -> Fp {
+        Fp::from_u64(12)
+    }
+
+    fn generator() -> Affine<Self> {
+        *G1_GEN.get_or_init(|| {
+            let g = Affine::<G1Spec> {
+                x: Fp::from_uint(&U384::from_hex(params::G1_X_HEX)),
+                y: Fp::from_uint(&U384::from_hex(params::G1_Y_HEX)),
+                infinity: false,
+            };
+            assert!(g.is_on_curve(), "published G1 generator not on curve");
+            assert!(
+                g.to_projective().mul_u256(&params::fr_params().modulus).is_identity(),
+                "published G1 generator does not have order r"
+            );
+            g
+        })
+    }
+
+    const COMPRESSED_BYTES: usize = 48;
+    const NAME: &'static str = "G1";
+}
+
+impl CurveSpec for G2Spec {
+    type F = Fp2;
+
+    fn b() -> Fp2 {
+        // 4(1 + u)
+        Fp2::new(Fp::from_u64(4), Fp::from_u64(4))
+    }
+
+    fn b3() -> Fp2 {
+        Fp2::new(Fp::from_u64(12), Fp::from_u64(12))
+    }
+
+    fn generator() -> Affine<Self> {
+        *G2_GEN.get_or_init(|| {
+            let g = Affine::<G2Spec> {
+                x: Fp2::new(
+                    Fp::from_uint(&U384::from_hex(params::G2_X0_HEX)),
+                    Fp::from_uint(&U384::from_hex(params::G2_X1_HEX)),
+                ),
+                y: Fp2::new(
+                    Fp::from_uint(&U384::from_hex(params::G2_Y0_HEX)),
+                    Fp::from_uint(&U384::from_hex(params::G2_Y1_HEX)),
+                ),
+                infinity: false,
+            };
+            assert!(g.is_on_curve(), "published G2 generator not on twist curve");
+            assert!(
+                g.to_projective().mul_u256(&params::fr_params().modulus).is_identity(),
+                "published G2 generator does not have order r"
+            );
+            g
+        })
+    }
+
+    const COMPRESSED_BYTES: usize = 96;
+    const NAME: &'static str = "G2";
+}
+
+/// An affine point (or the point at infinity).
+#[derive(Clone, Copy)]
+pub struct Affine<S: CurveSpec> {
+    pub x: S::F,
+    pub y: S::F,
+    pub infinity: bool,
+}
+
+/// A point in homogeneous projective coordinates `(X : Y : Z)`.
+#[derive(Clone, Copy)]
+pub struct Projective<S: CurveSpec> {
+    pub x: S::F,
+    pub y: S::F,
+    pub z: S::F,
+}
+
+pub type G1Affine = Affine<G1Spec>;
+pub type G1Projective = Projective<G1Spec>;
+pub type G2Affine = Affine<G2Spec>;
+pub type G2Projective = Projective<G2Spec>;
+
+impl<S: CurveSpec> Affine<S> {
+    pub fn identity() -> Self {
+        Self { x: S::F::zero(), y: S::F::one(), infinity: true }
+    }
+
+    pub fn is_identity(&self) -> bool {
+        self.infinity
+    }
+
+    pub fn is_on_curve(&self) -> bool {
+        if self.infinity {
+            return true;
+        }
+        let y2 = self.y.square();
+        let rhs = Field::add(&Field::mul(&self.x.square(), &self.x), &S::b());
+        y2 == rhs
+    }
+
+    pub fn to_projective(&self) -> Projective<S> {
+        if self.infinity {
+            Projective::identity()
+        } else {
+            Projective { x: self.x, y: self.y, z: S::F::one() }
+        }
+    }
+
+    pub fn neg(&self) -> Self {
+        Self { x: self.x, y: Field::neg(&self.y), infinity: self.infinity }
+    }
+
+    /// Canonical byte encoding: a flag byte (0 = normal, 1 = infinity)
+    /// followed by `x || y`. Used when hashing group elements into block
+    /// headers; the on-wire "compressed" size reported by the VO accounting
+    /// is [`CurveSpec::COMPRESSED_BYTES`] instead.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + 2 * 48);
+        out.push(self.infinity as u8);
+        if !self.infinity {
+            out.extend_from_slice(&self.x.to_canonical_bytes());
+            out.extend_from_slice(&self.y.to_canonical_bytes());
+        }
+        out
+    }
+}
+
+impl<S: CurveSpec> PartialEq for Affine<S> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.infinity && other.infinity)
+            || (!self.infinity && !other.infinity && self.x == other.x && self.y == other.y)
+    }
+}
+
+impl<S: CurveSpec> Eq for Affine<S> {}
+
+impl<S: CurveSpec> fmt::Debug for Affine<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.infinity {
+            write!(f, "{}::identity", S::NAME)
+        } else {
+            write!(f, "{}({:?}, {:?})", S::NAME, self.x, self.y)
+        }
+    }
+}
+
+impl<S: CurveSpec> Projective<S> {
+    pub fn identity() -> Self {
+        Self { x: S::F::zero(), y: S::F::one(), z: S::F::zero() }
+    }
+
+    pub fn generator() -> Self {
+        S::generator().to_projective()
+    }
+
+    pub fn is_identity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    pub fn to_affine(&self) -> Affine<S> {
+        match self.z.inverse() {
+            None => Affine::identity(),
+            Some(zinv) => Affine {
+                x: Field::mul(&self.x, &zinv),
+                y: Field::mul(&self.y, &zinv),
+                infinity: false,
+            },
+        }
+    }
+
+    pub fn neg(&self) -> Self {
+        Self { x: self.x, y: Field::neg(&self.y), z: self.z }
+    }
+
+    /// Complete addition (RCB16 Algorithm 7, `a = 0`).
+    pub fn add(&self, rhs: &Self) -> Self {
+        let b3 = S::b3();
+        let (x1, y1, z1) = (self.x, self.y, self.z);
+        let (x2, y2, z2) = (rhs.x, rhs.y, rhs.z);
+
+        let mut t0 = Field::mul(&x1, &x2);
+        let mut t1 = Field::mul(&y1, &y2);
+        let mut t2 = Field::mul(&z1, &z2);
+        let mut t3 = Field::add(&x1, &y1);
+        let mut t4 = Field::add(&x2, &y2);
+        t3 = Field::mul(&t3, &t4);
+        t4 = Field::add(&t0, &t1);
+        t3 = Field::sub(&t3, &t4);
+        t4 = Field::add(&y1, &z1);
+        let mut x3 = Field::add(&y2, &z2);
+        t4 = Field::mul(&t4, &x3);
+        x3 = Field::add(&t1, &t2);
+        t4 = Field::sub(&t4, &x3);
+        x3 = Field::add(&x1, &z1);
+        let mut y3 = Field::add(&x2, &z2);
+        x3 = Field::mul(&x3, &y3);
+        y3 = Field::add(&t0, &t2);
+        y3 = Field::sub(&x3, &y3);
+        x3 = Field::add(&t0, &t0);
+        t0 = Field::add(&x3, &t0);
+        t2 = Field::mul(&b3, &t2);
+        let mut z3 = Field::add(&t1, &t2);
+        t1 = Field::sub(&t1, &t2);
+        y3 = Field::mul(&b3, &y3);
+        x3 = Field::mul(&t4, &y3);
+        t2 = Field::mul(&t3, &t1);
+        x3 = Field::sub(&t2, &x3);
+        y3 = Field::mul(&y3, &t0);
+        t1 = Field::mul(&t1, &z3);
+        y3 = Field::add(&t1, &y3);
+        t0 = Field::mul(&t0, &t3);
+        z3 = Field::mul(&z3, &t4);
+        z3 = Field::add(&z3, &t0);
+
+        Self { x: x3, y: y3, z: z3 }
+    }
+
+    /// Complete doubling (RCB16 Algorithm 9, `a = 0`).
+    pub fn double(&self) -> Self {
+        let b3 = S::b3();
+        let (x, y, z) = (self.x, self.y, self.z);
+
+        let mut t0 = Field::mul(&y, &y);
+        let mut z3 = Field::add(&t0, &t0);
+        z3 = Field::add(&z3, &z3);
+        z3 = Field::add(&z3, &z3);
+        let t1 = Field::mul(&y, &z);
+        let mut t2 = Field::mul(&z, &z);
+        t2 = Field::mul(&b3, &t2);
+        let mut x3 = Field::mul(&t2, &z3);
+        let mut y3 = Field::add(&t0, &t2);
+        z3 = Field::mul(&t1, &z3);
+        let t1b = Field::add(&t2, &t2);
+        t2 = Field::add(&t1b, &t2);
+        t0 = Field::sub(&t0, &t2);
+        y3 = Field::mul(&t0, &y3);
+        y3 = Field::add(&x3, &y3);
+        let t1c = Field::mul(&x, &y);
+        x3 = Field::mul(&t0, &t1c);
+        x3 = Field::add(&x3, &x3);
+
+        Self { x: x3, y: y3, z: z3 }
+    }
+
+    pub fn add_affine(&self, rhs: &Affine<S>) -> Self {
+        if rhs.infinity {
+            *self
+        } else {
+            self.add(&rhs.to_projective())
+        }
+    }
+
+    /// Scalar multiplication by a canonical 256-bit integer (double-and-add,
+    /// MSB first).
+    pub fn mul_u256(&self, k: &U256) -> Self {
+        let mut acc = Self::identity();
+        match k.highest_bit() {
+            None => acc,
+            Some(top) => {
+                for i in (0..=top).rev() {
+                    acc = acc.double();
+                    if k.bit(i) {
+                        acc = acc.add(self);
+                    }
+                }
+                acc
+            }
+        }
+    }
+
+    /// Scalar multiplication by a scalar-field element.
+    pub fn mul_fr(&self, k: &Fr) -> Self {
+        self.mul_u256(&k.to_uint())
+    }
+
+    pub fn mul_u64(&self, k: u64) -> Self {
+        self.mul_u256(&U256::from_u64(k))
+    }
+
+    /// Equality as group elements (cross-multiplied projective compare).
+    pub fn eq_point(&self, other: &Self) -> bool {
+        match (self.is_identity(), other.is_identity()) {
+            (true, true) => true,
+            (true, false) | (false, true) => false,
+            (false, false) => {
+                Field::mul(&self.x, &other.z) == Field::mul(&other.x, &self.z)
+                    && Field::mul(&self.y, &other.z) == Field::mul(&other.y, &self.z)
+            }
+        }
+    }
+}
+
+impl<S: CurveSpec> PartialEq for Projective<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.eq_point(other)
+    }
+}
+
+impl<S: CurveSpec> Eq for Projective<S> {}
+
+impl<S: CurveSpec> fmt::Debug for Projective<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.to_affine())
+    }
+}
+
+impl<S: CurveSpec> Default for Projective<S> {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl<S: CurveSpec> core::ops::Add for Projective<S> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Projective::add(&self, &rhs)
+    }
+}
+
+impl<S: CurveSpec> core::ops::Neg for Projective<S> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Projective::neg(&self)
+    }
+}
+
+impl<S: CurveSpec> core::ops::Sub for Projective<S> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Projective::add(&self, &rhs.neg())
+    }
+}
+
+/// Pippenger bucket multi-exponentiation: `Σ scalars[i] · bases[i]`.
+///
+/// Window size is chosen from the input length; for very small inputs we
+/// fall back to naive double-and-add.
+pub fn multiexp<S: CurveSpec>(bases: &[Projective<S>], scalars: &[U256]) -> Projective<S> {
+    assert_eq!(bases.len(), scalars.len(), "multiexp length mismatch");
+    let n = bases.len();
+    if n == 0 {
+        return Projective::identity();
+    }
+    if n < 4 {
+        let mut acc = Projective::identity();
+        for (b, s) in bases.iter().zip(scalars) {
+            acc = acc.add(&b.mul_u256(s));
+        }
+        return acc;
+    }
+
+    let c: u32 = match n {
+        0..=15 => 3,
+        16..=127 => 5,
+        128..=1023 => 7,
+        1024..=32767 => 9,
+        _ => 12,
+    };
+    let num_windows = (256 + c - 1) / c;
+    let mut result = Projective::identity();
+
+    for w in (0..num_windows).rev() {
+        for _ in 0..c {
+            result = result.double();
+        }
+        let mut buckets = vec![Projective::<S>::identity(); (1 << c) - 1];
+        let shift = w * c;
+        for (base, scalar) in bases.iter().zip(scalars) {
+            // extract window bits [shift, shift+c)
+            let mut idx = 0usize;
+            for b in 0..c {
+                if scalar.bit(shift + b) {
+                    idx |= 1 << b;
+                }
+            }
+            if idx > 0 {
+                buckets[idx - 1] = buckets[idx - 1].add(base);
+            }
+        }
+        // suffix-sum the buckets: Σ j * bucket[j]
+        let mut running = Projective::identity();
+        let mut window_sum = Projective::identity();
+        for bucket in buckets.iter().rev() {
+            running = running.add(bucket);
+            window_sum = window_sum.add(&running);
+        }
+        result = result.add(&window_sum);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn generators_validate() {
+        // The OnceLock init runs on-curve and order checks.
+        let _ = G1Spec::generator();
+        let _ = G2Spec::generator();
+    }
+
+    #[test]
+    fn group_laws_g1() {
+        let g = G1Projective::generator();
+        let two_g = g.double();
+        assert_eq!(two_g, g.add(&g));
+        assert_eq!(g.add(&G1Projective::identity()), g);
+        assert_eq!(g.add(&g.neg()), G1Projective::identity());
+        let three = g.add(&two_g);
+        assert_eq!(three, g.mul_u64(3));
+        // associativity spot check
+        let a = g.mul_u64(17);
+        let b = g.mul_u64(23);
+        let c = g.mul_u64(31);
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn group_laws_g2() {
+        let g = G2Projective::generator();
+        assert_eq!(g.double(), g.add(&g));
+        assert_eq!(g.add(&g.neg()), G2Projective::identity());
+        assert_eq!(g.mul_u64(5).add(&g.mul_u64(7)), g.mul_u64(12));
+    }
+
+    #[test]
+    fn doubling_chain_stays_on_curve() {
+        let mut p = G1Projective::generator();
+        for _ in 0..10 {
+            p = p.double();
+            assert!(p.to_affine().is_on_curve());
+        }
+        let mut q = G2Projective::generator();
+        for _ in 0..10 {
+            q = q.double();
+            assert!(q.to_affine().is_on_curve());
+        }
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let g = G1Projective::generator();
+        let mut r = rng();
+        let a = Fr::random(&mut r);
+        let b = Fr::random(&mut r);
+        assert_eq!(g.mul_fr(&a).add(&g.mul_fr(&b)), g.mul_fr(&(a + b)));
+        assert_eq!(g.mul_fr(&a).mul_fr(&b), g.mul_fr(&(a * b)));
+    }
+
+    #[test]
+    fn scalar_mul_by_group_order_is_identity() {
+        let r_mod = params::fr_params().modulus;
+        assert!(G1Projective::generator().mul_u256(&r_mod).is_identity());
+        assert!(G2Projective::generator().mul_u256(&r_mod).is_identity());
+    }
+
+    #[test]
+    fn multiexp_matches_naive() {
+        let g = G1Projective::generator();
+        let mut r = rng();
+        for n in [1usize, 3, 5, 20, 60] {
+            let bases: Vec<_> = (0..n).map(|_| g.mul_u64(r.gen_range(1..1000))).collect();
+            let scalars: Vec<_> = (0..n).map(|_| Fr::random(&mut r).to_uint()).collect();
+            let expect = bases
+                .iter()
+                .zip(&scalars)
+                .fold(G1Projective::identity(), |acc, (b, s)| acc.add(&b.mul_u256(s)));
+            assert_eq!(multiexp(&bases, &scalars), expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn multiexp_empty_and_zero_scalars() {
+        assert!(multiexp::<G1Spec>(&[], &[]).is_identity());
+        let g = G1Projective::generator();
+        let zeros = vec![U256::ZERO; 8];
+        let bases = vec![g; 8];
+        assert!(multiexp(&bases, &zeros).is_identity());
+    }
+
+    #[test]
+    fn affine_round_trip() {
+        let g = G1Projective::generator().mul_u64(12345);
+        let a = g.to_affine();
+        assert!(a.is_on_curve());
+        assert_eq!(a.to_projective(), g);
+        assert!(G1Projective::identity().to_affine().is_identity());
+    }
+}

@@ -1,0 +1,246 @@
+//! The prime fields: `Fp` (base field, 381 bits) and `Fr` (scalar field,
+//! 255 bits), both stored in Montgomery form.
+
+use core::fmt;
+
+use rand::Rng;
+use vchain_bigint::Uint;
+use vchain_hash::hash_domain;
+
+use crate::field::Field;
+use crate::params;
+
+/// Generates a Montgomery-form prime-field type over `Uint<$n>` with
+/// parameters provided by `$params()`.
+macro_rules! prime_field {
+    ($(#[$doc:meta])* $name:ident, $n:expr, $params:path, $inv_exp:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+        pub struct $name(pub(crate) Uint<$n>);
+
+        impl $name {
+            /// Number of 64-bit limbs.
+            pub const LIMBS: usize = $n;
+
+            /// The canonical byte length of a serialized element.
+            pub const BYTES: usize = 8 * $n;
+
+            /// Construct from a small integer.
+            pub fn from_u64(v: u64) -> Self {
+                Self($params().to_mont(&Uint::from_u64(v)))
+            }
+
+            /// Construct from a canonical (non-Montgomery) integer; panics if
+            /// it is not reduced.
+            pub fn from_uint(v: &Uint<$n>) -> Self {
+                assert!(v < &$params().modulus, "value not reduced");
+                Self($params().to_mont(v))
+            }
+
+            /// Construct from a big-endian hex string (must be reduced).
+            pub fn from_hex(s: &str) -> Self {
+                Self::from_uint(&Uint::from_hex(s))
+            }
+
+            /// The canonical (non-Montgomery) integer representative.
+            pub fn to_uint(&self) -> Uint<$n> {
+                $params().from_mont(&self.0)
+            }
+
+            /// Canonical little-endian bytes.
+            pub fn to_bytes(&self) -> Vec<u8> {
+                self.to_uint().to_le_bytes()
+            }
+
+            /// Reduce an arbitrary little-endian byte string into the field.
+            pub fn from_bytes_reduce(bytes: &[u8]) -> Self {
+                let mut limbs = vec![0u64; (bytes.len() + 7) / 8];
+                for (i, chunk) in bytes.chunks(8).enumerate() {
+                    let mut b = [0u8; 8];
+                    b[..chunk.len()].copy_from_slice(chunk);
+                    limbs[i] = u64::from_le_bytes(b);
+                }
+                let reduced = $params().reduce_wide(&limbs);
+                Self($params().to_mont(&reduced))
+            }
+
+            /// Hash arbitrary data into the field (domain separated).
+            pub fn hash_to_field(data: &[u8]) -> Self {
+                let d1 = hash_domain(concat!($tag, "/1"), data);
+                let d2 = hash_domain(concat!($tag, "/2"), data);
+                let mut bytes = Vec::with_capacity(64);
+                bytes.extend_from_slice(&d1.0);
+                bytes.extend_from_slice(&d2.0);
+                Self::from_bytes_reduce(&bytes)
+            }
+
+            /// Uniformly random element.
+            pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                let mut bytes = [0u8; 8 * $n + 16];
+                rng.fill(&mut bytes[..]);
+                Self::from_bytes_reduce(&bytes)
+            }
+        }
+
+        impl Field for $name {
+            fn zero() -> Self {
+                Self(Uint::ZERO)
+            }
+
+            fn one() -> Self {
+                Self($params().r1)
+            }
+
+            fn is_zero(&self) -> bool {
+                self.0.is_zero()
+            }
+
+            #[inline]
+            fn add(&self, rhs: &Self) -> Self {
+                Self($params().add(&self.0, &rhs.0))
+            }
+
+            #[inline]
+            fn sub(&self, rhs: &Self) -> Self {
+                Self($params().sub(&self.0, &rhs.0))
+            }
+
+            #[inline]
+            fn neg(&self) -> Self {
+                Self($params().neg(&self.0))
+            }
+
+            #[inline]
+            fn mul(&self, rhs: &Self) -> Self {
+                Self($params().mont_mul(&self.0, &rhs.0))
+            }
+
+            fn inverse(&self) -> Option<Self> {
+                if self.is_zero() {
+                    return None;
+                }
+                // Fermat: a^{m-2}
+                Some(self.pow_limbs(&params::derived().$inv_exp))
+            }
+
+            fn to_canonical_bytes(&self) -> Vec<u8> {
+                self.to_bytes()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Field::zero()
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "(0x{})"), self.to_uint().to_hex())
+            }
+        }
+
+        $crate::impl_field_ops!($name);
+    };
+}
+
+prime_field!(
+    /// The BLS12-381 base field `GF(p)`, `p` 381 bits.
+    Fp, 6, params::fp_params, p_minus_2, "vchain/fp"
+);
+
+prime_field!(
+    /// The BLS12-381 scalar field `GF(r)`, `r` 255 bits.
+    Fr, 4, params::fr_params, r_minus_2, "vchain/fr"
+);
+
+impl Fr {
+    /// Exponentiation by another scalar interpreted as an integer.
+    pub fn pow_fr(&self, e: &Fr) -> Fr {
+        self.pow_limbs(&e.to_uint().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xfeed)
+    }
+
+    #[test]
+    fn field_axioms_fp() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let a = Fp::random(&mut r);
+            let b = Fp::random(&mut r);
+            let c = Fp::random(&mut r);
+            assert_eq!((a + b) + c, a + (b + c));
+            assert_eq!(a + b, b + a);
+            assert_eq!((a * b) * c, a * (b * c));
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!(a + (-a), Fp::zero());
+            assert_eq!(a * Fp::one(), a);
+            if !a.is_zero() {
+                assert_eq!(a * a.inverse().unwrap(), Fp::one());
+            }
+        }
+    }
+
+    #[test]
+    fn field_axioms_fr() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let a = Fr::random(&mut r);
+            let b = Fr::random(&mut r);
+            assert_eq!(a * b, b * a);
+            assert_eq!(a - a, Fr::zero());
+            if !a.is_zero() {
+                assert_eq!(a * a.inverse().unwrap(), Fr::one());
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_of_zero_is_none() {
+        assert!(Fp::zero().inverse().is_none());
+        assert!(Fr::zero().inverse().is_none());
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(Fr::from_u64(6) * Fr::from_u64(7), Fr::from_u64(42));
+        assert_eq!(Fp::from_u64(5) - Fp::from_u64(7) + Fp::from_u64(2), Fp::zero());
+        assert_eq!(Fr::from_u64(3).pow_limbs(&[4]), Fr::from_u64(81));
+        assert_eq!(Fr::from_u64(3).pow_limbs(&[0]), Fr::one());
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // a^(r-1) == 1
+        let a = Fr::from_u64(123456789);
+        let r_minus_1 = {
+            let mut limbs = params::fr_params().modulus.0;
+            limbs[0] -= 1;
+            limbs
+        };
+        assert_eq!(a.pow_limbs(&r_minus_1), Fr::one());
+    }
+
+    #[test]
+    fn hash_to_field_is_deterministic_and_spread() {
+        assert_eq!(Fr::hash_to_field(b"abc"), Fr::hash_to_field(b"abc"));
+        assert_ne!(Fr::hash_to_field(b"abc"), Fr::hash_to_field(b"abd"));
+        assert_ne!(Fp::hash_to_field(b"abc"), Fp::hash_to_field(b"abd"));
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let mut r = rng();
+        let a = Fp::random(&mut r);
+        assert_eq!(Fp::from_bytes_reduce(&a.to_bytes()), a);
+    }
+}

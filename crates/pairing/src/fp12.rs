@@ -1,0 +1,359 @@
+//! The full extension `Fp12 = Fp2[w]/(w⁶ − ξ)`, ξ = 1 + u.
+//!
+//! We use the *direct* degree-6 extension of `Fp2` rather than the usual
+//! 2-3-2 tower: multiplication is schoolbook with the reduction
+//! `w⁶ ↦ ξ`, the `p`-power Frobenius is coefficient-wise conjugation times
+//! the precomputed constants `γⁱ = ξ^{i(p−1)/6}`, and inversion is a small
+//! extended-Euclid over `Fp2[w]`. The subfield `Fp6 = Fp2[w²]` occupies the
+//! even coefficients, which makes the `p⁶`-Frobenius (conjugation) a sign
+//! flip of the odd coefficients.
+
+use core::fmt;
+use std::sync::OnceLock;
+
+use rand::Rng;
+
+use crate::field::Field;
+use crate::fp::Fp;
+use crate::fp2::Fp2;
+use crate::params;
+
+/// An element `Σ cᵢ wⁱ` (i = 0..5) of `Fp12`, coefficients in `Fp2`.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fp12 {
+    pub c: [Fp2; 6],
+}
+
+/// Frobenius coefficients `γⁱ = ξ^{i(p−1)/6}` for i = 0..5.
+static FROBENIUS_GAMMA: OnceLock<[Fp2; 6]> = OnceLock::new();
+
+fn frobenius_gamma() -> &'static [Fp2; 6] {
+    FROBENIUS_GAMMA.get_or_init(|| {
+        let g1 = Fp2::xi().pow_limbs(&params::derived().p_minus_1_over_6);
+        let mut g = [Fp2::one(); 6];
+        for i in 1..6 {
+            g[i] = g[i - 1] * g1;
+        }
+        g
+    })
+}
+
+impl Fp12 {
+    pub fn new(c: [Fp2; 6]) -> Self {
+        Self { c }
+    }
+
+    /// Embed an `Fp2` element as the constant coefficient.
+    pub fn from_fp2(c0: Fp2) -> Self {
+        let mut c = [Fp2::zero(); 6];
+        c[0] = c0;
+        Self { c }
+    }
+
+    /// Embed a base-field element.
+    pub fn from_fp(v: Fp) -> Self {
+        Self::from_fp2(Fp2::from_fp(v))
+    }
+
+    /// Build the sparse Miller-loop line element `c0 + c2·w² + c3·w³`.
+    pub fn from_line(c0: Fp2, c2: Fp2, c3: Fp2) -> Self {
+        let mut c = [Fp2::zero(); 6];
+        c[0] = c0;
+        c[2] = c2;
+        c[3] = c3;
+        Self { c }
+    }
+
+    /// The conjugation over `Fp6 = Fp2[w²]`: negates odd coefficients. This
+    /// equals the `p⁶`-power Frobenius, and for unitary elements (after the
+    /// easy part of the final exponentiation) it equals inversion.
+    pub fn conjugate(&self) -> Self {
+        let mut c = self.c;
+        for i in [1, 3, 5] {
+            c[i] = Field::neg(&c[i]);
+        }
+        Self { c }
+    }
+
+    /// The `p`-power Frobenius endomorphism.
+    pub fn frobenius(&self) -> Self {
+        let g = frobenius_gamma();
+        let mut c = [Fp2::zero(); 6];
+        for i in 0..6 {
+            c[i] = self.c[i].conjugate() * g[i];
+        }
+        Self { c }
+    }
+
+    /// Exponentiation by a scalar field element (for `Gt` arithmetic).
+    pub fn pow_fr(&self, e: &crate::fp::Fr) -> Self {
+        self.pow_limbs(&e.to_uint().0)
+    }
+
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut c = [Fp2::zero(); 6];
+        for ci in &mut c {
+            *ci = Fp2::random(rng);
+        }
+        Self { c }
+    }
+
+    /// Canonical little-endian bytes of all 12 `Fp` coefficients.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 * Fp::BYTES);
+        for ci in &self.c {
+            out.extend_from_slice(&ci.to_bytes());
+        }
+        out
+    }
+}
+
+impl Field for Fp12 {
+    fn zero() -> Self {
+        Self { c: [Fp2::zero(); 6] }
+    }
+
+    fn one() -> Self {
+        Self::from_fp2(Fp2::one())
+    }
+
+    fn is_zero(&self) -> bool {
+        self.c.iter().all(Fp2::is_zero)
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        let mut c = [Fp2::zero(); 6];
+        for i in 0..6 {
+            c[i] = self.c[i] + rhs.c[i];
+        }
+        Self { c }
+    }
+
+    fn sub(&self, rhs: &Self) -> Self {
+        let mut c = [Fp2::zero(); 6];
+        for i in 0..6 {
+            c[i] = self.c[i] - rhs.c[i];
+        }
+        Self { c }
+    }
+
+    fn neg(&self) -> Self {
+        let mut c = [Fp2::zero(); 6];
+        for i in 0..6 {
+            c[i] = Field::neg(&self.c[i]);
+        }
+        Self { c }
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        // Schoolbook product of degree-5 polynomials, then reduce w^6 = ξ.
+        let mut wide = [Fp2::zero(); 11];
+        for i in 0..6 {
+            if self.c[i].is_zero() {
+                continue;
+            }
+            for j in 0..6 {
+                if rhs.c[j].is_zero() {
+                    continue;
+                }
+                wide[i + j] = wide[i + j] + Field::mul(&self.c[i], &rhs.c[j]);
+            }
+        }
+        let mut c = [Fp2::zero(); 6];
+        c.copy_from_slice(&wide[..6]);
+        for k in 6..11 {
+            c[k - 6] = c[k - 6] + wide[k].mul_by_xi();
+        }
+        Self { c }
+    }
+
+    fn to_canonical_bytes(&self) -> Vec<u8> {
+        self.to_bytes()
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        if self.is_zero() {
+            return None;
+        }
+        // Extended Euclid in Fp2[w] between self (deg <= 5) and m = w^6 - ξ.
+        // Returns u with u·self ≡ gcd (a unit) mod m.
+        type Poly = Vec<Fp2>;
+
+        fn deg(p: &Poly) -> Option<usize> {
+            p.iter().rposition(|c| !c.is_zero())
+        }
+
+        fn trim(mut p: Poly) -> Poly {
+            while p.last().is_some_and(Fp2::is_zero) {
+                p.pop();
+            }
+            p
+        }
+
+        fn divrem(num: &Poly, den: &Poly) -> (Poly, Poly) {
+            let dd = deg(den).expect("division by zero poly");
+            let lead_inv = den[dd].inverse().expect("leading coeff invertible");
+            let mut rem = num.clone();
+            let mut quot = vec![Fp2::zero(); num.len().saturating_sub(dd) + 1];
+            while let Some(dr) = deg(&rem) {
+                if dr < dd {
+                    break;
+                }
+                let q = Field::mul(&rem[dr], &lead_inv);
+                quot[dr - dd] = q;
+                for i in 0..=dd {
+                    rem[dr - dd + i] = rem[dr - dd + i] - Field::mul(&q, &den[i]);
+                }
+            }
+            (trim(quot), trim(rem))
+        }
+
+        fn poly_mul(a: &Poly, b: &Poly) -> Poly {
+            if a.is_empty() || b.is_empty() {
+                return Vec::new();
+            }
+            let mut out = vec![Fp2::zero(); a.len() + b.len() - 1];
+            for (i, ai) in a.iter().enumerate() {
+                for (j, bj) in b.iter().enumerate() {
+                    out[i + j] = out[i + j] + Field::mul(ai, bj);
+                }
+            }
+            trim(out)
+        }
+
+        fn poly_sub(a: &Poly, b: &Poly) -> Poly {
+            let mut out = vec![Fp2::zero(); a.len().max(b.len())];
+            for (i, o) in out.iter_mut().enumerate() {
+                let av = a.get(i).copied().unwrap_or_else(Fp2::zero);
+                let bv = b.get(i).copied().unwrap_or_else(Fp2::zero);
+                *o = av - bv;
+            }
+            trim(out)
+        }
+
+        // modulus m(w) = w^6 - ξ
+        let mut m = vec![Fp2::zero(); 7];
+        m[0] = Field::neg(&Fp2::xi());
+        m[6] = Fp2::one();
+
+        let a: Poly = trim(self.c.to_vec());
+
+        // Track Bézout coefficient of `a` only: u0·a ≡ r0 (mod m)
+        let mut r0 = a;
+        let mut r1 = m;
+        let mut u0: Poly = vec![Fp2::one()];
+        let mut u1: Poly = Vec::new();
+
+        while deg(&r1).is_some() {
+            let (q, r) = divrem(&r0, &r1);
+            let u = poly_sub(&u0, &poly_mul(&q, &u1));
+            r0 = std::mem::replace(&mut r1, r);
+            u0 = std::mem::replace(&mut u1, u);
+        }
+        // r0 is a non-zero constant (m irreducible, a != 0)
+        debug_assert_eq!(deg(&r0), Some(0));
+        let ginv = r0[0].inverse()?;
+        let mut c = [Fp2::zero(); 6];
+        for (i, ui) in u0.iter().enumerate() {
+            // u0 may briefly have degree > 5 before reduction mod m never
+            // happened; in the standard Euclid run deg(u0) < deg(m) = 6.
+            debug_assert!(i < 6, "Bézout coefficient exceeded degree 5");
+            c[i] = Field::mul(ui, &ginv);
+        }
+        Some(Self { c })
+    }
+}
+
+impl fmt::Debug for Fp12 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp12({:?}, …)", self.c[0])
+    }
+}
+
+crate::impl_field_ops!(Fp12);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn w() -> Fp12 {
+        let mut c = [Fp2::zero(); 6];
+        c[1] = Fp2::one();
+        Fp12 { c }
+    }
+
+    #[test]
+    fn w_sixth_is_xi() {
+        let w6 = w().pow_limbs(&[6]);
+        assert_eq!(w6, Fp12::from_fp2(Fp2::xi()));
+    }
+
+    #[test]
+    fn field_axioms() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let a = Fp12::random(&mut r);
+            let b = Fp12::random(&mut r);
+            let c = Fp12::random(&mut r);
+            assert_eq!((a * b) * c, a * (b * c));
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!(a * Fp12::one(), a);
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let a = Fp12::random(&mut r);
+            let inv = a.inverse().unwrap();
+            assert_eq!(a * inv, Fp12::one());
+        }
+        assert!(Fp12::zero().inverse().is_none());
+        // sparse elements too
+        let line = Fp12::from_line(Fp2::from_u64(3), Fp2::xi(), Fp2::from_u64(9));
+        assert_eq!(line * line.inverse().unwrap(), Fp12::one());
+    }
+
+    #[test]
+    fn frobenius_is_p_power() {
+        let mut r = rng();
+        let a = Fp12::random(&mut r);
+        let p_limbs = params::fp_params().modulus.0;
+        assert_eq!(a.frobenius(), a.pow_limbs(&p_limbs));
+    }
+
+    #[test]
+    fn frobenius_order_twelve() {
+        let mut r = rng();
+        let a = Fp12::random(&mut r);
+        let mut b = a;
+        for _ in 0..12 {
+            b = b.frobenius();
+        }
+        assert_eq!(a, b);
+        // six applications equal conjugation
+        let mut c6 = a;
+        for _ in 0..6 {
+            c6 = c6.frobenius();
+        }
+        assert_eq!(c6, a.conjugate());
+    }
+
+    #[test]
+    fn conjugate_fixes_even_subfield() {
+        let mut r = rng();
+        let mut c = [Fp2::zero(); 6];
+        c[0] = Fp2::random(&mut r);
+        c[2] = Fp2::random(&mut r);
+        c[4] = Fp2::random(&mut r);
+        let a = Fp12 { c };
+        assert_eq!(a.conjugate(), a);
+    }
+}

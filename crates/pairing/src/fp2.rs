@@ -1,0 +1,198 @@
+//! The quadratic extension `Fp2 = Fp[u]/(u² + 1)`.
+//!
+//! `p ≡ 3 (mod 4)` (asserted in [`crate::params`]), so `−1` is a
+//! non-residue and the extension is a field.
+
+use core::fmt;
+
+use rand::Rng;
+
+use crate::field::Field;
+use crate::fp::Fp;
+
+/// An element `c0 + c1·u` of `Fp2`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fp2 {
+    pub c0: Fp,
+    pub c1: Fp,
+}
+
+impl Fp2 {
+    pub const fn new(c0: Fp, c1: Fp) -> Self {
+        Self { c0, c1 }
+    }
+
+    /// Embed a base-field element.
+    pub fn from_fp(c0: Fp) -> Self {
+        Self { c0, c1: Fp::zero() }
+    }
+
+    pub fn from_u64(v: u64) -> Self {
+        Self::from_fp(Fp::from_u64(v))
+    }
+
+    /// The sextic non-residue `ξ = 1 + u` used to define `Fp12`.
+    pub fn xi() -> Self {
+        Self { c0: Fp::one(), c1: Fp::one() }
+    }
+
+    /// Galois conjugation `c0 − c1·u`, which is also the `p`-power Frobenius
+    /// on `Fp2` (because `u^p = −u` when `p ≡ 3 mod 4`).
+    pub fn conjugate(&self) -> Self {
+        Self { c0: self.c0, c1: Field::neg(&self.c1) }
+    }
+
+    /// Multiply by the non-residue ξ = 1 + u:
+    /// `(c0 + c1·u)(1 + u) = (c0 − c1) + (c0 + c1)·u`.
+    pub fn mul_by_xi(&self) -> Self {
+        Self { c0: self.c0 - self.c1, c1: self.c0 + self.c1 }
+    }
+
+    /// Scale by a base-field element.
+    pub fn mul_by_fp(&self, k: &Fp) -> Self {
+        Self { c0: Field::mul(&self.c0, k), c1: Field::mul(&self.c1, k) }
+    }
+
+    /// `self * 3` (used in tangent slopes).
+    pub fn triple(&self) -> Self {
+        Field::add(&self.double(), self)
+    }
+
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self { c0: Fp::random(rng), c1: Fp::random(rng) }
+    }
+
+    /// Canonical little-endian bytes (`c0 || c1`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.c0.to_bytes();
+        out.extend_from_slice(&self.c1.to_bytes());
+        out
+    }
+}
+
+impl Field for Fp2 {
+    fn zero() -> Self {
+        Self { c0: Fp::zero(), c1: Fp::zero() }
+    }
+
+    fn one() -> Self {
+        Self { c0: Fp::one(), c1: Fp::zero() }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero()
+    }
+
+    #[inline]
+    fn add(&self, rhs: &Self) -> Self {
+        Self { c0: self.c0 + rhs.c0, c1: self.c1 + rhs.c1 }
+    }
+
+    #[inline]
+    fn sub(&self, rhs: &Self) -> Self {
+        Self { c0: self.c0 - rhs.c0, c1: self.c1 - rhs.c1 }
+    }
+
+    #[inline]
+    fn neg(&self) -> Self {
+        Self { c0: Field::neg(&self.c0), c1: Field::neg(&self.c1) }
+    }
+
+    #[inline]
+    fn mul(&self, rhs: &Self) -> Self {
+        // Karatsuba: (a0 + a1 u)(b0 + b1 u) = (a0b0 - a1b1) + ((a0+a1)(b0+b1) - a0b0 - a1b1) u
+        let v0 = Field::mul(&self.c0, &rhs.c0);
+        let v1 = Field::mul(&self.c1, &rhs.c1);
+        let s = Field::mul(&(self.c0 + self.c1), &(rhs.c0 + rhs.c1));
+        Self { c0: v0 - v1, c1: s - v0 - v1 }
+    }
+
+    fn square(&self) -> Self {
+        // (a + bu)^2 = (a+b)(a-b) + 2ab u
+        let ab = Field::mul(&self.c0, &self.c1);
+        Self {
+            c0: Field::mul(&(self.c0 + self.c1), &(self.c0 - self.c1)),
+            c1: ab.double(),
+        }
+    }
+
+    fn to_canonical_bytes(&self) -> Vec<u8> {
+        self.to_bytes()
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        // (a + bu)^{-1} = (a - bu) / (a² + b²)
+        let norm = self.c0.square() + self.c1.square();
+        let inv = norm.inverse()?;
+        Some(Self {
+            c0: Field::mul(&self.c0, &inv),
+            c1: Field::mul(&Field::neg(&self.c1), &inv),
+        })
+    }
+}
+
+impl fmt::Debug for Fp2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp2({:?} + {:?}·u)", self.c0, self.c1)
+    }
+}
+
+crate::impl_field_ops!(Fp2);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn u_squared_is_minus_one() {
+        let u = Fp2::new(Fp::zero(), Fp::one());
+        assert_eq!(u.square(), Field::neg(&Fp2::one()));
+    }
+
+    #[test]
+    fn field_axioms() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let a = Fp2::random(&mut r);
+            let b = Fp2::random(&mut r);
+            let c = Fp2::random(&mut r);
+            assert_eq!((a * b) * c, a * (b * c));
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!(a.square(), a * a);
+            if !a.is_zero() {
+                assert_eq!(a * a.inverse().unwrap(), Fp2::one());
+            }
+        }
+    }
+
+    #[test]
+    fn conjugate_is_frobenius() {
+        let mut r = rng();
+        let a = Fp2::random(&mut r);
+        let p_limbs = params::fp_params().modulus.0;
+        assert_eq!(a.conjugate(), a.pow_limbs(&p_limbs));
+    }
+
+    #[test]
+    fn mul_by_xi_matches_mul() {
+        let mut r = rng();
+        let a = Fp2::random(&mut r);
+        assert_eq!(a.mul_by_xi(), a * Fp2::xi());
+    }
+
+    #[test]
+    fn xi_is_not_a_cube_or_square() {
+        // ξ generates the right extension: ξ^((p²−1)/2) ≠ 1 and ξ^((p²−1)/3) ≠ 1.
+        // We verify the weaker sanity check ξ ≠ 0, 1 and leave irreducibility
+        // to the Fp12 axioms test.
+        assert!(!Fp2::xi().is_zero());
+        assert_ne!(Fp2::xi(), Fp2::one());
+    }
+}

@@ -1,0 +1,245 @@
+//! The optimal-ate pairing `e : G1 × G2 → Gt`.
+//!
+//! The Miller loop keeps `T` in affine coordinates *on the twist* and emits
+//! sparse line values `c0 + c2·w² + c3·w³` (the `w³` clearing factor lies in
+//! `F_{p⁴}` and vertical lines lie in `F_{p⁶}`; both subgroups are
+//! annihilated by the final exponentiation, so dropping them is sound).
+//! The final exponentiation computes the easy part with
+//! conjugation/inversion/Frobenius and the hard part as a single power by
+//! the derived exponent `(p⁴ − p² + 1)/r`.
+
+use core::fmt;
+
+use crate::curve::{G1Affine, G2Affine};
+use crate::field::Field;
+use crate::fp::{Fp, Fr};
+use crate::fp12::Fp12;
+use crate::fp2::Fp2;
+use crate::params;
+
+/// An element of the pairing target group `Gt ⊂ Fp12*` (order `r`),
+/// written multiplicatively.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Gt(pub Fp12);
+
+impl Gt {
+    /// The multiplicative identity.
+    pub fn one() -> Self {
+        Gt(Fp12::one())
+    }
+
+    pub fn is_one(&self) -> bool {
+        self.0 == Fp12::one()
+    }
+
+    /// Group operation.
+    pub fn mul(&self, rhs: &Gt) -> Gt {
+        Gt(Field::mul(&self.0, &rhs.0))
+    }
+
+    /// Group inverse. `Gt` elements are unitary, so inversion is conjugation.
+    pub fn invert(&self) -> Gt {
+        Gt(self.0.conjugate())
+    }
+
+    /// Exponentiation by a scalar.
+    pub fn pow_fr(&self, k: &Fr) -> Gt {
+        Gt(self.0.pow_fr(k))
+    }
+
+    pub fn pow_u64(&self, k: u64) -> Gt {
+        Gt(self.0.pow_limbs(&[k]))
+    }
+}
+
+impl fmt::Debug for Gt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gt({:?})", self.0)
+    }
+}
+
+impl core::ops::Mul for Gt {
+    type Output = Gt;
+    fn mul(self, rhs: Gt) -> Gt {
+        Gt::mul(&self, &rhs)
+    }
+}
+
+/// Affine point on the twist during the Miller loop.
+#[derive(Clone, Copy)]
+struct TwistPoint {
+    x: Fp2,
+    y: Fp2,
+}
+
+/// Tangent line at `t`, evaluated at `p`; advances `t ← 2t`.
+fn double_step(t: &mut TwistPoint, xp: &Fp, yp: &Fp) -> Fp12 {
+    // λ' = 3x² / 2y on the twist
+    let lambda = Field::mul(
+        &t.x.square().triple(),
+        &t.y.double().inverse().expect("2y ≠ 0 in prime-order subgroup"),
+    );
+    let c0 = Field::sub(&Field::mul(&lambda, &t.x), &t.y);
+    let c2 = Field::neg(&lambda.mul_by_fp(xp));
+    let c3 = Fp2::from_fp(*yp);
+
+    let x3 = Field::sub(&lambda.square(), &t.x.double());
+    let y3 = Field::sub(&Field::mul(&lambda, &Field::sub(&t.x, &x3)), &t.y);
+    *t = TwistPoint { x: x3, y: y3 };
+
+    Fp12::from_line(c0, c2, c3)
+}
+
+/// Chord line through `t` and `q`, evaluated at `p`; advances `t ← t + q`.
+fn add_step(t: &mut TwistPoint, q: &TwistPoint, xp: &Fp, yp: &Fp) -> Fp12 {
+    let lambda = Field::mul(
+        &Field::sub(&t.y, &q.y),
+        &Field::sub(&t.x, &q.x)
+            .inverse()
+            .expect("T ≠ ±Q during a BLS Miller loop"),
+    );
+    let c0 = Field::sub(&Field::mul(&lambda, &t.x), &t.y);
+    let c2 = Field::neg(&lambda.mul_by_fp(xp));
+    let c3 = Fp2::from_fp(*yp);
+
+    let x3 = Field::sub(&Field::sub(&lambda.square(), &t.x), &q.x);
+    let y3 = Field::sub(&Field::mul(&lambda, &Field::sub(&t.x, &x3)), &t.y);
+    *t = TwistPoint { x: x3, y: y3 };
+
+    Fp12::from_line(c0, c2, c3)
+}
+
+/// The Miller loop `f_{|x|,Q}(P)` for one pair, conjugated for the negative
+/// BLS parameter. Identity inputs contribute the neutral value 1.
+pub fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fp12 {
+    if p.is_identity() || q.is_identity() {
+        return Fp12::one();
+    }
+    let xp = p.x;
+    let yp = p.y;
+    let q0 = TwistPoint { x: q.x, y: q.y };
+    let mut t = q0;
+    let mut f = Fp12::one();
+
+    let x = params::BLS_X;
+    let top = 63 - x.leading_zeros();
+    for i in (0..top).rev() {
+        f = Field::mul(&f.square(), &double_step(&mut t, &xp, &yp));
+        if (x >> i) & 1 == 1 {
+            f = Field::mul(&f, &add_step(&mut t, &q0, &xp, &yp));
+        }
+    }
+    debug_assert!(params::BLS_X_IS_NEGATIVE);
+    f.conjugate()
+}
+
+/// Product of Miller loops over several pairs — share one final
+/// exponentiation via [`final_exponentiation`].
+pub fn multi_miller_loop(pairs: &[(G1Affine, G2Affine)]) -> Fp12 {
+    pairs
+        .iter()
+        .fold(Fp12::one(), |acc, (p, q)| Field::mul(&acc, &miller_loop(p, q)))
+}
+
+/// `f^{(p¹²−1)/r}`: easy part by Frobenius/conjugation, hard part by a single
+/// big power.
+pub fn final_exponentiation(f: &Fp12) -> Gt {
+    assert!(!f.is_zero(), "final exponentiation of zero");
+    // easy part: f^{(p^6-1)(p^2+1)}
+    let t = Field::mul(&f.conjugate(), &f.inverse().expect("nonzero"));
+    let t = Field::mul(&t.frobenius().frobenius(), &t);
+    // hard part
+    Gt(t.pow_limbs(&params::derived().final_exp_hard))
+}
+
+/// The bilinear pairing `e(P, Q)`.
+pub fn pairing(p: &G1Affine, q: &G2Affine) -> Gt {
+    final_exponentiation(&miller_loop(p, q))
+}
+
+/// `Π e(Pᵢ, Qᵢ)` with a single shared final exponentiation.
+pub fn multi_pairing(pairs: &[(G1Affine, G2Affine)]) -> Gt {
+    final_exponentiation(&multi_miller_loop(pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::{G1Projective, G2Projective};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gens() -> (G1Affine, G2Affine) {
+        (
+            G1Projective::generator().to_affine(),
+            G2Projective::generator().to_affine(),
+        )
+    }
+
+    #[test]
+    fn non_degenerate() {
+        let (g1, g2) = gens();
+        let e = pairing(&g1, &g2);
+        assert!(!e.is_one(), "pairing of generators must not be 1");
+        // and it must have order r: e^r = 1
+        let r = crate::params::fr_params().modulus;
+        assert_eq!(e.0.pow_limbs(&r.0), Fp12::one(), "Gt element must have order dividing r");
+    }
+
+    #[test]
+    fn bilinear_small_scalars() {
+        let (g1, g2) = gens();
+        let p6 = G1Projective::generator().mul_u64(6).to_affine();
+        let q7 = G2Projective::generator().mul_u64(7).to_affine();
+        let lhs = pairing(&p6, &q7);
+        let rhs = pairing(&g1, &g2).pow_u64(42);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn bilinear_random_scalars() {
+        let mut r = StdRng::seed_from_u64(1);
+        let (g1, g2) = gens();
+        let a = Fr::random(&mut r);
+        let b = Fr::random(&mut r);
+        let lhs = pairing(
+            &G1Projective::generator().mul_fr(&a).to_affine(),
+            &G2Projective::generator().mul_fr(&b).to_affine(),
+        );
+        let rhs = pairing(&g1, &g2).pow_fr(&(a * b));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn linear_in_first_argument() {
+        let (g1, g2) = gens();
+        let h1 = G1Projective::generator().mul_u64(11);
+        let sum = G1Projective::generator().add(&h1).to_affine();
+        let lhs = pairing(&sum, &g2);
+        let rhs = pairing(&g1, &g2).mul(&pairing(&h1.to_affine(), &g2));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn multi_pairing_cancellation() {
+        let (g1, g2) = gens();
+        let neg = G1Projective::generator().neg().to_affine();
+        let prod = multi_pairing(&[(g1, g2), (neg, g2)]);
+        assert!(prod.is_one());
+    }
+
+    #[test]
+    fn identity_inputs() {
+        let (g1, g2) = gens();
+        assert!(pairing(&G1Affine::identity(), &g2).is_one());
+        assert!(pairing(&g1, &G2Affine::identity()).is_one());
+    }
+
+    #[test]
+    fn gt_group_ops() {
+        let (g1, g2) = gens();
+        let e = pairing(&g1, &g2);
+        assert!(e.mul(&e.invert()).is_one());
+        assert_eq!(e.pow_u64(3), e.mul(&e).mul(&e));
+    }
+}

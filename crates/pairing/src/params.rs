@@ -1,0 +1,150 @@
+//! BLS12-381 parameters, derived and cross-checked at start-up.
+//!
+//! The only primary inputs are the BLS parameter `x = -0xd201_0000_0001_0000`
+//! and the published field moduli / generators. Everything else — Montgomery
+//! constants, inversion exponents, Frobenius coefficients, the hard part of
+//! the final exponentiation — is *derived* here with [`ApInt`] arithmetic, and
+//! the moduli themselves are re-derived from `x` and asserted equal to the
+//! hard-coded values, so a transcription error cannot survive start-up.
+
+use std::sync::OnceLock;
+
+use vchain_bigint::{ApInt, MontParams, U256, U384};
+
+/// `|x|` for the BLS parameter `x = -0xd201_0000_0001_0000`.
+pub const BLS_X: u64 = 0xd201_0000_0001_0000;
+/// The BLS parameter is negative for BLS12-381.
+pub const BLS_X_IS_NEGATIVE: bool = true;
+
+/// The base-field modulus `p` (381 bits).
+pub const P_HEX: &str = "1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab";
+/// The scalar-field modulus `r` (255 bits).
+pub const R_HEX: &str = "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001";
+
+static FP_PARAMS: OnceLock<MontParams<6>> = OnceLock::new();
+static FR_PARAMS: OnceLock<MontParams<4>> = OnceLock::new();
+static DERIVED: OnceLock<Derived> = OnceLock::new();
+
+/// Montgomery parameters for the base field `Fp`.
+pub fn fp_params() -> &'static MontParams<6> {
+    FP_PARAMS.get_or_init(|| {
+        let p = U384::from_hex(P_HEX);
+        verify_moduli_against_x();
+        MontParams::new(p)
+    })
+}
+
+/// Montgomery parameters for the scalar field `Fr`.
+pub fn fr_params() -> &'static MontParams<4> {
+    FR_PARAMS.get_or_init(|| MontParams::new(U256::from_hex(R_HEX)))
+}
+
+/// Integer constants derived from `p`, `r` and `x`.
+pub struct Derived {
+    /// `p − 2`, the Fermat inversion exponent for `Fp`.
+    pub p_minus_2: Vec<u64>,
+    /// `r − 2`, the Fermat inversion exponent for `Fr`.
+    pub r_minus_2: Vec<u64>,
+    /// `(p − 1)/6`, exponent of the primitive Frobenius coefficient
+    /// `γ = ξ^{(p−1)/6}`.
+    pub p_minus_1_over_6: Vec<u64>,
+    /// `(p⁴ − p² + 1)/r`, the hard part of the final exponentiation.
+    pub final_exp_hard: Vec<u64>,
+    /// `(p + 1)/4` — would be the `Fp` square-root exponent (p ≡ 3 mod 4);
+    /// kept for completeness and used by tests.
+    pub p_plus_1_over_4: Vec<u64>,
+}
+
+/// Lazily derived integer constants (see [`Derived`]).
+pub fn derived() -> &'static Derived {
+    DERIVED.get_or_init(|| {
+        let p = ApInt::from_hex(P_HEX);
+        let r = ApInt::from_hex(R_HEX);
+        let one = ApInt::one();
+
+        let p_minus_2 = p.sub(&ApInt::from_u64(2));
+        let r_minus_2 = r.sub(&ApInt::from_u64(2));
+
+        let (p16, rem) = p.sub(&one).divrem(&ApInt::from_u64(6));
+        assert!(rem.is_zero(), "p must be ≡ 1 (mod 6) for the sextic twist");
+        let (_, rem4) = p.divrem(&ApInt::from_u64(4));
+        assert_eq!(rem4, ApInt::from_u64(3), "p must be ≡ 3 (mod 4) so u² = −1 works");
+
+        // hard part of the final exponentiation: (p^4 - p^2 + 1) / r
+        let p2 = p.mul(&p);
+        let p4 = p2.mul(&p2);
+        let num = p4.sub(&p2).add(&one);
+        let (hard, rem) = num.divrem(&r);
+        assert!(rem.is_zero(), "r must divide p⁴ − p² + 1 (cyclotomic polynomial)");
+
+        let (sqrt_exp, rem) = p.add(&one).divrem(&ApInt::from_u64(4));
+        assert!(rem.is_zero());
+
+        Derived {
+            p_minus_2: p_minus_2.limbs().to_vec(),
+            r_minus_2: r_minus_2.limbs().to_vec(),
+            p_minus_1_over_6: p16.limbs().to_vec(),
+            final_exp_hard: hard.limbs().to_vec(),
+            p_plus_1_over_4: sqrt_exp.limbs().to_vec(),
+        }
+    })
+}
+
+/// Re-derive `p` and `r` from the BLS parameter `x` and assert they match
+/// the hard-coded hex constants:
+///
+/// * `r = x⁴ − x² + 1`
+/// * `p = ((x − 1)² · r) / 3 + x`  (with `x` negative).
+fn verify_moduli_against_x() {
+    let x = ApInt::from_u64(BLS_X);
+    assert!(BLS_X_IS_NEGATIVE, "derivation below assumes negative x");
+    let one = ApInt::one();
+    let r = x.pow(4).sub(&x.pow(2)).add(&one);
+    assert_eq!(r.to_hex(), R_HEX, "scalar modulus mismatch with BLS parameter");
+    // (x - 1)^2 = (|x| + 1)^2 for negative x
+    let xm1_sq = x.add(&one).mul(&x.add(&one));
+    let (q, rem) = xm1_sq.mul(&r).divrem(&ApInt::from_u64(3));
+    assert!(rem.is_zero());
+    let p = q.sub(&x); // + x with x negative
+    assert_eq!(p.to_hex(), P_HEX, "base modulus mismatch with BLS parameter");
+}
+
+// The curve constants below are the published BLS12-381 generators; they are
+// validated at start-up by `curve::G1Spec`/`G2Spec` (on-curve + prime-order
+// checks), so a transcription error panics the first time a group is used.
+
+/// G1 generator x-coordinate.
+pub const G1_X_HEX: &str = "17f1d3a73197d7942695638c4fa9ac0fc3688c4f9774b905a14e3a3f171bac586c55e83ff97a1aeffb3af00adb22c6bb";
+/// G1 generator y-coordinate.
+pub const G1_Y_HEX: &str = "08b3f481e3aaa0f1a09e30ed741d8ae4fcf5e095d5d00af600db18cb2c04b3edd03cc744a2888ae40caa232946c5e7e1";
+
+/// G2 generator x-coordinate (c0 + c1·u).
+pub const G2_X0_HEX: &str = "024aa2b2f08f0a91260805272dc51051c6e47ad4fa403b02b4510b647ae3d1770bac0326a805bbefd48056c8c121bdb8";
+pub const G2_X1_HEX: &str = "13e02b6052719f607dacd3a088274f65596bd0d09920b61ab5da61bbdc7f5049334cf11213945d57e5ac7d055d042b7e";
+/// G2 generator y-coordinate (c0 + c1·u).
+pub const G2_Y0_HEX: &str = "0ce5d527727d6e118cc9cdc6da2e351aadfd9baa8cbdd3a76d429a695160d12c923ac9cc3baca289e193548608b82801";
+pub const G2_Y1_HEX: &str = "0606c4a02ea734cc32acd2b02bc28b99cb3e287e85a763af267492ab572e99ab3f370d275cec1da1aaa9075ff05f79be";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_initialize_and_agree() {
+        let fp = fp_params();
+        assert_eq!(fp.modulus, U384::from_hex(P_HEX));
+        let fr = fr_params();
+        assert_eq!(fr.modulus, U256::from_hex(R_HEX));
+    }
+
+    #[test]
+    fn derived_constants() {
+        let d = derived();
+        // (p-1)/6 has 378-379 bits => 6 limbs
+        assert_eq!(d.p_minus_1_over_6.len(), 6);
+        // hard part ~ 4*381 - 255 = 1269 bits => 20 limbs
+        assert_eq!(d.final_exp_hard.len(), 20);
+        // p - 2 ends with ...aaa9 (p ends in ...aaab)
+        assert_eq!(d.p_minus_2[0], 0xb9fe_ffff_ffff_aaa9);
+    }
+}
