@@ -15,8 +15,7 @@ use std::sync::Arc;
 use rand::Rng;
 use vchain_bigint::U256;
 use vchain_pairing::{
-    multi_pairing, multiexp, pairing, Field, Fr, G1Affine, G1Projective, G2Affine, G2Projective,
-    Gt,
+    multi_pairing, multiexp, pairing, Field, Fr, G1Affine, G1Projective, G2Affine, G2Projective, Gt,
 };
 
 use crate::poly::Poly;
@@ -68,10 +67,8 @@ impl Acc1 {
         let scalars = power_scalars(&s, capacity + 1);
         let g1_powers = fixed_base_batch(&G1Projective::generator(), &scalars);
         let g2_powers = fixed_base_batch(&G2Projective::generator(), &scalars);
-        let gt_gen = pairing(
-            &G1Projective::generator().to_affine(),
-            &G2Projective::generator().to_affine(),
-        );
+        let gt_gen =
+            pairing(&G1Projective::generator().to_affine(), &G2Projective::generator().to_affine());
         Self {
             pk: Arc::new(Acc1PublicKey { g1_powers, g2_powers, gt_gen }),
             sk: Some(s),
@@ -159,10 +156,7 @@ impl Accumulator for Acc1 {
         let ginv = g.coeffs()[0].inverse().expect("nonzero gcd");
         let q1 = u.scale(&ginv);
         let q2 = v.scale(&ginv);
-        Ok(Acc1Proof {
-            f1: self.commit_g2(&q1)?.to_affine(),
-            f2: self.commit_g2(&q2)?.to_affine(),
-        })
+        Ok(Acc1Proof { f1: self.commit_g2(&q1)?.to_affine(), f2: self.commit_g2(&q2)?.to_affine() })
     }
 
     fn verify_disjoint(&self, a1: &Acc1Value, a2: &Acc1Value, proof: &Acc1Proof) -> bool {
@@ -325,10 +319,7 @@ mod tests {
         // prove_disjoint commits to Bézout polys with degree < |other| so it
         // is fine, but committing the char poly of `big` overflows.
         let p = Poly::char_poly(big.iter().map(|(e, c)| (AccElem::to_fr(e), c)));
-        assert!(matches!(
-            small.commit_g1(&p),
-            Err(AccError::CapacityExceeded { .. })
-        ));
+        assert!(matches!(small.commit_g1(&p), Err(AccError::CapacityExceeded { .. })));
         // and the other direction still works
         let _ = small.prove_disjoint(&other, &ms(&[1])).unwrap();
     }

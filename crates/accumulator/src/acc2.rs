@@ -115,8 +115,7 @@ impl Accumulator for Acc2 {
     }
 
     fn setup<E: AccElem>(&self, x: &MultiSet<E>) -> Acc2Value {
-        self.check_universe(x)
-            .expect("element index outside acc2 universe; raise keygen q");
+        self.check_universe(x).expect("element index outside acc2 universe; raise keygen q");
         let q = self.pk.q;
         if self.fast_setup {
             if let Some(s) = &self.sk {
@@ -125,8 +124,8 @@ impl Accumulator for Acc2 {
                 for (e, c) in x.iter() {
                     let idx = e.to_index();
                     let cf = Fr::from_u64(c);
-                    a = a + Field::mul(&cf, &s.pow_limbs(&[idx]));
-                    b = b + Field::mul(&cf, &s.pow_limbs(&[q - idx]));
+                    a += Field::mul(&cf, &s.pow_limbs(&[idx]));
+                    b += Field::mul(&cf, &s.pow_limbs(&[q - idx]));
                 }
                 return Acc2Value {
                     da: G1Projective::generator().mul_fr(&a).to_affine(),
@@ -242,10 +241,7 @@ mod tests {
     #[test]
     fn intersecting_sets_rejected() {
         let a = acc();
-        assert_eq!(
-            a.prove_disjoint(&ms(&[1, 2]), &ms(&[2])).unwrap_err(),
-            AccError::NotDisjoint
-        );
+        assert_eq!(a.prove_disjoint(&ms(&[1, 2]), &ms(&[2])).unwrap_err(), AccError::NotDisjoint);
     }
 
     #[test]

@@ -62,11 +62,8 @@ impl<E: Ord + Copy> MultiSet<E> {
     /// Support disjointness: no shared element, regardless of counts.
     pub fn is_disjoint(&self, other: &Self) -> bool {
         // Walk the smaller one.
-        let (small, large) = if self.distinct_len() <= other.distinct_len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
+        let (small, large) =
+            if self.distinct_len() <= other.distinct_len() { (self, other) } else { (other, self) };
         !small.counts.keys().any(|e| large.counts.contains_key(e))
     }
 
@@ -101,21 +98,14 @@ impl<E: Ord + Copy> MultiSet<E> {
         if self.is_empty() && other.is_empty() {
             return 1.0;
         }
-        let inter = self
-            .counts
-            .keys()
-            .filter(|e| other.counts.contains_key(e))
-            .count();
+        let inter = self.counts.keys().filter(|e| other.counts.contains_key(e)).count();
         let union = self.distinct_len() + other.distinct_len() - inter;
         inter as f64 / union as f64
     }
 
     /// Number of distinct shared elements.
     pub fn intersection_size(&self, other: &Self) -> usize {
-        self.counts
-            .keys()
-            .filter(|e| other.counts.contains_key(e))
-            .count()
+        self.counts.keys().filter(|e| other.counts.contains_key(e)).count()
     }
 }
 

@@ -42,8 +42,8 @@ impl Poly {
                 // multiply by (s + x): new[i] = old[i-1] + x*old[i]
                 let mut next = vec![Fr::zero(); coeffs.len() + 1];
                 for (i, c) in coeffs.iter().enumerate() {
-                    next[i + 1] = next[i + 1] + *c;
-                    next[i] = next[i] + Field::mul(c, &x);
+                    next[i + 1] += *c;
+                    next[i] += Field::mul(c, &x);
                 }
                 coeffs = next;
             }
@@ -108,7 +108,7 @@ impl Poly {
                 continue;
             }
             for (j, b) in rhs.coeffs.iter().enumerate() {
-                coeffs[i + j] = coeffs[i + j] + Field::mul(a, b);
+                coeffs[i + j] += Field::mul(a, b);
             }
         }
         Self::from_coeffs(coeffs)
@@ -133,7 +133,7 @@ impl Poly {
             let q = Field::mul(&rem[dr], &lead_inv);
             quot[dr - dd] = q;
             for i in 0..=dd {
-                rem[dr - dd + i] = rem[dr - dd + i] - Field::mul(&q, &divisor.coeffs[i]);
+                rem[dr - dd + i] -= Field::mul(&q, &divisor.coeffs[i]);
             }
         }
         (Self::from_coeffs(quot), Self::from_coeffs(rem))

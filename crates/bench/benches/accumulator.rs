@@ -23,9 +23,11 @@ fn bench_acc1(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("setup", n), &x1, |b, x| {
             b.iter(|| acc.setup(std::hint::black_box(x)))
         });
-        group.bench_with_input(BenchmarkId::new("prove_disjoint", n), &(x1.clone(), x2.clone()), |b, (a, q)| {
-            b.iter(|| acc.prove_disjoint(std::hint::black_box(a), q).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("prove_disjoint", n),
+            &(x1.clone(), x2.clone()),
+            |b, (a, q)| b.iter(|| acc.prove_disjoint(std::hint::black_box(a), q).unwrap()),
+        );
         let v1 = acc.setup(&x1);
         let v2 = acc.setup(&x2);
         let proof = acc.prove_disjoint(&x1, &x2).unwrap();
@@ -45,9 +47,11 @@ fn bench_acc2(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("setup", n), &x1, |b, x| {
             b.iter(|| acc.setup(std::hint::black_box(x)))
         });
-        group.bench_with_input(BenchmarkId::new("prove_disjoint", n), &(x1.clone(), x2.clone()), |b, (a, q)| {
-            b.iter(|| acc.prove_disjoint(std::hint::black_box(a), q).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("prove_disjoint", n),
+            &(x1.clone(), x2.clone()),
+            |b, (a, q)| b.iter(|| acc.prove_disjoint(std::hint::black_box(a), q).unwrap()),
+        );
         let v1 = acc.setup(&x1);
         let v2 = acc.setup(&x2);
         let proof = acc.prove_disjoint(&x1, &x2).unwrap();
@@ -56,7 +60,9 @@ fn bench_acc2(c: &mut Criterion) {
         });
     }
     // aggregation primitives (§6.3): the reason acc2 wins on user CPU
-    let values: Vec<_> = (0..16u64).map(|i| acc.setup(&[2 * i + 1].into_iter().collect::<MultiSet<u64>>())).collect();
+    let values: Vec<_> = (0..16u64)
+        .map(|i| acc.setup(&[2 * i + 1].into_iter().collect::<MultiSet<u64>>()))
+        .collect();
     group.bench_function("sum_16", |b| b.iter(|| acc.sum(std::hint::black_box(&values)).unwrap()));
     let (x1, x2) = sets(8);
     let p = acc.prove_disjoint(&x1, &x2).unwrap();

@@ -44,9 +44,7 @@ fn bench_pairing(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("single", |bch| bch.iter(|| pairing(&std::hint::black_box(p), &q)));
     let pairs = [(p, q), (p, q), (p, q)];
-    group.bench_function("multi_3", |bch| {
-        bch.iter(|| multi_pairing(std::hint::black_box(&pairs)))
-    });
+    group.bench_function("multi_3", |bch| bch.iter(|| multi_pairing(std::hint::black_box(&pairs))));
     group.finish();
 }
 

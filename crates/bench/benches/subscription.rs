@@ -34,8 +34,12 @@ fn bench_publish(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
                 b.iter_batched(
                     || {
-                        let mut engine =
-                            SubscriptionEngine::new(cfg, acc.clone(), SubscriptionMode::Realtime, ip);
+                        let mut engine = SubscriptionEngine::new(
+                            cfg,
+                            acc.clone(),
+                            SubscriptionMode::Realtime,
+                            ip,
+                        );
                         let mut qg = spec.query_gen(n as u64);
                         for _ in 0..n {
                             engine.register(&qg.subscription());

@@ -245,11 +245,7 @@ fn fig12(scale: Scale) {
             {
                 for (ip, ipname) in [(false, "nip"), (true, "ip")] {
                     let sp_cpu = subscription_sp_time(&w, mode, ip, n);
-                    rows.push(vec![
-                        format!("{mname}-{ipname}-acc2"),
-                        n.to_string(),
-                        secs(sp_cpu),
-                    ]);
+                    rows.push(vec![format!("{mname}-{ipname}-acc2"), n.to_string(), secs(sp_cpu)]);
                 }
             }
         }
@@ -297,12 +293,8 @@ fn fig_subscription_period(fig: u32, ds: Dataset, scale: Scale) {
         let w = WorkloadSpec::paper_defaults(ds, period).generate();
         for variant in ["realtime-acc1", "realtime-acc2", "lazy-acc2"] {
             let (sp_cpu, user_cpu, vo) = match variant {
-                "realtime-acc1" => {
-                    subscription_run(&w, SubscriptionMode::Realtime, shared_acc1())
-                }
-                "realtime-acc2" => {
-                    subscription_run(&w, SubscriptionMode::Realtime, shared_acc2())
-                }
+                "realtime-acc1" => subscription_run(&w, SubscriptionMode::Realtime, shared_acc1()),
+                "realtime-acc2" => subscription_run(&w, SubscriptionMode::Realtime, shared_acc2()),
                 _ => subscription_run(&w, SubscriptionMode::Lazy, shared_acc2()),
             };
             rows.push(vec![
@@ -524,8 +516,7 @@ fn skiplist_point<A: Accumulator>(
     let scheme = if levels == 0 { IndexScheme::Intra } else { IndexScheme::Both };
     let (sp, light, cfg) = build_chain(w, scheme, levels.max(1), acc);
     let mut qg = w.spec.query_gen(20_000 + levels as u64);
-    let queries: Vec<Query> =
-        (0..scale.queries()).map(|_| qg.time_window(window)).collect();
+    let queries: Vec<Query> = (0..scale.queries()).map(|_| qg.time_window(window)).collect();
     let compiled = compile_all(&queries, w.spec.domain_bits);
     let metrics: Vec<QueryMetrics> =
         compiled.iter().map(|q| run_query(&sp, &light, &cfg, q)).collect();

@@ -121,9 +121,8 @@ pub fn run_query<A: Accumulator>(
 ) -> QueryMetrics {
     let (resp, sp_cpu): (QueryResponse<A>, _) = timed(|| sp.time_window_query(q));
     let vo_bytes = resp.vo_size_bytes(&sp.acc);
-    let (verified, user_cpu) = timed(|| {
-        verify_response(q, &resp, light, cfg, &sp.acc).expect("honest SP must verify")
-    });
+    let (verified, user_cpu) =
+        timed(|| verify_response(q, &resp, light, cfg, &sp.acc).expect("honest SP must verify"));
     QueryMetrics { sp_cpu, user_cpu, vo_bytes, results: verified.len() }
 }
 
@@ -145,11 +144,8 @@ pub mod report {
                 }
             }
         }
-        let header_line: Vec<String> = headers
-            .iter()
-            .enumerate()
-            .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
-            .collect();
+        let header_line: Vec<String> =
+            headers.iter().enumerate().map(|(i, h)| format!("{h:>w$}", w = widths[i])).collect();
         println!("{}", header_line.join("  "));
         for row in rows {
             let line: Vec<String> = row

@@ -282,10 +282,7 @@ mod tests {
         // for the BLS12-381 parameter x = -0xd201000000010000.
         let x = ApInt::from_u64(0xd201_0000_0001_0000);
         let r = x.pow(4).sub(&x.pow(2)).add(&ApInt::one());
-        assert_eq!(
-            r.to_hex(),
-            "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001"
-        );
+        assert_eq!(r.to_hex(), "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001");
         let xp1 = x.add(&ApInt::one());
         let num = xp1.mul(&xp1).mul(&r);
         let (q, rem) = num.divrem(&ApInt::from_u64(3));

@@ -99,9 +99,9 @@ impl<const N: usize> MontParams<N> {
         for i in 0..N {
             // t += a[i] * b
             let mut carry = 0u128;
-            for j in 0..N {
-                let cur = t[j] as u128 + (a.0[i] as u128) * (b.0[j] as u128) + carry;
-                t[j] = cur as u64;
+            for (tj, bj) in t[..N].iter_mut().zip(&b.0) {
+                let cur = *tj as u128 + (a.0[i] as u128) * (*bj as u128) + carry;
+                *tj = cur as u64;
                 carry = cur >> 64;
             }
             let cur = t[N] as u128 + carry;

@@ -86,10 +86,10 @@ impl<const N: usize> Uint<N> {
     pub fn adc(&self, rhs: &Self) -> (Self, bool) {
         let mut out = [0u64; N];
         let mut carry = 0u64;
-        for i in 0..N {
+        for (i, out_i) in out.iter_mut().enumerate() {
             let (s, c1) = self.0[i].overflowing_add(rhs.0[i]);
             let (s, c2) = s.overflowing_add(carry);
-            out[i] = s;
+            *out_i = s;
             carry = (c1 as u64) + (c2 as u64);
         }
         (Self(out), carry != 0)
@@ -101,10 +101,10 @@ impl<const N: usize> Uint<N> {
     pub fn sbb(&self, rhs: &Self) -> (Self, bool) {
         let mut out = [0u64; N];
         let mut borrow = 0u64;
-        for i in 0..N {
+        for (i, out_i) in out.iter_mut().enumerate() {
             let (d, b1) = self.0[i].overflowing_sub(rhs.0[i]);
             let (d, b2) = d.overflowing_sub(borrow);
-            out[i] = d;
+            *out_i = d;
             borrow = (b1 as u64) + (b2 as u64);
         }
         (Self(out), borrow != 0)
@@ -116,9 +116,7 @@ impl<const N: usize> Uint<N> {
         for i in 0..N {
             let mut carry = 0u128;
             for j in 0..N {
-                let cur = out[i + j] as u128
-                    + (self.0[i] as u128) * (rhs.0[j] as u128)
-                    + carry;
+                let cur = out[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
                 out[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -206,10 +204,7 @@ mod tests {
     #[test]
     fn hex_round_trip() {
         let v = U256::from_hex("73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001");
-        assert_eq!(
-            v.to_hex(),
-            "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001"
-        );
+        assert_eq!(v.to_hex(), "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001");
         assert_eq!(U256::ZERO.to_hex(), "0");
         assert_eq!(U256::from_u64(0xabc).to_hex(), "abc");
     }

@@ -75,11 +75,17 @@ impl ChainStore {
     pub fn append(&mut self, block: Block) -> Result<(), ChainError> {
         let expected_height = self.height().map(|h| h + 1).unwrap_or(0);
         if block.header.height != expected_height {
-            return Err(ChainError::WrongHeight { expected: expected_height, got: block.header.height });
+            return Err(ChainError::WrongHeight {
+                expected: expected_height,
+                got: block.header.height,
+            });
         }
         let expected_prev = self.tip_hash();
         if block.header.prev_hash != expected_prev {
-            return Err(ChainError::BrokenLink { expected: expected_prev, got: block.header.prev_hash });
+            return Err(ChainError::BrokenLink {
+                expected: expected_prev,
+                got: block.header.prev_hash,
+            });
         }
         if let Some(last) = self.blocks.last() {
             if block.header.timestamp < last.header.timestamp {

@@ -32,7 +32,7 @@ impl MerkleTree {
         let mut levels = vec![leaves.to_vec()];
         while levels.last().unwrap().len() > 1 {
             let prev = levels.last().unwrap();
-            let mut next = Vec::with_capacity((prev.len() + 1) / 2);
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
             for pair in prev.chunks(2) {
                 match pair {
                     [l, r] => next.push(hash_pair(l, r)),

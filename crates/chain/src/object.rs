@@ -35,7 +35,8 @@ impl Object {
     /// leaves. Fields are length-prefixed via `hash_concat`; keyword order
     /// is canonicalized so logically equal objects hash equally.
     pub fn digest(&self) -> Digest {
-        let mut parts: Vec<Vec<u8>> = Vec::with_capacity(3 + self.numeric.len() + self.keywords.len());
+        let mut parts: Vec<Vec<u8>> =
+            Vec::with_capacity(3 + self.numeric.len() + self.keywords.len());
         parts.push(self.id.to_le_bytes().to_vec());
         parts.push(self.timestamp.to_le_bytes().to_vec());
         parts.push((self.numeric.len() as u64).to_le_bytes().to_vec());

@@ -18,7 +18,13 @@ impl Default for Difficulty {
     }
 }
 
-fn pow_digest(prev: &Digest, ts: u64, ads_root: &Digest, skiplist_root: &Digest, nonce: u64) -> Digest {
+fn pow_digest(
+    prev: &Digest,
+    ts: u64,
+    ads_root: &Digest,
+    skiplist_root: &Digest,
+    nonce: u64,
+) -> Digest {
     hash_concat(&[
         b"vchain/pow",
         &prev.0,
@@ -52,7 +58,8 @@ pub fn mine_nonce(
 ) -> u64 {
     let mut nonce = 0u64;
     loop {
-        if leading_zero_bits(&pow_digest(prev, ts, ads_root, skiplist_root, nonce)) >= difficulty.0 {
+        if leading_zero_bits(&pow_digest(prev, ts, ads_root, skiplist_root, nonce)) >= difficulty.0
+        {
             return nonce;
         }
         nonce += 1;

@@ -96,7 +96,12 @@ impl<A: Accumulator> SkipList<A> {
             } else {
                 acc.setup(&ms)
             };
-            entries.push(SkipEntry { distance, pre_skipped_hash: pre_skipped_hash(&hashes), ms, att });
+            entries.push(SkipEntry {
+                distance,
+                pre_skipped_hash: pre_skipped_hash(&hashes),
+                ms,
+                att,
+            });
         }
         Self { entries }
     }
@@ -148,10 +153,8 @@ mod tests {
         let ms: vchain_acc::MultiSet<u64> = elems.iter().copied().collect();
         // tests use u64 elements directly (AccElem impl), bypassing ElementId
         let att = a.setup(&ms);
-        let ms_ids: MultiSet<crate::element::ElementId> = ms
-            .elements()
-            .map(|e| crate::element::ElementId::keyword(&format!("sk:{e}")))
-            .collect();
+        let ms_ids: MultiSet<crate::element::ElementId> =
+            ms.elements().map(|e| crate::element::ElementId::keyword(&format!("sk:{e}"))).collect();
         let att_ids = a.setup(&ms_ids);
         let _ = att;
         BlockSummary { hash: hash_bytes(&seed.to_le_bytes()), ms: ms_ids, att: att_ids }

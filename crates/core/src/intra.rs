@@ -109,7 +109,7 @@ impl<A: Accumulator> IntraTree<A> {
             }
             // a leftover odd node is carried upward (Algorithm 2's
             // `nodes ← newnodes + nodes`)
-            next_level.extend(frontier.drain(..));
+            next_level.append(&mut frontier);
             frontier = next_level;
         }
 
@@ -124,7 +124,7 @@ impl<A: Accumulator> IntraTree<A> {
         let mut arena = Self::build_leaves(objects, acc, domain_bits);
         let mut frontier: Vec<usize> = (0..arena.len()).collect();
         while frontier.len() > 1 {
-            let mut next = Vec::with_capacity((frontier.len() + 1) / 2);
+            let mut next = Vec::with_capacity(frontier.len().div_ceil(2));
             for pair in frontier.chunks(2) {
                 match *pair {
                     [l, r] => {
@@ -161,10 +161,7 @@ impl<A: Accumulator> IntraTree<A> {
     }
 
     pub fn leaf_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| matches!(n.kind, IntraNodeKind::Leaf { .. }))
-            .count()
+        self.nodes.iter().filter(|n| matches!(n.kind, IntraNodeKind::Leaf { .. })).count()
     }
 
     /// Nominal ADS size contributed by this tree (AttDigests + hashes), the
@@ -202,11 +199,8 @@ impl<A: Accumulator> IntraTree<A> {
             for (node, clause) in &mismatches {
                 by_clause.entry(*clause).or_default().push(*node);
             }
-            let rank: BTreeMap<usize, u16> = by_clause
-                .keys()
-                .enumerate()
-                .map(|(i, &c)| (c, i as u16))
-                .collect();
+            let rank: BTreeMap<usize, u16> =
+                by_clause.keys().enumerate().map(|(i, &c)| (c, i as u16)).collect();
             for (&clause_idx, nodes) in &by_clause {
                 let mut summed = MultiSet::new();
                 for &n in nodes {
@@ -375,9 +369,10 @@ mod tests {
             .filter_map(|n| match n.kind {
                 IntraNodeKind::Internal { left, right } => {
                     match (&tree.nodes[left].kind, &tree.nodes[right].kind) {
-                        (IntraNodeKind::Leaf { obj_idx: l }, IntraNodeKind::Leaf { obj_idx: r }) => {
-                            Some((*l.min(r), *l.max(r)))
-                        }
+                        (
+                            IntraNodeKind::Leaf { obj_idx: l },
+                            IntraNodeKind::Leaf { obj_idx: r },
+                        ) => Some((*l.min(r), *l.max(r))),
                         _ => None,
                     }
                 }

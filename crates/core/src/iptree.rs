@@ -193,12 +193,7 @@ impl IpTree {
             }
         }
 
-        IpNode {
-            cell,
-            rcif,
-            bcif: bcif_map.into_iter().collect(),
-            children,
-        }
+        IpNode { cell, rcif, bcif: bcif_map.into_iter().collect(), children }
     }
 
     /// The deepest cell that fully contains a query's range box — the unit
@@ -240,7 +235,10 @@ mod tests {
     fn q(lo0: u64, hi0: u64, lo1: u64, hi1: u64, kw: &str) -> CompiledQuery {
         Query {
             time_window: None,
-            ranges: vec![RangeSpec { dim: 0, lo: lo0, hi: hi0 }, RangeSpec { dim: 1, lo: lo1, hi: hi1 }],
+            ranges: vec![
+                RangeSpec { dim: 0, lo: lo0, hi: hi0 },
+                RangeSpec { dim: 1, lo: lo1, hi: hi1 },
+            ],
             keywords: vec![vec![kw.to_string()]],
         }
         .compile(4)
@@ -294,12 +292,8 @@ mod tests {
             .unwrap();
         // q1 and q2 share the keyword clause {Van}
         let van = ElementId::keyword("Van");
-        let shared = c01
-            .bcif
-            .iter()
-            .find(|(k, _)| k == &vec![van])
-            .map(|(_, qs)| qs.clone())
-            .unwrap();
+        let shared =
+            c01.bcif.iter().find(|(k, _)| k == &vec![van]).map(|(_, qs)| qs.clone()).unwrap();
         assert_eq!(shared, vec![1, 2]);
     }
 
@@ -325,7 +319,8 @@ mod tests {
             }
         }
         // a tight box gets a deep cell
-        let tight: BTreeMap<QueryId, CompiledQuery> = [(9u32, q(4, 5, 8, 9, "x"))].into_iter().collect();
+        let tight: BTreeMap<QueryId, CompiledQuery> =
+            [(9u32, q(4, 5, 8, 9, "x"))].into_iter().collect();
         let t2 = IpTree::build(&tight, vec![0, 1], 4, 4);
         let c = t2.enclosing_cell(&tight[&9]);
         assert!(c.depth >= 2, "tight box should nest deeply, got depth {}", c.depth);

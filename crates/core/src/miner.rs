@@ -34,7 +34,12 @@ pub struct MinerConfig {
 
 impl Default for MinerConfig {
     fn default() -> Self {
-        Self { scheme: IndexScheme::Both, skip_levels: 5, domain_bits: 8, difficulty: Difficulty(4) }
+        Self {
+            scheme: IndexScheme::Both,
+            skip_levels: 5,
+            domain_bits: 8,
+            difficulty: Difficulty(4),
+        }
     }
 }
 
@@ -91,7 +96,8 @@ impl<A: Accumulator> Miner<A> {
         let skiplist_root = skiplist.root();
         let prev_hash = self.store.tip_hash();
         let height = self.store.height().map(|h| h + 1).unwrap_or(0);
-        let nonce = mine_nonce(&prev_hash, timestamp, &ads_root, &skiplist_root, self.cfg.difficulty);
+        let nonce =
+            mine_nonce(&prev_hash, timestamp, &ads_root, &skiplist_root, self.cfg.difficulty);
         let block = Block {
             header: BlockHeader { height, prev_hash, timestamp, nonce, ads_root, skiplist_root },
             objects,

@@ -258,7 +258,7 @@ mod tests {
             }.compile(8);
             let kws = if has_kw { vec!["kw-prop".to_string()] } else { vec!["other".to_string()] };
             let o = Object::new(1, 0, vec![price, dim2], kws);
-            let direct = price >= lo && price <= hi && dim2 >= 50 && dim2 <= 200 && has_kw;
+            let direct = price >= lo && price <= hi && (50..=200).contains(&dim2) && has_kw;
             prop_assert_eq!(q.object_matches(&o), direct);
         }
     }

@@ -97,12 +97,7 @@ impl<A: Accumulator> ServiceProvider<A> {
 
     /// Try the largest skip at block `cur` covering `cur-distance ..= cur-1`
     /// entirely inside `[start, cur-1]` whose summary mismatches the query.
-    fn try_skip(
-        &self,
-        cur: u64,
-        start: u64,
-        q: &CompiledQuery,
-    ) -> Option<(BlockCoverage<A>, u64)> {
+    fn try_skip(&self, cur: u64, start: u64, q: &CompiledQuery) -> Option<(BlockCoverage<A>, u64)> {
         let skiplist = &self.indexed[cur as usize].skiplist;
         for entry in skiplist.entries.iter().rev() {
             if entry.distance > cur || cur - entry.distance < start {

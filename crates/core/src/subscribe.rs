@@ -158,11 +158,8 @@ impl<A: Accumulator> SubscriptionEngine<A> {
             self.enclosing.clear();
             return;
         }
-        let mut dims: Vec<u8> = self
-            .queries
-            .values()
-            .flat_map(|q| q.ranges.iter().map(|r| r.dim))
-            .collect();
+        let mut dims: Vec<u8> =
+            self.queries.values().flat_map(|q| q.ranges.iter().map(|r| r.dim)).collect();
         dims.sort_unstable();
         dims.dedup();
         if dims.is_empty() {
@@ -178,11 +175,7 @@ impl<A: Accumulator> SubscriptionEngine<A> {
         let max_depth = (16 / dims.len().max(1)) as u8;
         let max_depth = max_depth.clamp(1, self.cfg.domain_bits);
         let tree = IpTree::build(&self.queries, dims, self.cfg.domain_bits, max_depth);
-        self.enclosing = self
-            .queries
-            .iter()
-            .map(|(id, q)| (*id, tree.enclosing_cell(q)))
-            .collect();
+        self.enclosing = self.queries.iter().map(|(id, q)| (*id, tree.enclosing_cell(q))).collect();
         self.iptree = Some(tree);
     }
 
@@ -390,7 +383,8 @@ impl<A: Accumulator> SubscriptionEngine<A> {
         let mut out: BTreeMap<QueryId, (Vec<Object>, Option<VoNode<A>>)> =
             qids.iter().map(|&id| (id, (Vec::new(), None))).collect();
 
-        let roots = self.shared_walk(tree, tree.root, &block.objects, &qids, &mut proof_cache, &mut out);
+        let roots =
+            self.shared_walk(tree, tree.root, &block.objects, &qids, &mut proof_cache, &mut out);
         roots
             .into_iter()
             .map(|(qid, node)| {
@@ -474,10 +468,12 @@ impl<A: Accumulator> SubscriptionEngine<A> {
             if let Some((clause, proof)) = cell_refuted.get(&qid) {
                 results_map.insert(
                     qid,
-                    self.mismatch_node(tree, node_idx, objects, MismatchProof::Inline {
-                        proof: proof.clone(),
-                        clause: clause.clone(),
-                    }),
+                    self.mismatch_node(
+                        tree,
+                        node_idx,
+                        objects,
+                        MismatchProof::Inline { proof: proof.clone(), clause: clause.clone() },
+                    ),
                 );
                 continue;
             }
@@ -499,10 +495,12 @@ impl<A: Accumulator> SubscriptionEngine<A> {
                         .clone();
                     results_map.insert(
                         qid,
-                        self.mismatch_node(tree, node_idx, objects, MismatchProof::Inline {
-                            proof,
-                            clause: ClauseRef::Index(ci as u16),
-                        }),
+                        self.mismatch_node(
+                            tree,
+                            node_idx,
+                            objects,
+                            MismatchProof::Inline { proof, clause: ClauseRef::Index(ci as u16) },
+                        ),
                     );
                 }
                 None => descend.push(qid),

@@ -17,7 +17,7 @@ pub const MAX_DOMAIN_BITS: u8 = 32;
 
 /// `trans(v)` for one dimension: all `domain_bits` prefixes of `v`.
 pub fn trans_value(dim: u8, value: u64, domain_bits: u8) -> Vec<Element> {
-    assert!(domain_bits >= 1 && domain_bits <= MAX_DOMAIN_BITS);
+    assert!((1..=MAX_DOMAIN_BITS).contains(&domain_bits));
     assert!(
         domain_bits == 64 || value < (1u64 << domain_bits),
         "value {value} outside {domain_bits}-bit domain"
@@ -29,17 +29,14 @@ pub fn trans_value(dim: u8, value: u64, domain_bits: u8) -> Vec<Element> {
 
 /// Interned version of [`trans_value`].
 pub fn trans_value_ids(dim: u8, value: u64, domain_bits: u8) -> Vec<ElementId> {
-    trans_value(dim, value, domain_bits)
-        .iter()
-        .map(ElementId::intern)
-        .collect()
+    trans_value(dim, value, domain_bits).iter().map(ElementId::intern).collect()
 }
 
 /// The minimal prefix cover of `[lo, hi]` (inclusive) in a `domain_bits`-bit
 /// dimension. Returns `None` when the range covers the whole domain — the
 /// predicate is vacuous and compiles to no clause at all.
 pub fn range_cover(dim: u8, lo: u64, hi: u64, domain_bits: u8) -> Option<Vec<Element>> {
-    assert!(domain_bits >= 1 && domain_bits <= MAX_DOMAIN_BITS);
+    assert!((1..=MAX_DOMAIN_BITS).contains(&domain_bits));
     let max = (1u64 << domain_bits) - 1;
     assert!(lo <= hi, "empty range [{lo}, {hi}]");
     assert!(hi <= max, "range end {hi} outside {domain_bits}-bit domain");
@@ -51,7 +48,15 @@ pub fn range_cover(dim: u8, lo: u64, hi: u64, domain_bits: u8) -> Option<Vec<Ele
     Some(out)
 }
 
-fn cover_rec(dim: u8, node_bits: u64, node_len: u8, h: u8, lo: u64, hi: u64, out: &mut Vec<Element>) {
+fn cover_rec(
+    dim: u8,
+    node_bits: u64,
+    node_len: u8,
+    h: u8,
+    lo: u64,
+    hi: u64,
+    out: &mut Vec<Element>,
+) {
     let span = h - node_len;
     let node_lo = node_bits << span;
     let node_hi = node_lo + ((1u64 << span) - 1);
@@ -69,8 +74,7 @@ fn cover_rec(dim: u8, node_bits: u64, node_len: u8, h: u8, lo: u64, hi: u64, out
 
 /// Interned version of [`range_cover`].
 pub fn range_cover_ids(dim: u8, lo: u64, hi: u64, domain_bits: u8) -> Option<Vec<ElementId>> {
-    range_cover(dim, lo, hi, domain_bits)
-        .map(|es| es.iter().map(ElementId::intern).collect())
+    range_cover(dim, lo, hi, domain_bits).map(|es| es.iter().map(ElementId::intern).collect())
 }
 
 /// The inclusive interval a prefix element denotes (for verifier-side
@@ -126,7 +130,8 @@ mod tests {
     fn paper_example_membership() {
         // 4 ∈ [0,6]: intersection {10*}
         let t = prefix_set(4, 3);
-        let c: std::collections::BTreeSet<_> = range_cover(0, 0, 6, 3).unwrap().into_iter().collect();
+        let c: std::collections::BTreeSet<_> =
+            range_cover(0, 0, 6, 3).unwrap().into_iter().collect();
         assert_eq!(t.intersection(&c).count(), 1);
         // 7 ∉ [0,6]
         let t7 = prefix_set(7, 3);

@@ -110,23 +110,15 @@ pub fn verify_with_expected<A: Accumulator>(
     for cov in &response.coverage {
         match cov {
             BlockCoverage::Block { height, vo } => {
-                let header = light
-                    .header(*height)
-                    .ok_or(VerifyError::UnknownBlock { height: *height })?;
+                let header =
+                    light.header(*height).ok_or(VerifyError::UnknownBlock { height: *height })?;
                 if !covered.insert(*height) {
                     return Err(VerifyError::DuplicateCoverage { height: *height });
                 }
                 static EMPTY: Vec<Object> = Vec::new();
                 let block_results = results_by_height.get(height).copied().unwrap_or(&EMPTY);
-                let root = verify_block_vo(
-                    vo,
-                    block_results,
-                    q,
-                    acc,
-                    *height,
-                    cfg,
-                    &mut clause_cache,
-                )?;
+                let root =
+                    verify_block_vo(vo, block_results, q, acc, *height, cfg, &mut clause_cache)?;
                 if root != header.ads_root {
                     return Err(VerifyError::RootMismatch { height: *height });
                 }
@@ -145,9 +137,8 @@ pub fn verify_with_expected<A: Accumulator>(
                 if cfg.scheme != IndexScheme::Both {
                     return Err(VerifyError::SchemeViolation);
                 }
-                let header = light
-                    .header(*height)
-                    .ok_or(VerifyError::UnknownBlock { height: *height })?;
+                let header =
+                    light.header(*height).ok_or(VerifyError::UnknownBlock { height: *height })?;
                 if *distance > *height {
                     return Err(VerifyError::SkipHashMismatch { height: *height });
                 }
@@ -305,8 +296,28 @@ fn walk<A: Accumulator>(
 ) -> Result<Digest, VerifyError> {
     match node {
         VoNode::Internal { att, left, right } => {
-            let hl = walk(left, block_results, consumed, q, acc, height, cfg, clause_cache, group_members)?;
-            let hr = walk(right, block_results, consumed, q, acc, height, cfg, clause_cache, group_members)?;
+            let hl = walk(
+                left,
+                block_results,
+                consumed,
+                q,
+                acc,
+                height,
+                cfg,
+                clause_cache,
+                group_members,
+            )?;
+            let hr = walk(
+                right,
+                block_results,
+                consumed,
+                q,
+                acc,
+                height,
+                cfg,
+                clause_cache,
+                group_members,
+            )?;
             let pair = hash_pair(&hl, &hr);
             match (att, cfg.scheme) {
                 // `nil` internal nodes are plain Merkle pairs

@@ -41,12 +41,9 @@ impl ClauseRef {
     /// mismatches, verifying the reference is *valid for this query*.
     pub fn resolve(&self, q: &CompiledQuery) -> Result<MultiSet<ElementId>, ClauseError> {
         match self {
-            ClauseRef::Index(i) => q
-                .cnf
-                .0
-                .get(*i as usize)
-                .map(|c| c.to_multiset())
-                .ok_or(ClauseError::OutOfRange(*i)),
+            ClauseRef::Index(i) => {
+                q.cnf.0.get(*i as usize).map(|c| c.to_multiset()).ok_or(ClauseError::OutOfRange(*i))
+            }
             ClauseRef::Cell { len, prefixes } => {
                 if prefixes.is_empty() {
                     return Err(ClauseError::EmptyCell);
@@ -86,7 +83,10 @@ impl ClauseRef {
 /// How a mismatch is proven: inline, or as a member of a §6.3 batch group.
 #[derive(Clone, Debug)]
 pub enum MismatchProof<A: Accumulator> {
-    Inline { proof: A::Proof, clause: ClauseRef },
+    Inline {
+        proof: A::Proof,
+        clause: ClauseRef,
+    },
     /// Index into [`BlockVo::groups`]; the verifier sums the member
     /// AttDigests with `Sum(·)` and checks the group's single proof.
     Group(u16),
@@ -117,11 +117,7 @@ pub enum VoNode<A: Accumulator> {
         result_idx: u32,
     },
     /// A mismatching leaf.
-    LeafMismatch {
-        obj_hash: Digest,
-        att: A::Value,
-        proof: MismatchProof<A>,
-    },
+    LeafMismatch { obj_hash: Digest, att: A::Value, proof: MismatchProof<A> },
 }
 
 /// A batch-verification group (§6.3): one proof for several mismatch nodes
@@ -203,11 +199,7 @@ fn proof_size<A: Accumulator>(acc: &A, p: &MismatchProof<A>) -> usize {
 impl<A: Accumulator> VoSize<A> for BlockVo<A> {
     fn vo_size_bytes(&self, acc: &A) -> usize {
         self.root.vo_size_bytes(acc)
-            + self
-                .groups
-                .iter()
-                .map(|g| acc.proof_size() + g.clause.size_bytes())
-                .sum::<usize>()
+            + self.groups.iter().map(|g| acc.proof_size() + g.clause.size_bytes()).sum::<usize>()
     }
 }
 
@@ -216,7 +208,10 @@ impl<A: Accumulator> VoSize<A> for BlockCoverage<A> {
         match self {
             BlockCoverage::Block { vo, .. } => 8 + vo.vo_size_bytes(acc),
             BlockCoverage::Skip { clause, siblings, .. } => {
-                8 + 8 + acc.value_size() + acc.proof_size() + clause.size_bytes()
+                8 + 8
+                    + acc.value_size()
+                    + acc.proof_size()
+                    + clause.size_bytes()
                     + siblings.len() * (8 + Digest::LEN)
             }
         }

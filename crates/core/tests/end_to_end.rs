@@ -134,11 +134,7 @@ fn skips_actually_occur_under_both() {
     let cq = q.compile(DOMAIN_BITS);
     let sp = miner.into_service_provider();
     let resp = sp.time_window_query(&cq);
-    let skips = resp
-        .coverage
-        .iter()
-        .filter(|c| matches!(c, BlockCoverage::Skip { .. }))
-        .count();
+    let skips = resp.coverage.iter().filter(|c| matches!(c, BlockCoverage::Skip { .. })).count();
     assert!(skips > 0, "expected inter-block skips for an all-mismatch query");
     let verified = verify_response(&cq, &resp, &light, &sp.cfg, &sp.acc).unwrap();
     assert!(verified.is_empty());
@@ -153,10 +149,7 @@ fn adversarial_sp_is_caught() {
     let sp = miner.into_service_provider();
     let honest = sp.time_window_query(&cq);
     assert!(verify_response(&cq, &honest, &light, &sp.cfg, &sp.acc).is_ok());
-    assert!(
-        honest.result_count() > 0,
-        "need at least one result for the tampering cases below"
-    );
+    assert!(honest.result_count() > 0, "need at least one result for the tampering cases below");
 
     // Case 1 (soundness): tamper with a returned object's payload.
     let mut tampered = honest.clone();
@@ -211,11 +204,12 @@ fn proof_swapped_between_clauses_fails() {
         match n {
             VoNode::Internal { left, right, .. } => flip_clause(left) || flip_clause(right),
             VoNode::InternalMismatch { proof, .. } | VoNode::LeafMismatch { proof, .. } => {
-                if let MismatchProof::Inline { clause, .. } = proof {
-                    if let vchain_core::vo::ClauseRef::Index(i) = clause {
-                        *i ^= 1; // swap clause 0 <-> 1
-                        return true;
-                    }
+                if let MismatchProof::Inline {
+                    clause: vchain_core::vo::ClauseRef::Index(i), ..
+                } = proof
+                {
+                    *i ^= 1; // swap clause 0 <-> 1
+                    return true;
                 }
                 false
             }
@@ -246,9 +240,7 @@ fn vo_size_smaller_with_intra_index_on_clustered_data() {
         // homogeneous blocks: all objects share keywords => great clustering
         for b in 0..6u64 {
             let objs: Vec<Object> = (0..8)
-                .map(|i| {
-                    Object::new(b * 8 + i, (b + 1) * 10, vec![10], vec!["CommonKw".into()])
-                })
+                .map(|i| Object::new(b * 8 + i, (b + 1) * 10, vec![10], vec!["CommonKw".into()]))
                 .collect();
             miner.mine_block((b + 1) * 10, objs);
         }

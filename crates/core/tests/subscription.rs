@@ -3,7 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vchain_acc::{Acc2, Accumulator};
+use vchain_acc::Acc2;
 use vchain_chain::{Difficulty, LightClient, Object};
 use vchain_core::miner::{IndexScheme, Miner, MinerConfig};
 use vchain_core::query::{Query, RangeSpec};
@@ -123,10 +123,7 @@ fn collect_and_verify(
         let q = h.engine.compiled(u.query_id).expect("registered");
         let verified = verify_subscription_update(q, u, &h.light, &h.engine.cfg, &h.engine.acc)
             .expect("honest update must verify");
-        per_query
-            .entry(u.query_id)
-            .or_default()
-            .extend(verified.iter().map(|o| o.id));
+        per_query.entry(u.query_id).or_default().extend(verified.iter().map(|o| o.id));
     }
 }
 
@@ -201,11 +198,7 @@ fn lazy_defers_and_aggregates() {
     assert_eq!(flush.from_height, 0);
     assert_eq!(flush.to_height, 8);
     // skip aggregation must have compressed at least one run
-    let skips = flush
-        .coverage
-        .iter()
-        .filter(|c| matches!(c, BlockCoverage::Skip { .. }))
-        .count();
+    let skips = flush.coverage.iter().filter(|c| matches!(c, BlockCoverage::Skip { .. })).count();
     assert!(skips >= 1, "expected aggregated skip coverage, got none");
     let cq = q.compile(DOMAIN_BITS);
     let verified =

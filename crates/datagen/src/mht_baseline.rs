@@ -21,7 +21,7 @@ pub struct MhtBaseline {
 impl MhtBaseline {
     /// Build all `2^dims − 1` MHTs for one block of objects.
     pub fn build(objects: &[Object], dims: usize) -> Self {
-        assert!(dims >= 1 && dims <= 20, "dimensionality out of range");
+        assert!((1..=20).contains(&dims), "dimensionality out of range");
         let mut roots = Vec::with_capacity((1usize << dims) - 1);
         let mut node_count = 0usize;
         for mask in 1u32..(1u32 << dims) {
@@ -40,8 +40,7 @@ impl MhtBaseline {
             let leaves: Vec<Digest> = keyed
                 .iter()
                 .map(|(key, od)| {
-                    let key_bytes: Vec<u8> =
-                        key.iter().flat_map(|v| v.to_le_bytes()).collect();
+                    let key_bytes: Vec<u8> = key.iter().flat_map(|v| v.to_le_bytes()).collect();
                     hash_concat(&[b"mht/leaf", &key_bytes, &od.0])
                 })
                 .collect();
@@ -71,7 +70,9 @@ mod tests {
 
     fn objs(n: u64, dims: usize) -> Vec<Object> {
         (0..n)
-            .map(|i| Object::new(i, i, (0..dims as u64).map(|d| (i * 7 + d) % 16).collect(), vec![]))
+            .map(|i| {
+                Object::new(i, i, (0..dims as u64).map(|d| (i * 7 + d) % 16).collect(), vec![])
+            })
             .collect()
     }
 

@@ -153,7 +153,11 @@ impl WorkloadSpec {
 
     /// A query generator sharing this spec's distributions.
     pub fn query_gen(&self, seed: u64) -> QueryGen {
-        QueryGen { spec: self.clone(), rng: StdRng::seed_from_u64(seed), zipf: Zipf::new(self.vocab, self.skew) }
+        QueryGen {
+            spec: self.clone(),
+            rng: StdRng::seed_from_u64(seed),
+            zipf: Zipf::new(self.vocab, self.skew),
+        }
     }
 }
 

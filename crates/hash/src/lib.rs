@@ -6,7 +6,7 @@
 
 pub mod sha256;
 
-pub use sha256::{Sha256, sha256};
+pub use sha256::{sha256, Sha256};
 
 use core::fmt;
 use serde::{Deserialize, Serialize};
@@ -101,10 +101,7 @@ mod tests {
     #[test]
     fn digest_hex() {
         let d = hash_bytes(b"");
-        assert_eq!(
-            d.to_hex(),
-            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
-        );
+        assert_eq!(d.to_hex(), "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
         assert_eq!(format!("{d}"), d.to_hex());
     }
 

@@ -411,7 +411,7 @@ pub fn multiexp<S: CurveSpec>(bases: &[Projective<S>], scalars: &[U256]) -> Proj
         1024..=32767 => 9,
         _ => 12,
     };
-    let num_windows = (256 + c - 1) / c;
+    let num_windows = 256_u32.div_ceil(c);
     let mut result = Projective::identity();
 
     for w in (0..num_windows).rev() {

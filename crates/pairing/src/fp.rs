@@ -54,7 +54,7 @@ macro_rules! prime_field {
 
             /// Reduce an arbitrary little-endian byte string into the field.
             pub fn from_bytes_reduce(bytes: &[u8]) -> Self {
-                let mut limbs = vec![0u64; (bytes.len() + 7) / 8];
+                let mut limbs = vec![0u64; bytes.len().div_ceil(8)];
                 for (i, chunk) in bytes.chunks(8).enumerate() {
                     let mut b = [0u8; 8];
                     b[..chunk.len()].copy_from_slice(chunk);

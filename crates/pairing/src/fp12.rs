@@ -122,27 +122,15 @@ impl Field for Fp12 {
     }
 
     fn add(&self, rhs: &Self) -> Self {
-        let mut c = [Fp2::zero(); 6];
-        for i in 0..6 {
-            c[i] = self.c[i] + rhs.c[i];
-        }
-        Self { c }
+        Self { c: core::array::from_fn(|i| self.c[i] + rhs.c[i]) }
     }
 
     fn sub(&self, rhs: &Self) -> Self {
-        let mut c = [Fp2::zero(); 6];
-        for i in 0..6 {
-            c[i] = self.c[i] - rhs.c[i];
-        }
-        Self { c }
+        Self { c: core::array::from_fn(|i| self.c[i] - rhs.c[i]) }
     }
 
     fn neg(&self) -> Self {
-        let mut c = [Fp2::zero(); 6];
-        for i in 0..6 {
-            c[i] = Field::neg(&self.c[i]);
-        }
-        Self { c }
+        Self { c: core::array::from_fn(|i| Field::neg(&self.c[i])) }
     }
 
     fn mul(&self, rhs: &Self) -> Self {
@@ -156,13 +144,13 @@ impl Field for Fp12 {
                 if rhs.c[j].is_zero() {
                     continue;
                 }
-                wide[i + j] = wide[i + j] + Field::mul(&self.c[i], &rhs.c[j]);
+                wide[i + j] += Field::mul(&self.c[i], &rhs.c[j]);
             }
         }
         let mut c = [Fp2::zero(); 6];
         c.copy_from_slice(&wide[..6]);
         for k in 6..11 {
-            c[k - 6] = c[k - 6] + wide[k].mul_by_xi();
+            c[k - 6] += wide[k].mul_by_xi();
         }
         Self { c }
     }
@@ -202,7 +190,7 @@ impl Field for Fp12 {
                 let q = Field::mul(&rem[dr], &lead_inv);
                 quot[dr - dd] = q;
                 for i in 0..=dd {
-                    rem[dr - dd + i] = rem[dr - dd + i] - Field::mul(&q, &den[i]);
+                    rem[dr - dd + i] -= Field::mul(&q, &den[i]);
                 }
             }
             (trim(quot), trim(rem))
@@ -215,7 +203,7 @@ impl Field for Fp12 {
             let mut out = vec![Fp2::zero(); a.len() + b.len() - 1];
             for (i, ai) in a.iter().enumerate() {
                 for (j, bj) in b.iter().enumerate() {
-                    out[i + j] = out[i + j] + Field::mul(ai, bj);
+                    out[i + j] += Field::mul(ai, bj);
                 }
             }
             trim(out)

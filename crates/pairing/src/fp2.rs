@@ -110,10 +110,7 @@ impl Field for Fp2 {
     fn square(&self) -> Self {
         // (a + bu)^2 = (a+b)(a-b) + 2ab u
         let ab = Field::mul(&self.c0, &self.c1);
-        Self {
-            c0: Field::mul(&(self.c0 + self.c1), &(self.c0 - self.c1)),
-            c1: ab.double(),
-        }
+        Self { c0: Field::mul(&(self.c0 + self.c1), &(self.c0 - self.c1)), c1: ab.double() }
     }
 
     fn to_canonical_bytes(&self) -> Vec<u8> {
@@ -124,10 +121,7 @@ impl Field for Fp2 {
         // (a + bu)^{-1} = (a - bu) / (a² + b²)
         let norm = self.c0.square() + self.c1.square();
         let inv = norm.inverse()?;
-        Some(Self {
-            c0: Field::mul(&self.c0, &inv),
-            c1: Field::mul(&Field::neg(&self.c1), &inv),
-        })
+        Some(Self { c0: Field::mul(&self.c0, &inv), c1: Field::mul(&Field::neg(&self.c1), &inv) })
     }
 }
 

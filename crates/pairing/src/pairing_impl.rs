@@ -94,9 +94,7 @@ fn double_step(t: &mut TwistPoint, xp: &Fp, yp: &Fp) -> Fp12 {
 fn add_step(t: &mut TwistPoint, q: &TwistPoint, xp: &Fp, yp: &Fp) -> Fp12 {
     let lambda = Field::mul(
         &Field::sub(&t.y, &q.y),
-        &Field::sub(&t.x, &q.x)
-            .inverse()
-            .expect("T ≠ ±Q during a BLS Miller loop"),
+        &Field::sub(&t.x, &q.x).inverse().expect("T ≠ ±Q during a BLS Miller loop"),
     );
     let c0 = Field::sub(&Field::mul(&lambda, &t.x), &t.y);
     let c2 = Field::neg(&lambda.mul_by_fp(xp));
@@ -129,16 +127,14 @@ pub fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fp12 {
             f = Field::mul(&f, &add_step(&mut t, &q0, &xp, &yp));
         }
     }
-    debug_assert!(params::BLS_X_IS_NEGATIVE);
+    const { assert!(params::BLS_X_IS_NEGATIVE) };
     f.conjugate()
 }
 
 /// Product of Miller loops over several pairs — share one final
 /// exponentiation via [`final_exponentiation`].
 pub fn multi_miller_loop(pairs: &[(G1Affine, G2Affine)]) -> Fp12 {
-    pairs
-        .iter()
-        .fold(Fp12::one(), |acc, (p, q)| Field::mul(&acc, &miller_loop(p, q)))
+    pairs.iter().fold(Fp12::one(), |acc, (p, q)| Field::mul(&acc, &miller_loop(p, q)))
 }
 
 /// `f^{(p¹²−1)/r}`: easy part by Frobenius/conjugation, hard part by a single
@@ -170,10 +166,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn gens() -> (G1Affine, G2Affine) {
-        (
-            G1Projective::generator().to_affine(),
-            G2Projective::generator().to_affine(),
-        )
+        (G1Projective::generator().to_affine(), G2Projective::generator().to_affine())
     }
 
     #[test]

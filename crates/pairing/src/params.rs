@@ -97,7 +97,7 @@ pub fn derived() -> &'static Derived {
 /// * `p = ((x − 1)² · r) / 3 + x`  (with `x` negative).
 fn verify_moduli_against_x() {
     let x = ApInt::from_u64(BLS_X);
-    assert!(BLS_X_IS_NEGATIVE, "derivation below assumes negative x");
+    const { assert!(BLS_X_IS_NEGATIVE, "derivation below assumes negative x") };
     let one = ApInt::one();
     let r = x.pow(4).sub(&x.pow(2)).add(&one);
     assert_eq!(r.to_hex(), R_HEX, "scalar modulus mismatch with BLS parameter");

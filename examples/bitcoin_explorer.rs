@@ -64,10 +64,7 @@ fn main() {
     let results = verify_response(&q, &resp, &light, &cfg, &sp.acc).expect("verifies");
     let user_time = t1.elapsed();
 
-    println!(
-        "query: amount ∈ [128, 255] ∧ {hot_addr} over blocks {}..{}",
-        window.0, window.1
-    );
+    println!("query: amount ∈ [128, 255] ∧ {hot_addr} over blocks {}..{}", window.0, window.1);
     println!(
         "  {} verified results | SP {:.3}s | user {:.3}s | VO {:.1} KB",
         results.len(),

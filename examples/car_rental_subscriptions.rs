@@ -15,9 +15,7 @@ use vchain::acc::Acc2;
 use vchain::chain::{Difficulty, LightClient, Object};
 use vchain::core::miner::{IndexScheme, Miner, MinerConfig};
 use vchain::core::query::{Query, RangeSpec};
-use vchain::core::subscribe::{
-    verify_subscription_update, SubscriptionEngine, SubscriptionMode,
-};
+use vchain::core::subscribe::{verify_subscription_update, SubscriptionEngine, SubscriptionMode};
 
 fn main() {
     let cfg = MinerConfig {
@@ -55,7 +53,8 @@ fn main() {
             .map(|_| {
                 next_id += 1;
                 // bias away from matches so deferral is visible
-                let kind = kinds[if rng.gen_bool(0.15) { 0 } else { rng.gen_range(1..kinds.len()) }];
+                let kind =
+                    kinds[if rng.gen_bool(0.15) { 0 } else { rng.gen_range(1..kinds.len()) }];
                 let brand = brands[rng.gen_range(0..brands.len())];
                 Object::new(
                     next_id,

@@ -66,7 +66,11 @@ fn main() {
     let q = query.compile(cfg.domain_bits);
     let sp = miner.into_service_provider();
     let resp = sp.time_window_query(&q);
-    println!("SP returned {} results, VO = {} bytes", resp.result_count(), resp.vo_size_bytes(&sp.acc));
+    println!(
+        "SP returned {} results, VO = {} bytes",
+        resp.result_count(),
+        resp.vo_size_bytes(&sp.acc)
+    );
 
     // ---- the user verifies soundness & completeness -------------------
     let results = verify_response(&q, &resp, &light, &cfg, &sp.acc).expect("honest SP verifies");

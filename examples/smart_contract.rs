@@ -80,7 +80,7 @@ fn main() {
         by_ts.entry(ts).or_default().push(Object::new(
             id,
             ts,
-            vec![(ts % 256) as u64],
+            vec![ts % 256],
             kws.into_iter().map(String::from).collect(),
         ));
     }

@@ -1,0 +1,304 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Provides the bench-definition surface the workspace's five bench targets
+//! use (`criterion_group!` / `criterion_main!`, `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `BatchSize`, `Bencher::iter` / `iter_batched`) with a simple measuring
+//! harness instead of criterion's statistical machinery: each benchmark is
+//! warmed up once (unrecorded), then timed iteration-by-iteration until a
+//! wall-clock budget is spent, and the mean/min per-iteration times are
+//! printed. Good enough for the smoke numbers and regression eyeballing
+//! this repo needs; swap in the real crate when the environment has network
+//! access.
+//!
+//! Environment knobs:
+//! * `VCHAIN_BENCH_BUDGET_MS` — per-benchmark measurement budget
+//!   (default 300 ms).
+//! * Positional CLI args act as substring filters on benchmark names, like
+//!   `cargo bench -- <filter>`.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost. The shim times each routine
+/// call individually, so the variants only influence batching hints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A `group/function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    fn render(&self) -> String {
+        if self.parameter.is_empty() {
+            self.function.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { function: s.to_string(), parameter: String::new() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { function: s, parameter: String::new() }
+    }
+}
+
+/// Measures closures handed to it by a benchmark body.
+pub struct Bencher {
+    budget: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher { budget, samples: Vec::new() }
+    }
+
+    /// Time `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up once, unrecorded (cold caches / lazy statics would bias
+        // the mean), then take at least one measured sample even if the
+        // warm-up exhausted the budget.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let warmup = t0.elapsed();
+        let deadline = Instant::now() + self.budget.saturating_sub(warmup);
+        loop {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` over fresh inputs produced by `setup`; only the
+    /// routine is measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        std::hint::black_box(routine(input));
+        let warmup = t0.elapsed();
+        let deadline = Instant::now() + self.budget.saturating_sub(warmup);
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    filters: Vec<String>,
+    budget: Duration,
+    ran: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let budget_ms = std::env::var("VCHAIN_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion { filters: Vec::new(), budget: Duration::from_millis(budget_ms), ran: 0 }
+    }
+}
+
+impl Criterion {
+    /// Parse `cargo bench` CLI args: flags are ignored, positional args are
+    /// name filters.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            if a == "--" {
+                continue;
+            }
+            if a.starts_with('-') {
+                // Skip a possible value of `--flag value` style options.
+                if !a.contains('=')
+                    && matches!(
+                        a.as_str(),
+                        "--save-baseline" | "--baseline" | "--load-baseline" | "--sample-size"
+                    )
+                {
+                    args.next();
+                }
+                continue;
+            }
+            self.filters.push(a);
+        }
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f))
+    }
+
+    fn run_one(&mut self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.matches(name) {
+            return;
+        }
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        self.ran += 1;
+        let n = b.samples.len() as u32;
+        if n == 0 {
+            println!("{name:<56} (no samples)");
+            return;
+        }
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / n;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{name:<56} time: [mean {:>12}  min {:>12}  iters {n}]",
+            fmt_duration(mean),
+            fmt_duration(min)
+        );
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Print the trailing summary; called by `criterion_main!`.
+    pub fn final_summary(&self) {
+        println!("\n{} benchmark(s) measured", self.ran);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's stopping rule is
+    /// wall-clock budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F, I>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+        I: Into<BenchmarkId>,
+    {
+        let full = format!("{}/{}", self.name, id.into().render());
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<F, I>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.render());
+        self.criterion.run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Define a group function that runs each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion { filters: Vec::new(), budget: Duration::from_millis(5), ran: 0 };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.ran, 1);
+    }
+
+    #[test]
+    fn filters_skip_nonmatching() {
+        let mut c = Criterion {
+            filters: vec!["match-me".into()],
+            budget: Duration::from_millis(5),
+            ran: 0,
+        };
+        c.bench_function("other", |b| b.iter(|| ()));
+        assert_eq!(c.ran, 0);
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("match-me", 7), &3, |b, x| b.iter(|| x + 1));
+        g.finish();
+        assert_eq!(c.ran, 1);
+    }
+
+    #[test]
+    fn iter_batched_measures_routine() {
+        let mut b = Bencher::new(Duration::from_millis(2));
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput);
+        assert!(!b.samples.is_empty());
+    }
+}

@@ -1,0 +1,381 @@
+//! Offline stand-in for [`proptest`](https://proptest-rs.github.io/proptest).
+//!
+//! Implements the subset the workspace's property tests use: integer-range
+//! strategies, `prop_map`, `collection::vec`, `bool::ANY`, the `proptest!`
+//! test-harness macro and the `prop_assume!` / `prop_assert!` /
+//! `prop_assert_eq!` assertion macros, plus `ProptestConfig::with_cases`.
+//!
+//! Differences from the real crate, on purpose:
+//! * no shrinking — a failing case reports its inputs via the panic message
+//!   (every strategy value is `Debug`-printed) but is not minimised;
+//! * generation is deterministic per test function: the RNG is seeded from
+//!   the test name, so failures reproduce exactly under `cargo test`;
+//! * rejected cases (`prop_assume!`) are retried up to `max_global_rejects`
+//!   times rather than tracked with proptest's local/global split.
+
+use rand::rngs::StdRng;
+use rand::{SampleUniform, SeedableRng};
+
+pub mod bool {
+    //! Boolean strategies.
+    use super::{Strategy, TestRng};
+    use rand::RngCore as _;
+
+    /// Uniform `true`/`false`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical boolean strategy (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.0.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Strategy producing `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.0.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The deterministic RNG driving a single `proptest!` test function.
+///
+/// `Clone` lets the `proptest!` macro snapshot the pre-generation state so
+/// a failing case can replay generation to report its inputs without
+/// Debug-formatting them on every passing case.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeded from the test's fully-qualified name so each test gets an
+    /// independent, reproducible stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+/// A generator of test-case values.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// returns the final value directly.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T: SampleUniform> Strategy for core::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::Rng as _;
+        rng.0.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for core::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::Rng as _;
+        rng.0.gen_range(self.clone())
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the case is discarded, not a failure.
+    Reject(String),
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Cap on discarded cases before the runner gives up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps the pairing-heavy suites fast
+        // while still exercising the input space.
+        ProptestConfig { cases: 64, max_global_rejects: 4096 }
+    }
+}
+
+/// Drives one property: generates inputs, retries rejects, panics on the
+/// first failing case. Called by the `proptest!` macro expansion.
+pub fn run_property<F: FnMut(&mut TestRng) -> TestCaseResult>(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: F,
+) {
+    let mut rng = TestRng::for_test(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "property `{name}`: too many rejected cases \
+                         ({rejected} rejects for {passed}/{} passes)",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` failed after {passed} passing case(s): {msg}");
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude::*`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(stringify!($cond).to_string()));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} — {}", stringify!($cond), format!($($fmt)*)
+            )));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+                stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// The property-test harness macro. Each `#[test] fn name(pat in strategy, …)
+/// { body }` item expands to a normal `#[test]` that loops over generated
+/// inputs, reporting the failing inputs in the panic message.
+///
+/// Inputs are only formatted when a case fails: the pre-generation RNG
+/// state is snapshotted and generation is replayed from it on failure.
+/// This re-evaluates the strategy expressions, so strategies must be pure
+/// (true of everything in this workspace and of idiomatic proptest usage).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_property(stringify!($name), &config, |__rng| {
+                    let __rng_snapshot = __rng.clone();
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strat), __rng);
+                    )+
+                    let __result: $crate::TestCaseResult = (|| { $body Ok(()) })();
+                    __result.map_err(|e| match e {
+                        $crate::TestCaseError::Fail(msg) => {
+                            let mut __replay = __rng_snapshot;
+                            let __inputs = format!(
+                                concat!($(stringify!($arg), " = {:?}, ",)+),
+                                $(&$crate::Strategy::generate(&($strat), &mut __replay)),+
+                            );
+                            $crate::TestCaseError::Fail(format!("{msg}\n  inputs: {__inputs}"))
+                        }
+                        reject => reject,
+                    })
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0u64..10, y in 5u32..=9) {
+            prop_assert!(x < 10);
+            prop_assert!((5..=9).contains(&y));
+        }
+
+        #[test]
+        fn assume_filters(a in 0u64..100, b in 0u64..100) {
+            prop_assume!(a <= b);
+            prop_assert!(b >= a, "b={} a={}", b, a);
+        }
+
+        #[test]
+        fn vec_strategy_respects_bounds(xs in crate::collection::vec(0u32..5, 0..8)) {
+            prop_assert!(xs.len() < 8);
+            prop_assert!(xs.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn bool_any_hits_both_values() {
+        let mut rng = crate::TestRng::for_test("bool_any_hits_both_values");
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[crate::Strategy::generate(&crate::bool::ANY, &mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1], "64 draws should produce both booleans");
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let strat = (1u64..4).prop_map(|x| x * 10);
+        let mut rng = crate::TestRng::for_test("prop_map_applies");
+        for _ in 0..100 {
+            let v = crate::Strategy::generate(&strat, &mut rng);
+            assert!([10, 20, 30].contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failing_property_panics_with_inputs() {
+        crate::run_property("fail", &ProptestConfig::with_cases(5), |_rng| {
+            Err(crate::TestCaseError::Fail("boom".into()))
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        #[test]
+        #[should_panic(expected = "inputs: x =")]
+        fn failing_case_reports_replayed_inputs(x in 0u64..5) {
+            prop_assert!(x > 100, "forced failure");
+        }
+    }
+}

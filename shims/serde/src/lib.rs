@@ -1,0 +1,21 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a few public types as
+//! API surface, but no code path actually serializes anything (no
+//! `serde_json`/`bincode` in the tree — VO sizes are accounted manually in
+//! `vchain-core::vo`). Since the build environment is offline, this shim
+//! keeps the derives compiling: the traits are markers with blanket
+//! implementations and the derive macros expand to nothing. The moment a
+//! real serialization backend is introduced, replace this shim with the
+//! real `serde` (the paths are identical, so only the manifest changes).
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -6,7 +6,7 @@ use std::sync::OnceLock;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use vchain::acc::{Acc2, Accumulator};
+use vchain::acc::Acc2;
 use vchain::chain::{Difficulty, LightClient};
 use vchain::core::miner::{IndexScheme, Miner, MinerConfig};
 use vchain::core::verify::verify_response;
@@ -137,7 +137,9 @@ fn headers_are_light() {
         light.sync_header(h).unwrap();
     }
     let header_bytes = light.storage_bits() / 8;
-    let ads_bytes: usize =
-        miner.indexed().iter().map(|ib| ib.ads_size_bytes(&miner.acc)).sum();
-    assert!(header_bytes * 4 < ads_bytes, "headers ({header_bytes} B) must be far smaller than the ADS ({ads_bytes} B)");
+    let ads_bytes: usize = miner.indexed().iter().map(|ib| ib.ads_size_bytes(&miner.acc)).sum();
+    assert!(
+        header_bytes * 4 < ads_bytes,
+        "headers ({header_bytes} B) must be far smaller than the ADS ({ads_bytes} B)"
+    );
 }

@@ -7,9 +7,9 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vchain::acc::{Acc1, Acc2, Accumulator, MultiSet};
+use vchain::chain::Object;
 use vchain::core::element::ElementId;
 use vchain::core::query::{object_multiset, Query, RangeSpec};
-use vchain::chain::Object;
 
 fn acc1() -> Acc1 {
     static A: OnceLock<Acc1> = OnceLock::new();
@@ -24,9 +24,8 @@ fn acc2() -> Acc2 {
 /// Element multisets drawn from a keyword universe disjoint from other
 /// tests ("pp:<n>").
 fn ms_strategy(max_len: usize) -> impl Strategy<Value = MultiSet<ElementId>> {
-    proptest::collection::vec(0u32..40, 0..max_len).prop_map(|ids| {
-        ids.into_iter().map(|i| ElementId::keyword(&format!("pp:{i}"))).collect()
-    })
+    proptest::collection::vec(0u32..40, 0..max_len)
+        .prop_map(|ids| ids.into_iter().map(|i| ElementId::keyword(&format!("pp:{i}"))).collect())
 }
 
 proptest! {
