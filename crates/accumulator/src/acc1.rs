@@ -15,11 +15,12 @@ use std::sync::Arc;
 use rand::Rng;
 use vchain_bigint::U256;
 use vchain_pairing::{
-    multi_pairing, multiexp, pairing, Field, Fr, G1Affine, G1Projective, G2Affine, G2Projective, Gt,
+    multi_pairing, multiexp, pairing, CurveSpec, Field, Fr, G1Affine, G1Projective, G1Spec,
+    G2Affine, G2Projective, G2Spec, Gt,
 };
 
 use crate::poly::Poly;
-use crate::{AccElem, AccError, Accumulator, MultiSet};
+use crate::{rlc_coefficients, AccElem, AccError, Accumulator, MultiSet};
 
 /// The accumulative value `acc(X) ∈ G1` (a block's AttDigest under acc1).
 pub type Acc1Value = G1Affine;
@@ -165,16 +166,61 @@ impl Accumulator for Acc1 {
         lhs == self.pk.gt_gen
     }
 
+    /// Random-linear-combination batch verification: every valid triple
+    /// satisfies `e(a1ᵢ, F1ᵢ)·e(a2ᵢ, F2ᵢ) = e(g1, g2)`, so for transcript-
+    /// derived coefficients `ρᵢ` the single aggregated check
+    ///
+    /// ```text
+    /// Π e(ρᵢ·a1ᵢ, F1ᵢ)·e(ρᵢ·a2ᵢ, F2ᵢ) · e(−(Σρᵢ)·g1, g2) = 1
+    /// ```
+    ///
+    /// folds the whole batch into one `2n+1`-pair multi-pairing: one shared
+    /// Miller loop and one final exponentiation instead of `n`.
+    fn batch_verify_disjoint(&self, items: &[(Acc1Value, Acc1Value, Acc1Proof)]) -> bool {
+        match items {
+            [] => true,
+            [(a1, a2, proof)] => self.verify_disjoint(a1, a2, proof),
+            _ => {
+                let mut transcript = Vec::new();
+                for (a1, a2, proof) in items {
+                    transcript.extend_from_slice(&Self::value_bytes(a1));
+                    transcript.extend_from_slice(&Self::value_bytes(a2));
+                    transcript.extend_from_slice(&Self::proof_bytes(proof));
+                }
+                let rho = rlc_coefficients(&transcript, items.len());
+                let mut pairs = Vec::with_capacity(2 * items.len() + 1);
+                let mut rho_sum = Fr::zero();
+                for ((a1, a2, proof), r) in items.iter().zip(&rho) {
+                    let k = r.to_uint();
+                    pairs.push((a1.to_projective().mul_u256(&k).to_affine(), proof.f1));
+                    pairs.push((a2.to_projective().mul_u256(&k).to_affine(), proof.f2));
+                    rho_sum += *r;
+                }
+                pairs.push((
+                    G1Projective::generator_mul_fr(&rho_sum).neg().to_affine(),
+                    G2Projective::generator().to_affine(),
+                ));
+                multi_pairing(&pairs).is_one()
+            }
+        }
+    }
+
     fn value_bytes(v: &Acc1Value) -> Vec<u8> {
         v.to_bytes()
     }
 
+    fn proof_bytes(p: &Acc1Proof) -> Vec<u8> {
+        let mut out = p.f1.to_bytes();
+        out.extend_from_slice(&p.f2.to_bytes());
+        out
+    }
+
     fn value_size(&self) -> usize {
-        48 // one compressed G1 point
+        G1Spec::COMPRESSED_BYTES // one compressed G1 point
     }
 
     fn proof_size(&self) -> usize {
-        192 // two compressed G2 points
+        2 * G2Spec::COMPRESSED_BYTES // two compressed G2 points
     }
 }
 
@@ -322,6 +368,52 @@ mod tests {
         assert!(matches!(small.commit_g1(&p), Err(AccError::CapacityExceeded { .. })));
         // and the other direction still works
         let _ = small.prove_disjoint(&other, &ms(&[1])).unwrap();
+    }
+
+    #[test]
+    fn reported_sizes_match_serialization() {
+        let a = acc();
+        let x1 = ms(&[1, 2]);
+        let x2 = ms(&[3]);
+        let v = a.setup(&x1);
+        let proof = a.prove_disjoint(&x1, &x2).unwrap();
+        assert_eq!(Acc1::value_bytes(&v).len(), a.value_size());
+        assert_eq!(Acc1::proof_bytes(&proof).len(), a.proof_size());
+    }
+
+    fn batch(a: &Acc1, specs: &[(&[u64], &[u64])]) -> Vec<(Acc1Value, Acc1Value, Acc1Proof)> {
+        specs
+            .iter()
+            .map(|(x, y)| {
+                let (x, y) = (ms(x), ms(y));
+                (a.setup(&x), a.setup(&y), a.prove_disjoint(&x, &y).unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_verify_accepts_valid_batches() {
+        let a = acc();
+        let items = batch(&a, &[(&[1, 2], &[3, 4]), (&[5], &[6, 7]), (&[8, 8], &[9])]);
+        assert!(a.batch_verify_disjoint(&items));
+        assert!(a.batch_verify_disjoint(&[])); // empty batch is vacuously true
+        assert!(a.batch_verify_disjoint(&items[..1])); // single-item fast path
+    }
+
+    #[test]
+    fn batch_verify_rejects_one_forged_member() {
+        let a = acc();
+        let mut items = batch(&a, &[(&[1, 2], &[3, 4]), (&[5], &[6, 7]), (&[8], &[9])]);
+        // forge only the middle proof, keep the rest honest
+        items[1].2 =
+            Acc1Proof { f1: G2Projective::generator().mul_u64(77).to_affine(), f2: items[1].2.f2 };
+        assert!(!a.batch_verify_disjoint(&items));
+        // a mismatched (value, proof) pairing is also caught
+        let mut swapped = batch(&a, &[(&[1], &[2]), (&[3], &[4])]);
+        let p0 = swapped[0].2.clone();
+        swapped[0].2 = swapped[1].2.clone();
+        swapped[1].2 = p0;
+        assert!(!a.batch_verify_disjoint(&swapped));
     }
 
     #[test]

@@ -20,11 +20,12 @@ use std::sync::Arc;
 use rand::Rng;
 use vchain_bigint::U256;
 use vchain_pairing::{
-    multi_pairing, multiexp, Field, Fr, G1Affine, G1Projective, G2Affine, G2Projective,
+    multi_pairing, multiexp, CurveSpec, Field, Fr, G1Affine, G1Projective, G1Spec, G2Affine,
+    G2Projective, G2Spec,
 };
 
 use crate::acc1::fixed_base_batch;
-use crate::{AccElem, AccError, Accumulator, MultiSet};
+use crate::{rlc_coefficients, AccElem, AccError, Accumulator, MultiSet};
 
 /// The accumulative value `(d_A, d_B)` (a block's AttDigest under acc2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -178,18 +179,60 @@ impl Accumulator for Acc2 {
         multi_pairing(&[(a1.da, a2.db), (proof.pi.neg(), g2)]).is_one()
     }
 
+    /// Random-linear-combination batch verification. Construction 2's
+    /// per-triple check is `e(d_A(X₁)ᵢ, d_B(X₂)ᵢ) = e(πᵢ, g₂)`, and all the
+    /// proofs pair against the *same* fixed `g₂` — so beyond the shared
+    /// Miller loop the proof side collapses into a single multi-exponent:
+    ///
+    /// ```text
+    /// Π e(ρᵢ·d_Aᵢ, d_Bᵢ) · e(−Σρᵢπᵢ, g₂) = 1
+    /// ```
+    ///
+    /// An `n`-batch costs one `n+1`-pair multi-pairing (one final
+    /// exponentiation) plus one `n`-term Pippenger multiexp of 128-bit
+    /// scalars, versus `n` full pairing checks for the naive loop.
+    fn batch_verify_disjoint(&self, items: &[(Acc2Value, Acc2Value, Acc2Proof)]) -> bool {
+        match items {
+            [] => true,
+            [(a1, a2, proof)] => self.verify_disjoint(a1, a2, proof),
+            _ => {
+                let mut transcript = Vec::new();
+                for (a1, a2, proof) in items {
+                    transcript.extend_from_slice(&Self::value_bytes(a1));
+                    transcript.extend_from_slice(&Self::value_bytes(a2));
+                    transcript.extend_from_slice(&Self::proof_bytes(proof));
+                }
+                let rho = rlc_coefficients(&transcript, items.len());
+                let scalars: Vec<U256> = rho.iter().map(Fr::to_uint).collect();
+                let mut pairs = Vec::with_capacity(items.len() + 1);
+                for ((a1, a2, _), k) in items.iter().zip(&scalars) {
+                    pairs.push((a1.da.to_projective().mul_u256(k).to_affine(), a2.db));
+                }
+                let pis: Vec<G1Projective> =
+                    items.iter().map(|(_, _, p)| p.pi.to_projective()).collect();
+                let agg_pi = multiexp(&pis, &scalars);
+                pairs.push((agg_pi.neg().to_affine(), G2Projective::generator().to_affine()));
+                multi_pairing(&pairs).is_one()
+            }
+        }
+    }
+
     fn value_bytes(v: &Acc2Value) -> Vec<u8> {
         let mut out = v.da.to_bytes();
         out.extend_from_slice(&v.db.to_bytes());
         out
     }
 
+    fn proof_bytes(p: &Acc2Proof) -> Vec<u8> {
+        p.pi.to_bytes()
+    }
+
     fn value_size(&self) -> usize {
-        48 + 96 // compressed G1 + compressed G2
+        G1Spec::COMPRESSED_BYTES + G2Spec::COMPRESSED_BYTES
     }
 
     fn proof_size(&self) -> usize {
-        48 // compressed G1
+        G1Spec::COMPRESSED_BYTES // one compressed G1 point
     }
 
     fn supports_aggregation(&self) -> bool {
@@ -316,6 +359,50 @@ mod tests {
         let y = ms(&[9]);
         let proof = a.prove_disjoint(&x, &y).unwrap();
         assert!(a.verify_disjoint(&a.setup(&x), &a.setup(&y), &proof));
+    }
+
+    #[test]
+    fn reported_sizes_match_serialization() {
+        let a = acc();
+        let x1 = ms(&[1, 2]);
+        let x2 = ms(&[10]);
+        let v = a.setup(&x1);
+        let proof = a.prove_disjoint(&x1, &x2).unwrap();
+        assert_eq!(Acc2::value_bytes(&v).len(), a.value_size());
+        assert_eq!(Acc2::proof_bytes(&proof).len(), a.proof_size());
+    }
+
+    fn batch(a: &Acc2, specs: &[(&[u64], &[u64])]) -> Vec<(Acc2Value, Acc2Value, Acc2Proof)> {
+        specs
+            .iter()
+            .map(|(x, y)| {
+                let (x, y) = (ms(x), ms(y));
+                (a.setup(&x), a.setup(&y), a.prove_disjoint(&x, &y).unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_verify_accepts_valid_batches() {
+        let a = acc();
+        let items = batch(&a, &[(&[1, 2], &[10, 20]), (&[3], &[30]), (&[4, 4], &[9])]);
+        assert!(a.batch_verify_disjoint(&items));
+        assert!(a.batch_verify_disjoint(&[]));
+        assert!(a.batch_verify_disjoint(&items[..1]));
+    }
+
+    #[test]
+    fn batch_verify_rejects_one_forged_member() {
+        let a = acc();
+        let mut items = batch(&a, &[(&[1, 2], &[10, 20]), (&[3], &[30]), (&[4], &[9])]);
+        items[2].2 = Acc2Proof { pi: G1Projective::generator().mul_u64(13).to_affine() };
+        assert!(!a.batch_verify_disjoint(&items));
+        // swapping two otherwise-valid proofs must also fail
+        let mut swapped = batch(&a, &[(&[1], &[10]), (&[2], &[20])]);
+        let p0 = swapped[0].2;
+        swapped[0].2 = swapped[1].2;
+        swapped[1].2 = p0;
+        assert!(!a.batch_verify_disjoint(&swapped));
     }
 
     #[test]

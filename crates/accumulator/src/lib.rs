@@ -88,6 +88,22 @@ impl fmt::Display for AccError {
 
 impl std::error::Error for AccError {}
 
+/// Derive `n` random-linear-combination coefficients from a batch
+/// transcript, Fiat–Shamir style: the verifier hashes every value and proof
+/// in the batch, so the coefficients are fixed only *after* the prover has
+/// committed to all of them. Each coefficient is a uniform 128-bit scalar —
+/// enough for a `2⁻¹²⁸` soundness error while keeping the verifier's
+/// per-item scalar multiplications at half width.
+pub(crate) fn rlc_coefficients(transcript: &[u8], n: usize) -> Vec<Fr> {
+    let seed = vchain_hash::hash_domain("vchain/acc/batch-rlc", transcript);
+    (0..n)
+        .map(|i| {
+            let d = vchain_hash::hash_concat(&[seed.as_bytes(), &(i as u64).to_le_bytes()]);
+            Fr::from_bytes_reduce(&d.as_bytes()[..16])
+        })
+        .collect()
+}
+
 /// The interface the vChain query layer programs against (paper §4,
 /// "Cryptographic Multiset Accumulator").
 pub trait Accumulator: Clone + Send + Sync + 'static {
@@ -112,14 +128,34 @@ pub trait Accumulator: Clone + Send + Sync + 'static {
     /// `VerifyDisjoint(acc(X₁), acc(X₂), π, pk) → {0, 1}`.
     fn verify_disjoint(&self, a1: &Self::Value, a2: &Self::Value, proof: &Self::Proof) -> bool;
 
+    /// Verify many `(acc(X₁), acc(X₂), π)` triples at once.
+    ///
+    /// The default implementation simply loops; the pairing-based
+    /// constructions override it with a random-linear-combination
+    /// aggregation — one aggregated check replaces many independent ones —
+    /// that folds every triple into a *single* multi-pairing (one shared
+    /// Miller loop, one final exponentiation). The combination
+    /// coefficients are 128-bit scalars derived Fiat–Shamir-style from the
+    /// whole transcript, so a cheating prover cannot anticipate them: a
+    /// batch containing any invalid triple passes with probability at most
+    /// `≈ 2⁻¹²⁸`.
+    fn batch_verify_disjoint(&self, items: &[(Self::Value, Self::Value, Self::Proof)]) -> bool {
+        items.iter().all(|(a1, a2, proof)| self.verify_disjoint(a1, a2, proof))
+    }
+
     /// Canonical bytes of a value, for embedding in block-header hashes.
     fn value_bytes(v: &Self::Value) -> Vec<u8>;
 
-    /// Nominal wire size of a value in bytes (compressed points), for VO
-    /// size accounting.
+    /// Canonical bytes of a proof, for wire-size accounting and batch
+    /// transcripts.
+    fn proof_bytes(p: &Self::Proof) -> Vec<u8>;
+
+    /// Wire size of a value in bytes. Must equal
+    /// `Self::value_bytes(v).len()` for every value.
     fn value_size(&self) -> usize;
 
-    /// Nominal wire size of a proof in bytes.
+    /// Wire size of a proof in bytes. Must equal
+    /// `Self::proof_bytes(p).len()` for every proof.
     fn proof_size(&self) -> usize;
 
     /// Whether `Sum`/`ProofSum` are available (Construction 2 only).

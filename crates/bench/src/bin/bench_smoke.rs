@@ -1,0 +1,137 @@
+//! Machine-readable perf smoke: times the pairing-engine hot paths and the
+//! end-to-end block-query path, and writes the results as JSON so the perf
+//! trajectory is tracked across PRs (CI uploads the file as an artifact).
+//!
+//! ```text
+//! bench_smoke [output.json]     # default output: BENCH_pairing.json
+//! ```
+//!
+//! Each entry records the number of iterations and the mean wall-clock
+//! microseconds per iteration. Iteration counts are fixed (not adaptive) so
+//! runs are comparable and cheap enough for CI.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vchain_acc::{Acc2, Accumulator, MultiSet};
+use vchain_bench::{shared_acc1, shared_acc2};
+use vchain_core::intra::IntraTree;
+use vchain_datagen::{Dataset, WorkloadSpec};
+use vchain_pairing::{
+    final_exponentiation, multi_miller_loop, multi_pairing, pairing, Field, Fp, Fp12, Fr,
+    G1Projective, G2Projective,
+};
+
+struct Timing {
+    name: &'static str,
+    iters: u32,
+    us_per_iter: f64,
+}
+
+fn time<T>(name: &'static str, iters: u32, mut f: impl FnMut() -> T) -> Timing {
+    std::hint::black_box(f()); // warm-up (also initializes lazy tables)
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let us_per_iter = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    eprintln!("[bench-smoke] {name}: {us_per_iter:.2} µs/iter ({iters} iters)");
+    Timing { name, iters, us_per_iter }
+}
+
+fn ms(v: &[u64]) -> MultiSet<u64> {
+    v.iter().copied().collect()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pairing.json".to_string());
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    let mut timings = Vec::new();
+
+    // --- field layer ---------------------------------------------------
+    let a = Fp::random(&mut rng);
+    let b = Fp::random(&mut rng);
+    timings.push(time("fp_mul", 100_000, || a * b));
+    timings.push(time("fp_inverse", 10_000, || a.inverse()));
+    let x = Fp12::random(&mut rng);
+    let y = Fp12::random(&mut rng);
+    timings.push(time("fp12_mul", 10_000, || Field::mul(&x, &y)));
+    timings.push(time("fp12_inverse", 10_000, || x.inverse()));
+
+    // --- group layer ----------------------------------------------------
+    let k = Fr::random(&mut rng);
+    let g1 = G1Projective::generator();
+    timings.push(time("g1_scalar_mul", 200, || g1.mul_fr(&k)));
+    timings.push(time("g1_generator_mul", 200, || G1Projective::generator_mul_fr(&k)));
+
+    // --- pairing layer --------------------------------------------------
+    let p = G1Projective::generator().mul_u64(7).to_affine();
+    let q = G2Projective::generator().mul_u64(9).to_affine();
+    let f = multi_miller_loop(&[(p, q)]);
+    timings.push(time("miller_loop", 50, || multi_miller_loop(&[(p, q)])));
+    timings.push(time("final_exp", 50, || final_exponentiation(&f)));
+    timings.push(time("pairing", 50, || pairing(&p, &q)));
+    let pairs10: Vec<_> = (1..=10u64)
+        .map(|i| {
+            (
+                G1Projective::generator().mul_u64(i).to_affine(),
+                G2Projective::generator().mul_u64(i + 1).to_affine(),
+            )
+        })
+        .collect();
+    timings.push(time("multi_pairing_10", 10, || multi_pairing(&pairs10)));
+
+    // --- accumulator layer ----------------------------------------------
+    let acc1 = shared_acc1();
+    let acc2 = shared_acc2();
+    let (x1, x2) = (ms(&[1, 2, 3]), ms(&[10, 20]));
+    let v1a = acc1.setup(&x1);
+    let v2a = acc1.setup(&x2);
+    let p1 = acc1.prove_disjoint(&x1, &x2).unwrap();
+    timings.push(time("verify_disjoint_acc1", 20, || acc1.verify_disjoint(&v1a, &v2a, &p1)));
+    let v1b = acc2.setup(&x1);
+    let v2b = acc2.setup(&x2);
+    let p2 = acc2.prove_disjoint(&x1, &x2).unwrap();
+    timings.push(time("verify_disjoint_acc2", 20, || acc2.verify_disjoint(&v1b, &v2b, &p2)));
+    let batch: Vec<_> = (0..32u64)
+        .map(|i| {
+            let (xa, xb) = (ms(&[2 * i + 1]), ms(&[1000 + i]));
+            (acc2.setup(&xa), acc2.setup(&xb), acc2.prove_disjoint(&xa, &xb).unwrap())
+        })
+        .collect();
+    let t = time("batch_verify_disjoint_acc2_32", 5, || acc2.batch_verify_disjoint(&batch));
+    timings.push(Timing {
+        name: "batch_verify_disjoint_acc2_per_item",
+        iters: t.iters,
+        us_per_iter: t.us_per_iter / batch.len() as f64,
+    });
+    timings.push(t);
+
+    // --- end-to-end block query (the paper's intra_acc2 hot path) -------
+    let spec = WorkloadSpec::paper_defaults(Dataset::FourSquare, 1);
+    let w = spec.generate();
+    let mut qg = spec.query_gen(5);
+    let cq = qg.time_window((0, 1_000_000)).compile(spec.domain_bits);
+    let objects = w.blocks[0].1.clone();
+    let acc2_honest = Acc2::keygen(8192, &mut StdRng::seed_from_u64(8));
+    let tree = IntraTree::build_clustered(&objects, &acc2_honest, 8);
+    timings
+        .push(time("block_query_intra_acc2", 5, || tree.query(&objects, &cq, &acc2_honest, false)));
+
+    // --- JSON output -----------------------------------------------------
+    let mut json = String::from("{\n  \"schema\": \"vchain-bench-smoke/v1\",\n  \"timings\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let comma = if i + 1 == timings.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"iters\": {}, \"us_per_iter\": {:.3}}}{comma}",
+            t.name, t.iters, t.us_per_iter
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write bench JSON");
+    println!("{json}");
+    eprintln!("[bench-smoke] wrote {out_path}");
+}

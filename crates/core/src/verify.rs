@@ -85,6 +85,42 @@ pub fn verify_response<A: Accumulator>(
     verify_with_expected(q, response, light, cfg, acc, expected)
 }
 
+/// Deferred disjointness checks, collected across the whole response and
+/// flushed as one random-linear-combination batch: every skip-entry,
+/// inline-mismatch and §6.3 batch-group check lands here, so an entire
+/// query response costs O(1) final exponentiations instead of O(clauses).
+struct DisjointBatch<A: Accumulator> {
+    items: Vec<(A::Value, A::Value, A::Proof)>,
+    heights: Vec<u64>,
+}
+
+impl<A: Accumulator> DisjointBatch<A> {
+    fn new() -> Self {
+        Self { items: Vec::new(), heights: Vec::new() }
+    }
+
+    fn push(&mut self, a1: A::Value, a2: A::Value, proof: A::Proof, height: u64) {
+        self.items.push((a1, a2, proof));
+        self.heights.push(height);
+    }
+
+    /// Run the aggregated check; on rejection, re-verify individually so the
+    /// error still names the offending height.
+    fn flush(self, acc: &A) -> Result<(), VerifyError> {
+        if self.items.is_empty() || acc.batch_verify_disjoint(&self.items) {
+            return Ok(());
+        }
+        for ((a1, a2, proof), height) in self.items.iter().zip(&self.heights) {
+            if !acc.verify_disjoint(a1, a2, proof) {
+                return Err(VerifyError::BadProof { height: *height });
+            }
+        }
+        // Unreachable in practice: an all-valid batch satisfies the RLC
+        // identity with probability 1. Fail closed regardless.
+        Err(VerifyError::BadProof { height: self.heights[0] })
+    }
+}
+
 /// Core verification against an explicit set of expected block heights —
 /// shared by time-window queries and subscription updates (§7), whose
 /// expected coverage is the interval since the last update.
@@ -106,6 +142,8 @@ pub fn verify_with_expected<A: Accumulator>(
     let mut verified_results = Vec::new();
     // Cache clause accumulator values — they are query-side and reusable.
     let mut clause_cache: ClauseCache<A> = ClauseCache::new();
+    // All pairing checks in the response defer into one RLC batch.
+    let mut batch: DisjointBatch<A> = DisjointBatch::new();
 
     for cov in &response.coverage {
         match cov {
@@ -117,8 +155,16 @@ pub fn verify_with_expected<A: Accumulator>(
                 }
                 static EMPTY: Vec<Object> = Vec::new();
                 let block_results = results_by_height.get(height).copied().unwrap_or(&EMPTY);
-                let root =
-                    verify_block_vo(vo, block_results, q, acc, *height, cfg, &mut clause_cache)?;
+                let root = verify_block_vo_into(
+                    vo,
+                    block_results,
+                    q,
+                    acc,
+                    *height,
+                    cfg,
+                    &mut clause_cache,
+                    &mut batch,
+                )?;
                 if root != header.ads_root {
                     return Err(VerifyError::RootMismatch { height: *height });
                 }
@@ -171,12 +217,13 @@ pub fn verify_with_expected<A: Accumulator>(
                 // 4. the disjointness proof against a valid clause
                 let clause_val = resolve_clause(acc, q, clause, &mut clause_cache)
                     .ok_or(VerifyError::BadClause { height: *height })?;
-                if !acc.verify_disjoint(att, &clause_val, proof) {
-                    return Err(VerifyError::BadProof { height: *height });
-                }
+                batch.push(att.clone(), clause_val, proof.clone(), *height);
             }
         }
     }
+
+    // All deferred pairing checks, in one aggregated multi-pairing.
+    batch.flush(acc)?;
 
     // Completeness: every expected block covered.
     if let Some(&missing) = expected.difference(&covered).next() {
@@ -239,7 +286,9 @@ pub fn resolve_clause<A: Accumulator>(
     Some(v)
 }
 
-/// Verify one block VO and return the reconstructed ADS root.
+/// Verify one block VO and return the reconstructed ADS root. Standalone
+/// entry point: runs its own (per-block) pairing batch. Response-level
+/// verification uses [`verify_with_expected`], which batches across blocks.
 pub fn verify_block_vo<A: Accumulator>(
     vo: &BlockVo<A>,
     block_results: &[Object],
@@ -248,6 +297,25 @@ pub fn verify_block_vo<A: Accumulator>(
     height: u64,
     cfg: &MinerConfig,
     clause_cache: &mut ClauseCache<A>,
+) -> Result<Digest, VerifyError> {
+    let mut batch = DisjointBatch::new();
+    let root =
+        verify_block_vo_into(vo, block_results, q, acc, height, cfg, clause_cache, &mut batch)?;
+    batch.flush(acc)?;
+    Ok(root)
+}
+
+/// [`verify_block_vo`] with the pairing checks deferred into `batch`.
+#[allow(clippy::too_many_arguments)]
+fn verify_block_vo_into<A: Accumulator>(
+    vo: &BlockVo<A>,
+    block_results: &[Object],
+    q: &CompiledQuery,
+    acc: &A,
+    height: u64,
+    cfg: &MinerConfig,
+    clause_cache: &mut ClauseCache<A>,
+    batch: &mut DisjointBatch<A>,
 ) -> Result<Digest, VerifyError> {
     let mut consumed = vec![false; block_results.len()];
     // group id -> summed member AttDigests (verified after the walk)
@@ -262,11 +330,13 @@ pub fn verify_block_vo<A: Accumulator>(
         cfg,
         clause_cache,
         &mut group_members,
+        batch,
     )?;
     if !consumed.iter().all(|&c| c) {
         return Err(VerifyError::ResultIndexing { height });
     }
-    // §6.3: verify each batch group with one Sum + one VerifyDisjoint.
+    // §6.3: each batch group costs one Sum; its disjointness check joins
+    // the deferred batch like every other proof.
     for (gid, members) in group_members {
         let g = vo.groups.get(gid as usize).ok_or(VerifyError::BadGroup { height })?;
         if !acc.supports_aggregation() {
@@ -275,9 +345,7 @@ pub fn verify_block_vo<A: Accumulator>(
         let summed = acc.sum(&members).map_err(|_| VerifyError::AggregationUnsupported)?;
         let clause_val = resolve_clause(acc, q, &g.clause, clause_cache)
             .ok_or(VerifyError::BadClause { height })?;
-        if !acc.verify_disjoint(&summed, &clause_val, &g.proof) {
-            return Err(VerifyError::BadProof { height });
-        }
+        batch.push(summed, clause_val, g.proof.clone(), height);
     }
     Ok(root)
 }
@@ -293,6 +361,7 @@ fn walk<A: Accumulator>(
     cfg: &MinerConfig,
     clause_cache: &mut ClauseCache<A>,
     group_members: &mut BTreeMap<u16, Vec<A::Value>>,
+    batch: &mut DisjointBatch<A>,
 ) -> Result<Digest, VerifyError> {
     match node {
         VoNode::Internal { att, left, right } => {
@@ -306,6 +375,7 @@ fn walk<A: Accumulator>(
                 cfg,
                 clause_cache,
                 group_members,
+                batch,
             )?;
             let hr = walk(
                 right,
@@ -317,6 +387,7 @@ fn walk<A: Accumulator>(
                 cfg,
                 clause_cache,
                 group_members,
+                batch,
             )?;
             let pair = hash_pair(&hl, &hr);
             match (att, cfg.scheme) {
@@ -334,7 +405,7 @@ fn walk<A: Accumulator>(
             if cfg.scheme == IndexScheme::Nil {
                 return Err(VerifyError::SchemeViolation);
             }
-            check_mismatch_proof(att, proof, q, acc, height, clause_cache, group_members)?;
+            check_mismatch_proof(att, proof, q, acc, height, clause_cache, group_members, batch)?;
             Ok(internal_hash::<A>(child_hash, att))
         }
         VoNode::LeafMatch { att, result_idx } => {
@@ -347,12 +418,13 @@ fn walk<A: Accumulator>(
             Ok(leaf_hash::<A>(&obj.digest(), att))
         }
         VoNode::LeafMismatch { obj_hash, att, proof } => {
-            check_mismatch_proof(att, proof, q, acc, height, clause_cache, group_members)?;
+            check_mismatch_proof(att, proof, q, acc, height, clause_cache, group_members, batch)?;
             Ok(leaf_hash::<A>(obj_hash, att))
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn check_mismatch_proof<A: Accumulator>(
     att: &A::Value,
     proof: &MismatchProof<A>,
@@ -361,14 +433,13 @@ fn check_mismatch_proof<A: Accumulator>(
     height: u64,
     clause_cache: &mut ClauseCache<A>,
     group_members: &mut BTreeMap<u16, Vec<A::Value>>,
+    batch: &mut DisjointBatch<A>,
 ) -> Result<(), VerifyError> {
     match proof {
         MismatchProof::Inline { proof, clause } => {
             let clause_val = resolve_clause(acc, q, clause, clause_cache)
                 .ok_or(VerifyError::BadClause { height })?;
-            if !acc.verify_disjoint(att, &clause_val, proof) {
-                return Err(VerifyError::BadProof { height });
-            }
+            batch.push(att.clone(), clause_val, proof.clone(), height);
             Ok(())
         }
         MismatchProof::Group(gid) => {

@@ -28,7 +28,10 @@ pub trait CurveSpec: Copy + Clone + Send + Sync + 'static {
     fn b3() -> Self::F;
     /// The (checked) published generator.
     fn generator() -> Affine<Self>;
-    /// Compressed point size in bytes, for VO size accounting.
+    /// Cached fixed-base window table for the generator (lazily built).
+    fn generator_table() -> &'static FixedBaseTable<Self>;
+    /// Exact serialized size of a compressed point (`1` flag byte + `x`
+    /// coordinate); [`Affine::to_bytes`] always emits this many bytes.
     const COMPRESSED_BYTES: usize;
     /// Human-readable name for diagnostics.
     const NAME: &'static str;
@@ -44,6 +47,120 @@ pub struct G2Spec;
 
 static G1_GEN: OnceLock<Affine<G1Spec>> = OnceLock::new();
 static G2_GEN: OnceLock<Affine<G2Spec>> = OnceLock::new();
+static G1_TABLE: OnceLock<FixedBaseTable<G1Spec>> = OnceLock::new();
+static G2_TABLE: OnceLock<FixedBaseTable<G2Spec>> = OnceLock::new();
+
+/// Window width of the wNAF scalar-multiplication ladder.
+const WNAF_WINDOW: u32 = 4;
+/// Window width of the fixed-base generator tables.
+const FIXED_BASE_WINDOW: u32 = 4;
+
+/// Precomputed multiples of a fixed base: `windows[i][j] = (j+1)·2^{w·i}·B`.
+/// A scalar multiplication then needs only one table addition per `w`-bit
+/// window — no doublings at all.
+pub struct FixedBaseTable<S: CurveSpec> {
+    window: u32,
+    windows: Vec<Vec<Projective<S>>>,
+}
+
+impl<S: CurveSpec> FixedBaseTable<S> {
+    pub fn new(base: &Projective<S>, window: u32) -> Self {
+        assert!((1..=8).contains(&window));
+        let num_windows = 256u32.div_ceil(window);
+        let per_window = (1usize << window) - 1;
+        let mut windows = Vec::with_capacity(num_windows as usize);
+        let mut b = *base;
+        for _ in 0..num_windows {
+            let mut entries = Vec::with_capacity(per_window);
+            let mut cur = b;
+            for _ in 0..per_window {
+                entries.push(cur);
+                cur = cur.add(&b);
+            }
+            // after 2^w − 1 additions, `cur` is exactly 2^w·b
+            b = cur;
+            windows.push(entries);
+        }
+        Self { window, windows }
+    }
+
+    pub fn mul(&self, k: &U256) -> Projective<S> {
+        let mut acc = Projective::identity();
+        let top = match k.highest_bit() {
+            None => return acc,
+            Some(t) => t,
+        };
+        for (i, entries) in self.windows.iter().enumerate() {
+            let shift = i as u32 * self.window;
+            if shift > top {
+                break;
+            }
+            let mut idx = 0usize;
+            for b in 0..self.window {
+                if k.bit(shift + b) {
+                    idx |= 1 << b;
+                }
+            }
+            if idx > 0 {
+                acc = acc.add(&entries[idx - 1]);
+            }
+        }
+        acc
+    }
+}
+
+/// Width-`w` non-adjacent-form digits of `k`, least-significant first.
+/// Every nonzero digit is odd and lies in `[−2^{w−1}, 2^{w−1})`; at most
+/// one of any `w` consecutive digits is nonzero.
+fn wnaf_digits(k: &U256, w: u32) -> Vec<i16> {
+    if k.is_zero() {
+        return Vec::new();
+    }
+    // one spare limb: adding |d| < 2^w after a negative digit may carry out
+    let mut l = [0u64; 5];
+    l[..4].copy_from_slice(&k.0);
+    let mut digits = Vec::with_capacity(260);
+    while l.iter().any(|&x| x != 0) {
+        let d: i64 = if l[0] & 1 == 1 {
+            let mask = (1u64 << w) - 1;
+            let mut d = (l[0] & mask) as i64;
+            if d >= 1i64 << (w - 1) {
+                d -= 1i64 << w;
+            }
+            // subtract the digit so the low w bits become zero
+            if d > 0 {
+                let mut borrow = d as u64;
+                for li in l.iter_mut() {
+                    let (v, b) = li.overflowing_sub(borrow);
+                    *li = v;
+                    borrow = b as u64;
+                    if borrow == 0 {
+                        break;
+                    }
+                }
+            } else {
+                let mut carry = (-d) as u64;
+                for li in l.iter_mut() {
+                    let (v, c) = li.overflowing_add(carry);
+                    *li = v;
+                    carry = c as u64;
+                    if carry == 0 {
+                        break;
+                    }
+                }
+            }
+            d
+        } else {
+            0
+        };
+        digits.push(d as i16);
+        // shift right by one bit
+        for i in 0..5 {
+            l[i] = (l[i] >> 1) | if i + 1 < 5 { l[i + 1] << 63 } else { 0 };
+        }
+    }
+    digits
+}
 
 impl CurveSpec for G1Spec {
     type F = Fp;
@@ -72,7 +189,13 @@ impl CurveSpec for G1Spec {
         })
     }
 
-    const COMPRESSED_BYTES: usize = 48;
+    fn generator_table() -> &'static FixedBaseTable<Self> {
+        G1_TABLE.get_or_init(|| {
+            FixedBaseTable::new(&Self::generator().to_projective(), FIXED_BASE_WINDOW)
+        })
+    }
+
+    const COMPRESSED_BYTES: usize = 49;
     const NAME: &'static str = "G1";
 }
 
@@ -110,7 +233,13 @@ impl CurveSpec for G2Spec {
         })
     }
 
-    const COMPRESSED_BYTES: usize = 96;
+    fn generator_table() -> &'static FixedBaseTable<Self> {
+        G2_TABLE.get_or_init(|| {
+            FixedBaseTable::new(&Self::generator().to_projective(), FIXED_BASE_WINDOW)
+        })
+    }
+
+    const COMPRESSED_BYTES: usize = 97;
     const NAME: &'static str = "G2";
 }
 
@@ -165,17 +294,20 @@ impl<S: CurveSpec> Affine<S> {
         Self { x: self.x, y: Field::neg(&self.y), infinity: self.infinity }
     }
 
-    /// Canonical byte encoding: a flag byte (0 = normal, 1 = infinity)
-    /// followed by `x || y`. Used when hashing group elements into block
-    /// headers; the on-wire "compressed" size reported by the VO accounting
-    /// is [`CurveSpec::COMPRESSED_BYTES`] instead.
+    /// Canonical *compressed* byte encoding: a flag byte (bit 0 = infinity,
+    /// bit 1 = sign of `y`) followed by the `x` coordinate (zeros for the
+    /// identity). Always exactly [`CurveSpec::COMPRESSED_BYTES`] bytes, so
+    /// the VO size accounting equals what is actually serialized.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(1 + 2 * 48);
-        out.push(self.infinity as u8);
-        if !self.infinity {
+        let mut out = Vec::with_capacity(S::COMPRESSED_BYTES);
+        if self.infinity {
+            out.push(1u8);
+            out.resize(S::COMPRESSED_BYTES, 0);
+        } else {
+            out.push((self.y.is_lexicographically_largest() as u8) << 1);
             out.extend_from_slice(&self.x.to_canonical_bytes());
-            out.extend_from_slice(&self.y.to_canonical_bytes());
         }
+        debug_assert_eq!(out.len(), S::COMPRESSED_BYTES);
         out
     }
 }
@@ -305,22 +437,43 @@ impl<S: CurveSpec> Projective<S> {
         }
     }
 
-    /// Scalar multiplication by a canonical 256-bit integer (double-and-add,
-    /// MSB first).
+    /// Scalar multiplication by a canonical 256-bit integer, via
+    /// width-4 windowed NAF: ~w/(w+1) of the double-and-add additions are
+    /// eliminated using a precomputed odd-multiples table (subtractions are
+    /// free because point negation is).
     pub fn mul_u256(&self, k: &U256) -> Self {
+        let digits = wnaf_digits(k, WNAF_WINDOW);
+        if digits.is_empty() {
+            return Self::identity();
+        }
+        // odd multiples: [P, 3P, 5P, …, (2^{w−1} − 1)P]
+        let two_p = self.double();
+        let mut table = [Self::identity(); 1 << (WNAF_WINDOW - 2)];
+        table[0] = *self;
+        for i in 1..table.len() {
+            table[i] = table[i - 1].add(&two_p);
+        }
         let mut acc = Self::identity();
-        match k.highest_bit() {
-            None => acc,
-            Some(top) => {
-                for i in (0..=top).rev() {
-                    acc = acc.double();
-                    if k.bit(i) {
-                        acc = acc.add(self);
-                    }
-                }
-                acc
+        for &d in digits.iter().rev() {
+            acc = acc.double();
+            if d > 0 {
+                acc = acc.add(&table[(d as usize - 1) / 2]);
+            } else if d < 0 {
+                acc = acc.add(&table[((-d) as usize - 1) / 2].neg());
             }
         }
+        acc
+    }
+
+    /// Fixed-base scalar multiplication of the group generator using the
+    /// cached per-window table: ~`256/w` additions and *no* doublings.
+    pub fn generator_mul(k: &U256) -> Self {
+        S::generator_table().mul(k)
+    }
+
+    /// [`Projective::generator_mul`] for a scalar-field element.
+    pub fn generator_mul_fr(k: &Fr) -> Self {
+        Self::generator_mul(&k.to_uint())
     }
 
     /// Scalar multiplication by a scalar-field element.
@@ -411,7 +564,14 @@ pub fn multiexp<S: CurveSpec>(bases: &[Projective<S>], scalars: &[U256]) -> Proj
         1024..=32767 => 9,
         _ => 12,
     };
-    let num_windows = 256_u32.div_ceil(c);
+    // Only sweep windows up to the highest set bit across all scalars: the
+    // prove_disjoint path multiplies by small multiplicity counts, where
+    // this collapses the 256-bit sweep to a handful of windows.
+    let max_bits = scalars.iter().filter_map(|s| s.highest_bit()).max().map_or(0, |b| b + 1);
+    if max_bits == 0 {
+        return Projective::identity();
+    }
+    let num_windows = max_bits.div_ceil(c);
     let mut result = Projective::identity();
 
     for w in (0..num_windows).rev() {
@@ -516,6 +676,47 @@ mod tests {
         assert!(G2Projective::generator().mul_u256(&r_mod).is_identity());
     }
 
+    /// Plain MSB-first double-and-add, as an independent reference.
+    fn naive_mul(p: &G1Projective, k: &U256) -> G1Projective {
+        let mut acc = G1Projective::identity();
+        if let Some(top) = k.highest_bit() {
+            for i in (0..=top).rev() {
+                acc = acc.double();
+                if k.bit(i) {
+                    acc = acc.add(p);
+                }
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn wnaf_mul_matches_naive_ladder() {
+        let mut r = rng();
+        let g = G1Projective::generator();
+        for _ in 0..10 {
+            let k = Fr::random(&mut r).to_uint();
+            assert_eq!(g.mul_u256(&k), naive_mul(&g, &k));
+        }
+        for small in [0u64, 1, 2, 7, 8, 15, 16, 255, u64::MAX] {
+            let k = U256::from_u64(small);
+            assert_eq!(g.mul_u256(&k), naive_mul(&g, &k));
+        }
+        assert!(super::wnaf_digits(&U256::ZERO, 4).is_empty());
+    }
+
+    #[test]
+    fn generator_mul_matches_generic_mul() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let k = Fr::random(&mut r).to_uint();
+            assert_eq!(G1Projective::generator_mul(&k), G1Projective::generator().mul_u256(&k));
+            assert_eq!(G2Projective::generator_mul(&k), G2Projective::generator().mul_u256(&k));
+        }
+        assert!(G1Projective::generator_mul(&U256::ZERO).is_identity());
+        assert_eq!(G1Projective::generator_mul(&U256::from_u64(1)), G1Projective::generator());
+    }
+
     #[test]
     fn multiexp_matches_naive() {
         let g = G1Projective::generator();
@@ -538,6 +739,19 @@ mod tests {
         let zeros = vec![U256::ZERO; 8];
         let bases = vec![g; 8];
         assert!(multiexp(&bases, &zeros).is_identity());
+    }
+
+    #[test]
+    fn compressed_bytes_are_exact_and_sign_aware() {
+        let p = G1Projective::generator().mul_u64(9).to_affine();
+        assert_eq!(p.to_bytes().len(), G1Spec::COMPRESSED_BYTES);
+        assert_eq!(G1Affine::identity().to_bytes().len(), G1Spec::COMPRESSED_BYTES);
+        // P and −P share x but must serialize differently (sign bit)
+        assert_ne!(p.to_bytes(), p.neg().to_bytes());
+        assert_eq!(p.to_bytes()[1..], p.neg().to_bytes()[1..]);
+        let q = G2Projective::generator().mul_u64(5).to_affine();
+        assert_eq!(q.to_bytes().len(), G2Spec::COMPRESSED_BYTES);
+        assert_ne!(q.to_bytes(), q.neg().to_bytes());
     }
 
     #[test]

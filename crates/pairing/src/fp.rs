@@ -13,7 +13,7 @@ use crate::params;
 /// Generates a Montgomery-form prime-field type over `Uint<$n>` with
 /// parameters provided by `$params()`.
 macro_rules! prime_field {
-    ($(#[$doc:meta])* $name:ident, $n:expr, $params:path, $inv_exp:ident, $tag:literal) => {
+    ($(#[$doc:meta])* $name:ident, $n:expr, $params:path, $tag:literal) => {
         $(#[$doc])*
         #[derive(Clone, Copy, PartialEq, Eq, Hash)]
         pub struct $name(pub(crate) Uint<$n>);
@@ -116,11 +116,9 @@ macro_rules! prime_field {
             }
 
             fn inverse(&self) -> Option<Self> {
-                if self.is_zero() {
-                    return None;
-                }
-                // Fermat: a^{m-2}
-                Some(self.pow_limbs(&params::derived().$inv_exp))
+                // Binary extended GCD on the Montgomery representation —
+                // far cheaper than the Fermat exponent `a^{m−2}`.
+                $params().inv_mont(&self.0).map(Self)
             }
 
             fn to_canonical_bytes(&self) -> Vec<u8> {
@@ -146,12 +144,12 @@ macro_rules! prime_field {
 
 prime_field!(
     /// The BLS12-381 base field `GF(p)`, `p` 381 bits.
-    Fp, 6, params::fp_params, p_minus_2, "vchain/fp"
+    Fp, 6, params::fp_params, "vchain/fp"
 );
 
 prime_field!(
     /// The BLS12-381 scalar field `GF(r)`, `r` 255 bits.
-    Fr, 4, params::fr_params, r_minus_2, "vchain/fr"
+    Fr, 4, params::fr_params, "vchain/fr"
 );
 
 impl Fr {
@@ -208,6 +206,18 @@ mod tests {
     fn inverse_of_zero_is_none() {
         assert!(Fp::zero().inverse().is_none());
         assert!(Fr::zero().inverse().is_none());
+    }
+
+    #[test]
+    fn inverse_matches_fermat_exponent() {
+        // Regression against the old Fermat-exponent inversion path.
+        let mut r = rng();
+        for _ in 0..5 {
+            let a = Fp::random(&mut r);
+            assert_eq!(a.inverse().unwrap(), a.pow_limbs(&params::derived().p_minus_2));
+            let b = Fr::random(&mut r);
+            assert_eq!(b.inverse().unwrap(), b.pow_limbs(&params::derived().r_minus_2));
+        }
     }
 
     #[test]

@@ -1,12 +1,24 @@
-//! The full extension `Fp12 = Fp2[w]/(w⁶ − ξ)`, ξ = 1 + u.
+//! The full extension `Fp12 = Fp6[w]/(w² − v)` — the top of the 2-3-2
+//! tower `Fp2 → Fp6 → Fp12` (with `v³ = ξ`, so `w⁶ = ξ` exactly as in the
+//! flat representation `Fp2[w]/(w⁶ − ξ)` this replaced).
 //!
-//! We use the *direct* degree-6 extension of `Fp2` rather than the usual
-//! 2-3-2 tower: multiplication is schoolbook with the reduction
-//! `w⁶ ↦ ξ`, the `p`-power Frobenius is coefficient-wise conjugation times
-//! the precomputed constants `γⁱ = ξ^{i(p−1)/6}`, and inversion is a small
-//! extended-Euclid over `Fp2[w]`. The subfield `Fp6 = Fp2[w²]` occupies the
-//! even coefficients, which makes the `p⁶`-Frobenius (conjugation) a sign
-//! flip of the odd coefficients.
+//! The tower gives closed-form fast paths everywhere the flat representation
+//! needed generic polynomial arithmetic:
+//!
+//! * **mul** — Karatsuba over `Fp6` (18 `Fp2` muls vs 36 schoolbook);
+//! * **square** — complex squaring (2 `Fp6` muls);
+//! * **inverse** — norm descent `(c0 − c1·w)/(c0² − v·c1²)` down the tower,
+//!   ending in one base-field binary-GCD inversion (the flat code ran
+//!   extended Euclid over `Fp2[w]`, allocating on every step);
+//! * **sparse line mul** — [`Fp12::mul_by_line`] folds a Miller-loop line
+//!   `l0 + l2·w² + l3·w³` in 13 `Fp2` muls;
+//! * **cyclotomic squaring** — Granger–Scott `Fp4`-based squaring for
+//!   elements of the cyclotomic subgroup (post easy-part), 9 `Fp2`
+//!   squarings each, powering the final exponentiation.
+//!
+//! Flat coefficients `Σ aᵢ·wⁱ` remain the canonical *serialization* order
+//! ([`Fp12::to_bytes`]), and [`Fp12::coeffs`]/[`Fp12::from_coeffs`] convert
+//! losslessly, so the tower is observationally identical to the old layout.
 
 use core::fmt;
 use std::sync::OnceLock;
@@ -16,12 +28,14 @@ use rand::Rng;
 use crate::field::Field;
 use crate::fp::Fp;
 use crate::fp2::Fp2;
+use crate::fp6::Fp6;
 use crate::params;
 
-/// An element `Σ cᵢ wⁱ` (i = 0..5) of `Fp12`, coefficients in `Fp2`.
+/// An element `c0 + c1·w` of `Fp12`, coefficients in `Fp6`.
 #[derive(Clone, Copy, PartialEq, Eq, Default)]
 pub struct Fp12 {
-    pub c: [Fp2; 6],
+    pub c0: Fp6,
+    pub c1: Fp6,
 }
 
 /// Frobenius coefficients `γⁱ = ξ^{i(p−1)/6}` for i = 0..5.
@@ -39,15 +53,24 @@ fn frobenius_gamma() -> &'static [Fp2; 6] {
 }
 
 impl Fp12 {
-    pub fn new(c: [Fp2; 6]) -> Self {
-        Self { c }
+    pub fn new(c0: Fp6, c1: Fp6) -> Self {
+        Self { c0, c1 }
+    }
+
+    /// Build from flat coefficients `Σ aᵢ·wⁱ` (the pre-tower representation).
+    /// Even powers land in `c0` (via `v = w²`), odd powers in `c1`.
+    pub fn from_coeffs(a: [Fp2; 6]) -> Self {
+        Self { c0: Fp6::new(a[0], a[2], a[4]), c1: Fp6::new(a[1], a[3], a[5]) }
+    }
+
+    /// The flat coefficients `[a₀, …, a₅]` of `Σ aᵢ·wⁱ`.
+    pub fn coeffs(&self) -> [Fp2; 6] {
+        [self.c0.c0, self.c1.c0, self.c0.c1, self.c1.c1, self.c0.c2, self.c1.c2]
     }
 
     /// Embed an `Fp2` element as the constant coefficient.
     pub fn from_fp2(c0: Fp2) -> Self {
-        let mut c = [Fp2::zero(); 6];
-        c[0] = c0;
-        Self { c }
+        Self { c0: Fp6::from_fp2(c0), c1: Fp6::zero() }
     }
 
     /// Embed a base-field element.
@@ -55,53 +78,116 @@ impl Fp12 {
         Self::from_fp2(Fp2::from_fp(v))
     }
 
-    /// Build the sparse Miller-loop line element `c0 + c2·w² + c3·w³`.
-    pub fn from_line(c0: Fp2, c2: Fp2, c3: Fp2) -> Self {
-        let mut c = [Fp2::zero(); 6];
-        c[0] = c0;
-        c[2] = c2;
-        c[3] = c3;
-        Self { c }
+    /// Build the sparse Miller-loop line element `l0 + l2·w² + l3·w³`.
+    pub fn from_line(l0: Fp2, l2: Fp2, l3: Fp2) -> Self {
+        Self { c0: Fp6::new(l0, l2, Fp2::zero()), c1: Fp6::new(Fp2::zero(), l3, Fp2::zero()) }
     }
 
-    /// The conjugation over `Fp6 = Fp2[w²]`: negates odd coefficients. This
+    /// Sparse product with a Miller-loop line `l0 + l2·w² + l3·w³`
+    /// (13 `Fp2` muls instead of a dense 18).
+    pub fn mul_by_line(&self, l0: &Fp2, l2: &Fp2, l3: &Fp2) -> Self {
+        // line = L0 + L1·w with L0 = l0 + l2·v, L1 = l3·v  (w³ = v·w).
+        let t0 = self.c0.mul_by_01(l0, l2);
+        let t1 = self.c1.mul_by_1(l3);
+        let c1 = Field::add(&self.c0, &self.c1).mul_by_01(l0, &(*l2 + *l3)) - t0 - t1;
+        Self { c0: t0 + t1.mul_by_v(), c1 }
+    }
+
+    /// The conjugation over `Fp6` (negates the odd flat coefficients). This
     /// equals the `p⁶`-power Frobenius, and for unitary elements (after the
     /// easy part of the final exponentiation) it equals inversion.
     pub fn conjugate(&self) -> Self {
-        let mut c = self.c;
-        for i in [1, 3, 5] {
-            c[i] = Field::neg(&c[i]);
-        }
-        Self { c }
+        Self { c0: self.c0, c1: Field::neg(&self.c1) }
     }
 
-    /// The `p`-power Frobenius endomorphism.
+    /// The `p`-power Frobenius endomorphism: flat coefficient `aᵢ` maps to
+    /// `conj(aᵢ)·γⁱ`.
     pub fn frobenius(&self) -> Self {
         let g = frobenius_gamma();
-        let mut c = [Fp2::zero(); 6];
-        for i in 0..6 {
-            c[i] = self.c[i].conjugate() * g[i];
-        }
-        Self { c }
+        let a = self.coeffs();
+        Self::from_coeffs(core::array::from_fn(|i| a[i].conjugate() * g[i]))
     }
 
-    /// Exponentiation by a scalar field element (for `Gt` arithmetic).
+    /// `p²`-power Frobenius (two applications of [`Fp12::frobenius`]).
+    pub fn frobenius2(&self) -> Self {
+        self.frobenius().frobenius()
+    }
+
+    /// Granger–Scott squaring for elements of the *cyclotomic subgroup*
+    /// (`z^{p⁴−p²+1} = 1`, e.g. anything after the easy part of the final
+    /// exponentiation). Roughly 3× cheaper than a generic square; the
+    /// precondition is NOT checked.
+    pub fn cyclotomic_square(&self) -> Self {
+        // Decompose over Fp4 = Fp2[s]/(s² − ξ) with s = w³:
+        // z = A + B·w + C·w², A = (a0, a3), B = (a1, a4), C = (a2, a5).
+        let a = self.coeffs();
+        let sq = |x: &Fp2, y: &Fp2| -> (Fp2, Fp2) {
+            // (x + y·s)² = (x² + ξ·y²) + ((x+y)² − x² − y²)·s
+            let x2 = x.square();
+            let y2 = y.square();
+            ((x2 + y2.mul_by_xi()), ((*x + *y).square() - x2 - y2))
+        };
+        let (t00, t01) = sq(&a[0], &a[3]); // A²
+        let (t10, t11) = sq(&a[1], &a[4]); // B²
+        let (t20, t21) = sq(&a[2], &a[5]); // C²
+        let three = |t: &Fp2| t.double() + *t;
+        // A' = 3A² − 2Ā ; B' = 3s·C² + 2B̄ ; C' = 3B² − 2C̄
+        let out = [
+            three(&t00) - a[0].double(),
+            three(&t21.mul_by_xi()) + a[1].double(),
+            three(&t10) - a[2].double(),
+            three(&t01) + a[3].double(),
+            three(&t20) - a[4].double(),
+            three(&t11) + a[5].double(),
+        ];
+        Self::from_coeffs(out)
+    }
+
+    /// Exponentiation by a little-endian limb slice using cyclotomic
+    /// squarings. Only valid for elements of the cyclotomic subgroup.
+    pub fn cyclotomic_pow_limbs(&self, exp: &[u64]) -> Self {
+        let mut res = Self::one();
+        let mut seen_bit = false;
+        for &limb in exp.iter().rev() {
+            if !seen_bit && limb == 0 {
+                continue;
+            }
+            for bit in (0..64).rev() {
+                if seen_bit {
+                    res = res.cyclotomic_square();
+                }
+                if (limb >> bit) & 1 == 1 {
+                    res = Field::mul(&res, self);
+                    seen_bit = true;
+                }
+            }
+        }
+        res
+    }
+
+    /// `z^x` for the (negative) BLS parameter `x`: cyclotomic power by `|x|`
+    /// followed by conjugation. Cyclotomic-subgroup elements only.
+    pub fn cyclotomic_pow_x(&self) -> Self {
+        const { assert!(params::BLS_X_IS_NEGATIVE) };
+        self.cyclotomic_pow_limbs(&[params::BLS_X]).conjugate()
+    }
+
+    /// Generic exponentiation by a scalar field element. Works for *any*
+    /// `Fp12` element; [`crate::Gt`] overrides this with the cyclotomic
+    /// fast path, which is only valid inside the cyclotomic subgroup.
     pub fn pow_fr(&self, e: &crate::fp::Fr) -> Self {
         self.pow_limbs(&e.to_uint().0)
     }
 
     pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        let mut c = [Fp2::zero(); 6];
-        for ci in &mut c {
-            *ci = Fp2::random(rng);
-        }
-        Self { c }
+        Self { c0: Fp6::random(rng), c1: Fp6::random(rng) }
     }
 
-    /// Canonical little-endian bytes of all 12 `Fp` coefficients.
+    /// Canonical little-endian bytes of all 12 `Fp` coefficients, in *flat*
+    /// coefficient order (unchanged from the pre-tower representation).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(12 * Fp::BYTES);
-        for ci in &self.c {
+        for ci in &self.coeffs() {
             out.extend_from_slice(&ci.to_bytes());
         }
         out
@@ -110,151 +196,62 @@ impl Fp12 {
 
 impl Field for Fp12 {
     fn zero() -> Self {
-        Self { c: [Fp2::zero(); 6] }
+        Self { c0: Fp6::zero(), c1: Fp6::zero() }
     }
 
     fn one() -> Self {
-        Self::from_fp2(Fp2::one())
+        Self { c0: Fp6::one(), c1: Fp6::zero() }
     }
 
     fn is_zero(&self) -> bool {
-        self.c.iter().all(Fp2::is_zero)
+        self.c0.is_zero() && self.c1.is_zero()
     }
 
+    #[inline]
     fn add(&self, rhs: &Self) -> Self {
-        Self { c: core::array::from_fn(|i| self.c[i] + rhs.c[i]) }
+        Self { c0: self.c0 + rhs.c0, c1: self.c1 + rhs.c1 }
     }
 
+    #[inline]
     fn sub(&self, rhs: &Self) -> Self {
-        Self { c: core::array::from_fn(|i| self.c[i] - rhs.c[i]) }
+        Self { c0: self.c0 - rhs.c0, c1: self.c1 - rhs.c1 }
     }
 
+    #[inline]
     fn neg(&self) -> Self {
-        Self { c: core::array::from_fn(|i| Field::neg(&self.c[i])) }
+        Self { c0: Field::neg(&self.c0), c1: Field::neg(&self.c1) }
     }
 
     fn mul(&self, rhs: &Self) -> Self {
-        // Schoolbook product of degree-5 polynomials, then reduce w^6 = ξ.
-        let mut wide = [Fp2::zero(); 11];
-        for i in 0..6 {
-            if self.c[i].is_zero() {
-                continue;
-            }
-            for j in 0..6 {
-                if rhs.c[j].is_zero() {
-                    continue;
-                }
-                wide[i + j] += Field::mul(&self.c[i], &rhs.c[j]);
-            }
-        }
-        let mut c = [Fp2::zero(); 6];
-        c.copy_from_slice(&wide[..6]);
-        for k in 6..11 {
-            c[k - 6] += wide[k].mul_by_xi();
-        }
-        Self { c }
+        // Karatsuba over Fp6 with w² = v.
+        let aa = Field::mul(&self.c0, &rhs.c0);
+        let bb = Field::mul(&self.c1, &rhs.c1);
+        let sum = Field::mul(&(self.c0 + self.c1), &(rhs.c0 + rhs.c1));
+        Self { c0: aa + bb.mul_by_v(), c1: sum - aa - bb }
+    }
+
+    fn square(&self) -> Self {
+        // Complex squaring: (c0 + c1·w)² with w² = v, 2 Fp6 muls.
+        let m = Field::mul(&self.c0, &self.c1);
+        let t = Field::mul(&(self.c0 + self.c1), &(self.c0 + self.c1.mul_by_v()));
+        Self { c0: t - m - m.mul_by_v(), c1: m.double() }
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        // Norm descent: (c0 + c1·w)⁻¹ = (c0 − c1·w)/(c0² − v·c1²).
+        let norm = self.c0.square() - self.c1.square().mul_by_v();
+        let t = norm.inverse()?;
+        Some(Self { c0: Field::mul(&self.c0, &t), c1: Field::neg(&Field::mul(&self.c1, &t)) })
     }
 
     fn to_canonical_bytes(&self) -> Vec<u8> {
         self.to_bytes()
     }
-
-    fn inverse(&self) -> Option<Self> {
-        if self.is_zero() {
-            return None;
-        }
-        // Extended Euclid in Fp2[w] between self (deg <= 5) and m = w^6 - ξ.
-        // Returns u with u·self ≡ gcd (a unit) mod m.
-        type Poly = Vec<Fp2>;
-
-        fn deg(p: &Poly) -> Option<usize> {
-            p.iter().rposition(|c| !c.is_zero())
-        }
-
-        fn trim(mut p: Poly) -> Poly {
-            while p.last().is_some_and(Fp2::is_zero) {
-                p.pop();
-            }
-            p
-        }
-
-        fn divrem(num: &Poly, den: &Poly) -> (Poly, Poly) {
-            let dd = deg(den).expect("division by zero poly");
-            let lead_inv = den[dd].inverse().expect("leading coeff invertible");
-            let mut rem = num.clone();
-            let mut quot = vec![Fp2::zero(); num.len().saturating_sub(dd) + 1];
-            while let Some(dr) = deg(&rem) {
-                if dr < dd {
-                    break;
-                }
-                let q = Field::mul(&rem[dr], &lead_inv);
-                quot[dr - dd] = q;
-                for i in 0..=dd {
-                    rem[dr - dd + i] -= Field::mul(&q, &den[i]);
-                }
-            }
-            (trim(quot), trim(rem))
-        }
-
-        fn poly_mul(a: &Poly, b: &Poly) -> Poly {
-            if a.is_empty() || b.is_empty() {
-                return Vec::new();
-            }
-            let mut out = vec![Fp2::zero(); a.len() + b.len() - 1];
-            for (i, ai) in a.iter().enumerate() {
-                for (j, bj) in b.iter().enumerate() {
-                    out[i + j] += Field::mul(ai, bj);
-                }
-            }
-            trim(out)
-        }
-
-        fn poly_sub(a: &Poly, b: &Poly) -> Poly {
-            let mut out = vec![Fp2::zero(); a.len().max(b.len())];
-            for (i, o) in out.iter_mut().enumerate() {
-                let av = a.get(i).copied().unwrap_or_else(Fp2::zero);
-                let bv = b.get(i).copied().unwrap_or_else(Fp2::zero);
-                *o = av - bv;
-            }
-            trim(out)
-        }
-
-        // modulus m(w) = w^6 - ξ
-        let mut m = vec![Fp2::zero(); 7];
-        m[0] = Field::neg(&Fp2::xi());
-        m[6] = Fp2::one();
-
-        let a: Poly = trim(self.c.to_vec());
-
-        // Track Bézout coefficient of `a` only: u0·a ≡ r0 (mod m)
-        let mut r0 = a;
-        let mut r1 = m;
-        let mut u0: Poly = vec![Fp2::one()];
-        let mut u1: Poly = Vec::new();
-
-        while deg(&r1).is_some() {
-            let (q, r) = divrem(&r0, &r1);
-            let u = poly_sub(&u0, &poly_mul(&q, &u1));
-            r0 = std::mem::replace(&mut r1, r);
-            u0 = std::mem::replace(&mut u1, u);
-        }
-        // r0 is a non-zero constant (m irreducible, a != 0)
-        debug_assert_eq!(deg(&r0), Some(0));
-        let ginv = r0[0].inverse()?;
-        let mut c = [Fp2::zero(); 6];
-        for (i, ui) in u0.iter().enumerate() {
-            // u0 may briefly have degree > 5 before reduction mod m never
-            // happened; in the standard Euclid run deg(u0) < deg(m) = 6.
-            debug_assert!(i < 6, "Bézout coefficient exceeded degree 5");
-            c[i] = Field::mul(ui, &ginv);
-        }
-        Some(Self { c })
-    }
 }
 
 impl fmt::Debug for Fp12 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Fp12({:?}, …)", self.c[0])
+        write!(f, "Fp12({:?}, …)", self.c0.c0)
     }
 }
 
@@ -273,7 +270,7 @@ mod tests {
     fn w() -> Fp12 {
         let mut c = [Fp2::zero(); 6];
         c[1] = Fp2::one();
-        Fp12 { c }
+        Fp12::from_coeffs(c)
     }
 
     #[test]
@@ -292,6 +289,7 @@ mod tests {
             assert_eq!((a * b) * c, a * (b * c));
             assert_eq!(a * (b + c), a * b + a * c);
             assert_eq!(a * Fp12::one(), a);
+            assert_eq!(a.square(), a * a);
         }
     }
 
@@ -307,6 +305,21 @@ mod tests {
         // sparse elements too
         let line = Fp12::from_line(Fp2::from_u64(3), Fp2::xi(), Fp2::from_u64(9));
         assert_eq!(line * line.inverse().unwrap(), Fp12::one());
+    }
+
+    #[test]
+    fn coeffs_round_trip() {
+        let mut r = rng();
+        let a = Fp12::random(&mut r);
+        assert_eq!(Fp12::from_coeffs(a.coeffs()), a);
+    }
+
+    #[test]
+    fn mul_by_line_matches_dense() {
+        let mut r = rng();
+        let a = Fp12::random(&mut r);
+        let (l0, l2, l3) = (Fp2::random(&mut r), Fp2::random(&mut r), Fp2::random(&mut r));
+        assert_eq!(a.mul_by_line(&l0, &l2, &l3), Field::mul(&a, &Fp12::from_line(l0, l2, l3)));
     }
 
     #[test]
@@ -341,7 +354,21 @@ mod tests {
         c[0] = Fp2::random(&mut r);
         c[2] = Fp2::random(&mut r);
         c[4] = Fp2::random(&mut r);
-        let a = Fp12 { c };
+        let a = Fp12::from_coeffs(c);
         assert_eq!(a.conjugate(), a);
+    }
+
+    #[test]
+    fn cyclotomic_square_matches_square_in_subgroup() {
+        // Project a random element into the cyclotomic subgroup via the easy
+        // part of the final exponentiation: t = f^{(p⁶−1)(p²+1)}.
+        let mut r = rng();
+        let f = Fp12::random(&mut r);
+        let t = Field::mul(&f.conjugate(), &f.inverse().unwrap());
+        let t = Field::mul(&t.frobenius2(), &t);
+        assert_eq!(t.cyclotomic_square(), t.square());
+        assert_eq!(t.cyclotomic_pow_limbs(&[77]), t.pow_limbs(&[77]));
+        // x-power: t^x = conj(t^{|x|})
+        assert_eq!(t.cyclotomic_pow_x(), t.pow_limbs(&[params::BLS_X]).conjugate());
     }
 }

@@ -1,0 +1,219 @@
+//! The cubic extension `Fp6 = Fp2[v]/(v³ − ξ)`, ξ = 1 + u — the middle
+//! layer of the 2-3-2 tower `Fp2 → Fp6 → Fp12`.
+//!
+//! Multiplication is Karatsuba-style interpolation (6 `Fp2` muls instead of
+//! 9 schoolbook), squaring is the CH-SQR2 form (2 muls + 3 squares), and
+//! inversion is the closed-form norm method (no polynomial Euclid): for
+//! `a = a0 + a1·v + a2·v²`,
+//!
+//! ```text
+//! c0 = a0² − ξ·a1·a2,  c1 = ξ·a2² − a0·a1,  c2 = a1² − a0·a2
+//! t  = a0·c0 + ξ·(a2·c1 + a1·c2)          (the norm, in Fp2)
+//! a⁻¹ = (c0 + c1·v + c2·v²) / t
+//! ```
+
+use core::fmt;
+
+use rand::Rng;
+
+use crate::field::Field;
+use crate::fp2::Fp2;
+
+/// An element `c0 + c1·v + c2·v²` of `Fp6`, coefficients in `Fp2`.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fp6 {
+    pub c0: Fp2,
+    pub c1: Fp2,
+    pub c2: Fp2,
+}
+
+impl Fp6 {
+    pub const fn new(c0: Fp2, c1: Fp2, c2: Fp2) -> Self {
+        Self { c0, c1, c2 }
+    }
+
+    /// Embed an `Fp2` element as the constant coefficient.
+    pub fn from_fp2(c0: Fp2) -> Self {
+        Self { c0, c1: Fp2::zero(), c2: Fp2::zero() }
+    }
+
+    /// Multiply by `v` (a cyclic coefficient shift with `v³ = ξ`).
+    pub fn mul_by_v(&self) -> Self {
+        Self { c0: self.c2.mul_by_xi(), c1: self.c0, c2: self.c1 }
+    }
+
+    /// Scale every coefficient by an `Fp2` element.
+    pub fn mul_by_fp2(&self, k: &Fp2) -> Self {
+        Self {
+            c0: Field::mul(&self.c0, k),
+            c1: Field::mul(&self.c1, k),
+            c2: Field::mul(&self.c2, k),
+        }
+    }
+
+    /// Sparse product with `b0 + b1·v` (both `Fp2`); 5 `Fp2` muls.
+    pub fn mul_by_01(&self, b0: &Fp2, b1: &Fp2) -> Self {
+        let t0 = Field::mul(&self.c0, b0);
+        let t1 = Field::mul(&self.c1, b1);
+        Self {
+            c0: t0 + Field::mul(&self.c2, b1).mul_by_xi(),
+            c1: Field::mul(&(self.c0 + self.c1), &(*b0 + *b1)) - t0 - t1,
+            c2: Field::mul(&self.c2, b0) + t1,
+        }
+    }
+
+    /// Sparse product with `b1·v` alone; 3 `Fp2` muls.
+    pub fn mul_by_1(&self, b1: &Fp2) -> Self {
+        Self {
+            c0: Field::mul(&self.c2, b1).mul_by_xi(),
+            c1: Field::mul(&self.c0, b1),
+            c2: Field::mul(&self.c1, b1),
+        }
+    }
+
+    /// Coefficient-wise Galois conjugation (the `p`-power Frobenius on each
+    /// `Fp2` coefficient; callers multiply by the `γ` constants).
+    pub fn conjugate_coeffs(&self) -> Self {
+        Self { c0: self.c0.conjugate(), c1: self.c1.conjugate(), c2: self.c2.conjugate() }
+    }
+
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self { c0: Fp2::random(rng), c1: Fp2::random(rng), c2: Fp2::random(rng) }
+    }
+}
+
+impl Field for Fp6 {
+    fn zero() -> Self {
+        Self { c0: Fp2::zero(), c1: Fp2::zero(), c2: Fp2::zero() }
+    }
+
+    fn one() -> Self {
+        Self::from_fp2(Fp2::one())
+    }
+
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero() && self.c2.is_zero()
+    }
+
+    #[inline]
+    fn add(&self, rhs: &Self) -> Self {
+        Self { c0: self.c0 + rhs.c0, c1: self.c1 + rhs.c1, c2: self.c2 + rhs.c2 }
+    }
+
+    #[inline]
+    fn sub(&self, rhs: &Self) -> Self {
+        Self { c0: self.c0 - rhs.c0, c1: self.c1 - rhs.c1, c2: self.c2 - rhs.c2 }
+    }
+
+    #[inline]
+    fn neg(&self) -> Self {
+        Self { c0: Field::neg(&self.c0), c1: Field::neg(&self.c1), c2: Field::neg(&self.c2) }
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        // Karatsuba/Toom interpolation: 6 Fp2 muls.
+        let v0 = Field::mul(&self.c0, &rhs.c0);
+        let v1 = Field::mul(&self.c1, &rhs.c1);
+        let v2 = Field::mul(&self.c2, &rhs.c2);
+        // (a1 + a2)(b1 + b2) − v1 − v2 = a1b2 + a2b1
+        let m12 = Field::mul(&(self.c1 + self.c2), &(rhs.c1 + rhs.c2)) - v1 - v2;
+        // (a0 + a1)(b0 + b1) − v0 − v1 = a0b1 + a1b0
+        let m01 = Field::mul(&(self.c0 + self.c1), &(rhs.c0 + rhs.c1)) - v0 - v1;
+        // (a0 + a2)(b0 + b2) − v0 − v2 = a0b2 + a2b0
+        let m02 = Field::mul(&(self.c0 + self.c2), &(rhs.c0 + rhs.c2)) - v0 - v2;
+        Self { c0: v0 + m12.mul_by_xi(), c1: m01 + v2.mul_by_xi(), c2: m02 + v1 }
+    }
+
+    fn square(&self) -> Self {
+        // CH-SQR2: s0 = a0², s1 = 2a0a1, s2 = (a0 − a1 + a2)², s3 = 2a1a2,
+        // s4 = a2².
+        let s0 = self.c0.square();
+        let s1 = Field::mul(&self.c0, &self.c1).double();
+        let s2 = (self.c0 - self.c1 + self.c2).square();
+        let s3 = Field::mul(&self.c1, &self.c2).double();
+        let s4 = self.c2.square();
+        Self { c0: s0 + s3.mul_by_xi(), c1: s1 + s4.mul_by_xi(), c2: s1 + s2 + s3 - s0 - s4 }
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        let c0 = self.c0.square() - Field::mul(&self.c1, &self.c2).mul_by_xi();
+        let c1 = self.c2.square().mul_by_xi() - Field::mul(&self.c0, &self.c1);
+        let c2 = self.c1.square() - Field::mul(&self.c0, &self.c2);
+        let t = Field::mul(&self.c0, &c0)
+            + (Field::mul(&self.c2, &c1) + Field::mul(&self.c1, &c2)).mul_by_xi();
+        let tinv = t.inverse()?;
+        Some(Self {
+            c0: Field::mul(&c0, &tinv),
+            c1: Field::mul(&c1, &tinv),
+            c2: Field::mul(&c2, &tinv),
+        })
+    }
+
+    fn to_canonical_bytes(&self) -> Vec<u8> {
+        let mut out = self.c0.to_bytes();
+        out.extend_from_slice(&self.c1.to_bytes());
+        out.extend_from_slice(&self.c2.to_bytes());
+        out
+    }
+}
+
+impl fmt::Debug for Fp6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp6({:?} + {:?}·v + {:?}·v²)", self.c0, self.c1, self.c2)
+    }
+}
+
+crate::impl_field_ops!(Fp6);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(66)
+    }
+
+    fn v() -> Fp6 {
+        Fp6::new(Fp2::zero(), Fp2::one(), Fp2::zero())
+    }
+
+    #[test]
+    fn v_cubed_is_xi() {
+        assert_eq!(v().pow_limbs(&[3]), Fp6::from_fp2(Fp2::xi()));
+        let mut r = rng();
+        let a = Fp6::random(&mut r);
+        assert_eq!(a.mul_by_v(), Field::mul(&a, &v()));
+    }
+
+    #[test]
+    fn field_axioms() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let a = Fp6::random(&mut r);
+            let b = Fp6::random(&mut r);
+            let c = Fp6::random(&mut r);
+            assert_eq!((a * b) * c, a * (b * c));
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!(a.square(), a * a);
+            assert_eq!(a * Fp6::one(), a);
+            if !a.is_zero() {
+                assert_eq!(a * a.inverse().unwrap(), Fp6::one());
+            }
+        }
+        assert!(Fp6::zero().inverse().is_none());
+    }
+
+    #[test]
+    fn sparse_muls_match_dense() {
+        let mut r = rng();
+        let a = Fp6::random(&mut r);
+        let b0 = Fp2::random(&mut r);
+        let b1 = Fp2::random(&mut r);
+        assert_eq!(a.mul_by_01(&b0, &b1), Field::mul(&a, &Fp6::new(b0, b1, Fp2::zero())));
+        assert_eq!(a.mul_by_1(&b1), Field::mul(&a, &Fp6::new(Fp2::zero(), b1, Fp2::zero())));
+        let k = Fp2::random(&mut r);
+        assert_eq!(a.mul_by_fp2(&k), Field::mul(&a, &Fp6::from_fp2(k)));
+    }
+}

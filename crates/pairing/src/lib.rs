@@ -33,6 +33,7 @@ pub mod field;
 pub mod fp;
 pub mod fp12;
 pub mod fp2;
+pub mod fp6;
 pub mod pairing_impl;
 pub mod params;
 
@@ -44,4 +45,5 @@ pub use field::Field;
 pub use fp::{Fp, Fr};
 pub use fp12::Fp12;
 pub use fp2::Fp2;
+pub use fp6::Fp6;
 pub use pairing_impl::{final_exponentiation, multi_miller_loop, multi_pairing, pairing, Gt};

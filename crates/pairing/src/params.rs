@@ -50,6 +50,10 @@ pub struct Derived {
     pub p_minus_1_over_6: Vec<u64>,
     /// `(p⁴ − p² + 1)/r`, the hard part of the final exponentiation.
     pub final_exp_hard: Vec<u64>,
+    /// `3·(p⁴ − p² + 1)/r` — the exponent the cyclotomic addition chain
+    /// `(x−1)²(x+p)(x²+p²−1) + 3` actually computes (the identity between
+    /// the two forms is asserted here at start-up).
+    pub final_exp_hard_x3: Vec<u64>,
     /// `(p + 1)/4` — would be the `Fp` square-root exponent (p ≡ 3 mod 4);
     /// kept for completeness and used by tests.
     pub p_plus_1_over_4: Vec<u64>,
@@ -80,11 +84,27 @@ pub fn derived() -> &'static Derived {
         let (sqrt_exp, rem) = p.add(&one).divrem(&ApInt::from_u64(4));
         assert!(rem.is_zero());
 
+        // The cyclotomic final-exponentiation chain computes
+        // (x−1)²(x+p)(x²+p²−1) + 3 with x = −|x|; written in |x| = X:
+        // (X+1)²·(p−X)·(X²+p²−1) + 3. Assert it equals 3·hard so the chain
+        // in `pairing_impl` is pinned to the derived integer exponent.
+        let hard3 = hard.mul(&ApInt::from_u64(3));
+        let xx = ApInt::from_u64(BLS_X);
+        let xp1_sq = xx.add(&one).mul(&xx.add(&one));
+        let formula =
+            xp1_sq.mul(&p.sub(&xx)).mul(&xx.mul(&xx).add(&p2).sub(&one)).add(&ApInt::from_u64(3));
+        assert_eq!(
+            formula.to_hex(),
+            hard3.to_hex(),
+            "cyclotomic hard-part decomposition must equal 3·(p⁴−p²+1)/r"
+        );
+
         Derived {
             p_minus_2: p_minus_2.limbs().to_vec(),
             r_minus_2: r_minus_2.limbs().to_vec(),
             p_minus_1_over_6: p16.limbs().to_vec(),
             final_exp_hard: hard.limbs().to_vec(),
+            final_exp_hard_x3: hard3.limbs().to_vec(),
             p_plus_1_over_4: sqrt_exp.limbs().to_vec(),
         }
     })

@@ -1,0 +1,110 @@
+//! Property tests pinning the 2-3-2 tower `Fp12` to the semantics of the
+//! flat representation `Fp2[w]/(w⁶ − ξ)` it replaced: multiplication is
+//! checked against schoolbook polynomial reduction on flat coefficients,
+//! inversion against the Fermat power `a^{p¹²−2}`, Frobenius against
+//! `a^{p}`, and the cyclotomic final-exponentiation chain against one
+//! generic power by the derived integer exponent.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vchain_bigint::ApInt;
+use vchain_pairing::{
+    final_exponentiation, multi_miller_loop, multi_pairing, pairing, params, Field, Fp12, Fp2,
+    G1Projective, G2Projective, Gt,
+};
+
+fn rand_fp12(seed: u64) -> Fp12 {
+    Fp12::random(&mut StdRng::seed_from_u64(seed))
+}
+
+/// Schoolbook product of two flat degree-5 polynomials over `Fp2`, reduced
+/// with `w⁶ ↦ ξ` — the multiplication algorithm of the old representation.
+fn flat_schoolbook_mul(a: &[Fp2; 6], b: &[Fp2; 6]) -> [Fp2; 6] {
+    let mut wide = [Fp2::zero(); 11];
+    for i in 0..6 {
+        for j in 0..6 {
+            wide[i + j] += Field::mul(&a[i], &b[j]);
+        }
+    }
+    let mut c = [Fp2::zero(); 6];
+    c.copy_from_slice(&wide[..6]);
+    for k in 6..11 {
+        c[k - 6] += wide[k].mul_by_xi();
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn tower_mul_matches_flat_schoolbook(seed in 0u64..u64::MAX) {
+        let a = rand_fp12(seed);
+        let b = rand_fp12(seed.wrapping_add(0x9E37_79B9));
+        let tower = Field::mul(&a, &b).coeffs();
+        let flat = flat_schoolbook_mul(&a.coeffs(), &b.coeffs());
+        prop_assert_eq!(tower, flat);
+        // and squaring is just self-multiplication
+        prop_assert_eq!(a.square().coeffs(), flat_schoolbook_mul(&a.coeffs(), &a.coeffs()));
+    }
+
+    #[test]
+    fn tower_frobenius_matches_p_power(seed in 0u64..u64::MAX) {
+        let a = rand_fp12(seed);
+        prop_assert_eq!(a.frobenius(), a.pow_limbs(&params::fp_params().modulus.0));
+    }
+}
+
+proptest! {
+    // the Fermat power over ~4572 bits is slow — keep the case count low
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn tower_inverse_matches_fermat_power(seed in 0u64..u64::MAX) {
+        let p = ApInt::from_hex(params::P_HEX);
+        let p12_minus_2 = p.pow(12).sub(&ApInt::from_u64(2));
+        let a = rand_fp12(seed);
+        let inv = a.inverse().expect("nonzero");
+        prop_assert_eq!(Field::mul(&a, &inv), Fp12::one());
+        prop_assert_eq!(inv, a.pow_limbs(p12_minus_2.limbs()));
+    }
+
+    #[test]
+    fn final_exponentiation_matches_generic_power(seed in 0u64..u64::MAX) {
+        let f = rand_fp12(seed);
+        // easy part as an independent reference: (p⁶−1)(p²+1) power
+        let t = Field::mul(&f.conjugate(), &f.inverse().expect("nonzero"));
+        let easy = Field::mul(&t.frobenius2(), &t);
+        let reference = easy.pow_limbs(&params::derived().final_exp_hard_x3);
+        prop_assert_eq!(final_exponentiation(&f).0, reference);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn shared_miller_loop_equals_per_pair_product(k in 1u64..1000, n in 2usize..5) {
+        let pairs: Vec<_> = (0..n as u64)
+            .map(|i| {
+                (
+                    G1Projective::generator().mul_u64(k + i).to_affine(),
+                    G2Projective::generator().mul_u64(2 * k + i).to_affine(),
+                )
+            })
+            .collect();
+        // shared loop and per-pair loops agree after final exponentiation
+        let shared = multi_pairing(&pairs);
+        let product = pairs.iter().fold(Gt::one(), |acc, (p, q)| acc.mul(&pairing(p, q)));
+        prop_assert_eq!(shared, product);
+        // the raw shared Miller value is *identical* to the product of
+        // single-pair Miller values (squaring distributes over the product)
+        let raw = multi_miller_loop(&pairs);
+        let raw_product = pairs.iter().fold(Fp12::one(), |acc, pair| {
+            Field::mul(&acc, &multi_miller_loop(core::slice::from_ref(pair)))
+        });
+        prop_assert_eq!(raw, raw_product);
+        prop_assert_eq!(final_exponentiation(&raw), product);
+    }
+}
