@@ -20,7 +20,7 @@ use vchain_pairing::{
 };
 
 use crate::poly::Poly;
-use crate::{rlc_coefficients, AccElem, AccError, Accumulator, MultiSet};
+use crate::{batch_coefficients, AccElem, AccError, Accumulator, MultiSet};
 
 /// The accumulative value `acc(X) ∈ G1` (a block's AttDigest under acc1).
 pub type Acc1Value = G1Affine;
@@ -28,7 +28,9 @@ pub type Acc1Value = G1Affine;
 /// A disjointness witness `(F₁*, F₂*) ∈ G2²`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Acc1Proof {
+    /// `F₁* = g₂^{Q₁(s)}`.
     pub f1: G2Affine,
+    /// `F₂* = g₂^{Q₂(s)}`.
     pub f2: G2Affine,
 }
 
@@ -84,6 +86,7 @@ impl Acc1 {
         self
     }
 
+    /// The published parameters.
     pub fn public_key(&self) -> &Acc1PublicKey {
         &self.pk
     }
@@ -112,6 +115,23 @@ impl Acc1 {
         }
         let scalars: Vec<U256> = p.coeffs().iter().map(|c| c.to_uint()).collect();
         Ok(multiexp(&powers[..n], &scalars))
+    }
+
+    /// The per-clause half of proving: Bézout polynomials against the
+    /// (precomputed) `X₁` characteristic polynomial, then two `G2` commits.
+    fn finalize_from_poly<E: AccElem>(
+        &self,
+        p1: &Poly,
+        x2: &MultiSet<E>,
+    ) -> Result<Acc1Proof, AccError> {
+        let p2 = Self::char_poly(x2);
+        let (g, u, v) = p1.xgcd(&p2);
+        // disjoint supports => coprime characteristic polynomials
+        debug_assert_eq!(g.degree(), Some(0), "coprime polynomials expected");
+        let ginv = g.coeffs()[0].inverse().expect("nonzero gcd");
+        let q1 = u.scale(&ginv);
+        let q2 = v.scale(&ginv);
+        Ok(Acc1Proof { f1: self.commit_g2(&q1)?.to_affine(), f2: self.commit_g2(&q2)?.to_affine() })
     }
 }
 
@@ -149,15 +169,26 @@ impl Accumulator for Acc1 {
         if x1.intersects(x2) {
             return Err(AccError::NotDisjoint);
         }
+        self.finalize_from_poly(&Self::char_poly(x1), x2)
+    }
+
+    fn prove_disjoint_many<E: AccElem>(
+        &self,
+        x1: &MultiSet<E>,
+        clauses: &[MultiSet<E>],
+    ) -> Result<Vec<Acc1Proof>, AccError> {
+        // The X₁-side witness — its characteristic polynomial, the O(|X₁|²)
+        // part of proving — is computed once and shared by every clause.
         let p1 = Self::char_poly(x1);
-        let p2 = Self::char_poly(x2);
-        let (g, u, v) = p1.xgcd(&p2);
-        // disjoint supports => coprime characteristic polynomials
-        debug_assert_eq!(g.degree(), Some(0), "coprime polynomials expected");
-        let ginv = g.coeffs()[0].inverse().expect("nonzero gcd");
-        let q1 = u.scale(&ginv);
-        let q2 = v.scale(&ginv);
-        Ok(Acc1Proof { f1: self.commit_g2(&q1)?.to_affine(), f2: self.commit_g2(&q2)?.to_affine() })
+        clauses
+            .iter()
+            .map(|x2| {
+                if x1.intersects(x2) {
+                    return Err(AccError::NotDisjoint);
+                }
+                self.finalize_from_poly(&p1, x2)
+            })
+            .collect()
     }
 
     fn verify_disjoint(&self, a1: &Acc1Value, a2: &Acc1Value, proof: &Acc1Proof) -> bool {
@@ -175,19 +206,15 @@ impl Accumulator for Acc1 {
     /// ```
     ///
     /// folds the whole batch into one `2n+1`-pair multi-pairing: one shared
-    /// Miller loop and one final exponentiation instead of `n`.
+    /// Miller loop and one final exponentiation instead of `n`. The
+    /// coefficients `ρᵢ` come from the shared [`batch_coefficients`]
+    /// transcript derivation.
     fn batch_verify_disjoint(&self, items: &[(Acc1Value, Acc1Value, Acc1Proof)]) -> bool {
         match items {
             [] => true,
             [(a1, a2, proof)] => self.verify_disjoint(a1, a2, proof),
             _ => {
-                let mut transcript = Vec::new();
-                for (a1, a2, proof) in items {
-                    transcript.extend_from_slice(&Self::value_bytes(a1));
-                    transcript.extend_from_slice(&Self::value_bytes(a2));
-                    transcript.extend_from_slice(&Self::proof_bytes(proof));
-                }
-                let rho = rlc_coefficients(&transcript, items.len());
+                let rho = batch_coefficients::<Self>(items);
                 let mut pairs = Vec::with_capacity(2 * items.len() + 1);
                 let mut rho_sum = Fr::zero();
                 for ((a1, a2, proof), r) in items.iter().zip(&rho) {

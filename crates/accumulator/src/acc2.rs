@@ -11,45 +11,84 @@
 //!   powers `g₁^{sⁱ}, i ∈ [0, 2q−2] \ {q}`.
 //! * `VerifyDisjoint`: `e(d_A(X₁), d_B(X₂)) = e(π, g₂)`.
 //!
+//! The SP-side proving path is split in two (see [`Acc2Witness`]): the
+//! `X₁`-side coefficient extraction is reusable across every clause of one
+//! query, and the per-clause finalization first *convolves exponents* —
+//! `π`'s exponent polynomial is `A_{X₁}(s)·B_{X₂}(s)`, so colliding terms
+//! `x + q − y` merge into one integer coefficient before any point work —
+//! and then sums the (overwhelmingly unit-coefficient) powers with
+//! batched-affine additions. Both effects cut cold `ProveDisjoint` well
+//! below the naive one-point-per-(x,y)-pair multi-exponentiation.
+//!
 //! The public key grows with the *universe size* `q` (every attribute value
 //! must map into `[1, q)`), the drawback the paper addresses with a trusted
 //! oracle / SGX; our dictionary encoder plays that role (DESIGN.md §2).
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use rand::Rng;
 use vchain_bigint::U256;
 use vchain_pairing::{
-    multi_pairing, multiexp, CurveSpec, Field, Fr, G1Affine, G1Projective, G1Spec, G2Affine,
-    G2Projective, G2Spec,
+    multi_pairing, multiexp, sum_affine, CurveSpec, Field, Fr, G1Affine, G1Projective, G1Spec,
+    G2Affine, G2Projective, G2Spec,
 };
 
 use crate::acc1::fixed_base_batch;
-use crate::{rlc_coefficients, AccElem, AccError, Accumulator, MultiSet};
+use crate::{batch_coefficients, AccElem, AccError, Accumulator, MultiSet};
 
 /// The accumulative value `(d_A, d_B)` (a block's AttDigest under acc2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Acc2Value {
+    /// `d_A = g₁^{A_X(s)}`.
     pub da: G1Affine,
+    /// `d_B = g₂^{B_X(s)}`.
     pub db: G2Affine,
 }
 
 /// A disjointness witness `π = g₁^{A(X₁)B(X₂)}`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Acc2Proof {
+    /// The single-`G1` proof point.
     pub pi: G1Affine,
 }
 
-/// Public parameters.
+/// Public parameters. Powers are stored in affine form: the prove/setup
+/// paths consume them via batched-affine summation, and affine bases also
+/// make the occasional mixed addition cheaper.
 pub struct Acc2PublicKey {
     /// The universe bound: element indices must lie in `[1, q)`.
     pub q: u64,
     /// `g₁^{sⁱ}` for `i ∈ [0, 2q−2]`. Index `q` is the *forbidden* power: it
     /// is stored as the identity and must never be consumed (the q-DHE
     /// assumption is precisely that it is hard to compute).
-    pub g1_powers: Vec<G1Projective>,
+    pub g1_powers: Vec<G1Affine>,
     /// `g₂^{sⁱ}` for `i ∈ [0, q−1]`.
-    pub g2_powers: Vec<G2Projective>,
+    pub g2_powers: Vec<G2Affine>,
+}
+
+/// The reusable `X₁`-side state of a disjointness proof: the coefficient
+/// vector of `A_{X₁}(s)`, checked against the universe bound once. One
+/// witness serves every clause of a query via [`Acc2::finalize_proof`].
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use vchain_acc::{Acc2, Accumulator, MultiSet};
+///
+/// let acc = Acc2::keygen(64, &mut StdRng::seed_from_u64(5));
+/// let node: MultiSet<u64> = [1u64, 2, 3].into_iter().collect();
+/// let witness = acc.prove_witness(&node).unwrap();
+/// for clause in [[10u64, 11], [20u64, 21]] {
+///     let clause: MultiSet<u64> = clause.into_iter().collect();
+///     let proof = acc.finalize_proof(&witness, &clause).unwrap();
+///     assert_eq!(proof, acc.prove_disjoint(&node, &clause).unwrap());
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Acc2Witness {
+    /// `(element index, multiplicity)` of `X₁`, ascending by index.
+    coeffs: Vec<(u64, u64)>,
 }
 
 /// Construction 2 handle. Cloning shares the public key.
@@ -73,8 +112,14 @@ impl Acc2 {
             scalars.push(if i as u64 == q { U256::ZERO } else { cur.to_uint() });
             cur = Field::mul(&cur, &s);
         }
-        let g1_powers = fixed_base_batch(&G1Projective::generator(), &scalars);
-        let g2_powers = fixed_base_batch(&G2Projective::generator(), &scalars[..q as usize]);
+        let g1_powers = vchain_pairing::batch_to_affine(&fixed_base_batch(
+            &G1Projective::generator(),
+            &scalars,
+        ));
+        let g2_powers = vchain_pairing::batch_to_affine(&fixed_base_batch(
+            &G2Projective::generator(),
+            &scalars[..q as usize],
+        ));
         Self {
             pk: Arc::new(Acc2PublicKey { q, g1_powers, g2_powers }),
             sk: Some(s),
@@ -89,6 +134,7 @@ impl Acc2 {
         self
     }
 
+    /// The published parameters.
     pub fn public_key(&self) -> &Acc2PublicKey {
         &self.pk
     }
@@ -104,6 +150,75 @@ impl Acc2 {
             }
         }
         Ok(())
+    }
+
+    /// The reusable half of `ProveDisjoint`: extract (and bound-check) the
+    /// `X₁`-side coefficients. Cost is O(|X₁|) integer work — every
+    /// per-clause [`Acc2::finalize_proof`] built on the same witness skips
+    /// it.
+    pub fn prove_witness<E: AccElem>(&self, x1: &MultiSet<E>) -> Result<Acc2Witness, AccError> {
+        self.check_universe(x1)?;
+        let mut coeffs: Vec<(u64, u64)> = x1.iter().map(|(e, c)| (e.to_index(), c)).collect();
+        // The multiset iterates in the element type's `Ord` order, which an
+        // `AccElem` impl need not make monotone in `to_index` — sort so the
+        // disjointness binary search below is valid unconditionally.
+        coeffs.sort_unstable_by_key(|&(i, _)| i);
+        Ok(Acc2Witness { coeffs })
+    }
+
+    /// The per-clause half of `ProveDisjoint`: convolve the witness with the
+    /// clause's exponents and sum the matching public-key powers.
+    ///
+    /// Duplicate exponents `x + q − y` merge into one integer coefficient
+    /// first, so the point work is bounded by the number of *distinct*
+    /// exponents (≤ `2q − 3`, typically far below `|X₁|·|X₂|`); unit
+    /// coefficients — the overwhelmingly common case — are then added with
+    /// the batched-affine ladder ([`sum_affine`]) rather than one-by-one
+    /// complete projective additions.
+    pub fn finalize_proof<E: AccElem>(
+        &self,
+        witness: &Acc2Witness,
+        x2: &MultiSet<E>,
+    ) -> Result<Acc2Proof, AccError> {
+        // Disjointness before the universe bound, preserving the historical
+        // error precedence: intersecting inputs report `NotDisjoint` even
+        // when the clause also contains out-of-range elements.
+        for e in x2.elements() {
+            if witness.coeffs.binary_search_by_key(&e.to_index(), |&(i, _)| i).is_ok() {
+                return Err(AccError::NotDisjoint);
+            }
+        }
+        self.check_universe(x2)?;
+        let q = self.pk.q;
+        // exponent convolution: coefficient of s^{x+q−y} is Σ c₁(x)·c₂(y)
+        let mut conv: BTreeMap<u64, u128> = BTreeMap::new();
+        for (y, c2) in x2.iter() {
+            let shift = q - y.to_index();
+            for &(x, c1) in &witness.coeffs {
+                debug_assert_ne!(x + shift, q, "disjointness was checked above");
+                *conv.entry(x + shift).or_insert(0) += (c1 as u128) * (c2 as u128);
+            }
+        }
+        let mut units: Vec<G1Affine> = Vec::with_capacity(conv.len());
+        let mut bases: Vec<G1Projective> = Vec::new();
+        let mut scalars: Vec<U256> = Vec::new();
+        for (exp, c) in conv {
+            let base = self.pk.g1_powers[exp as usize];
+            if c == 1 {
+                units.push(base);
+            } else {
+                bases.push(base.to_projective());
+                let mut k = U256::ZERO;
+                k.0[0] = c as u64;
+                k.0[1] = (c >> 64) as u64;
+                scalars.push(k);
+            }
+        }
+        let mut pi = sum_affine(&units);
+        if !bases.is_empty() {
+            pi = pi.add(&multiexp(&bases, &scalars));
+        }
+        Ok(Acc2Proof { pi: pi.to_affine() })
     }
 }
 
@@ -134,15 +249,25 @@ impl Accumulator for Acc2 {
                 };
             }
         }
-        // d_A = Π (g1^{s^x})^{c_x} ; d_B = Π (g2^{s^{q-x}})^{c_x}
+        // d_A = Π (g1^{s^x})^{c_x} ; d_B = Π (g2^{s^{q-x}})^{c_x}.
+        // Unit multiplicities (the common case) sum batched-affine.
+        let mut da_units: Vec<G1Affine> = Vec::new();
+        let mut db_units: Vec<G2Affine> = Vec::new();
         let mut da = G1Projective::identity();
         let mut db = G2Projective::identity();
         for (e, c) in x.iter() {
             let idx = e.to_index() as usize;
-            let count = U256::from_u64(c);
-            da = da.add(&self.pk.g1_powers[idx].mul_u256(&count));
-            db = db.add(&self.pk.g2_powers[q as usize - idx].mul_u256(&count));
+            if c == 1 {
+                da_units.push(self.pk.g1_powers[idx]);
+                db_units.push(self.pk.g2_powers[q as usize - idx]);
+            } else {
+                let count = U256::from_u64(c);
+                da = da.add(&self.pk.g1_powers[idx].to_projective().mul_u256(&count));
+                db = db.add(&self.pk.g2_powers[q as usize - idx].to_projective().mul_u256(&count));
+            }
         }
+        da = da.add(&sum_affine(&da_units));
+        db = db.add(&sum_affine(&db_units));
         Acc2Value { da: da.to_affine(), db: db.to_affine() }
     }
 
@@ -151,26 +276,17 @@ impl Accumulator for Acc2 {
         x1: &MultiSet<E>,
         x2: &MultiSet<E>,
     ) -> Result<Acc2Proof, AccError> {
-        if x1.intersects(x2) {
-            return Err(AccError::NotDisjoint);
-        }
-        self.check_universe(x1)?;
-        self.check_universe(x2)?;
-        let q = self.pk.q;
-        // π = Π_{x∈X1, y∈X2} (g1^{s^{x + q - y}})^{c1(x)·c2(y)}
-        let mut bases = Vec::with_capacity(x1.distinct_len() * x2.distinct_len());
-        let mut scalars = Vec::with_capacity(bases.capacity());
-        for (x, c1) in x1.iter() {
-            for (y, c2) in x2.iter() {
-                let xi = x.to_index();
-                let yi = y.to_index();
-                debug_assert_ne!(xi, yi, "disjointness was checked above");
-                let exp = (xi + q - yi) as usize;
-                bases.push(self.pk.g1_powers[exp]);
-                scalars.push(U256::from_u64(c1 * c2));
-            }
-        }
-        Ok(Acc2Proof { pi: multiexp(&bases, &scalars).to_affine() })
+        let witness = self.prove_witness(x1)?;
+        self.finalize_proof(&witness, x2)
+    }
+
+    fn prove_disjoint_many<E: AccElem>(
+        &self,
+        x1: &MultiSet<E>,
+        clauses: &[MultiSet<E>],
+    ) -> Result<Vec<Acc2Proof>, AccError> {
+        let witness = self.prove_witness(x1)?;
+        clauses.iter().map(|c| self.finalize_proof(&witness, c)).collect()
     }
 
     fn verify_disjoint(&self, a1: &Acc2Value, a2: &Acc2Value, proof: &Acc2Proof) -> bool {
@@ -190,19 +306,15 @@ impl Accumulator for Acc2 {
     ///
     /// An `n`-batch costs one `n+1`-pair multi-pairing (one final
     /// exponentiation) plus one `n`-term Pippenger multiexp of 128-bit
-    /// scalars, versus `n` full pairing checks for the naive loop.
+    /// scalars, versus `n` full pairing checks for the naive loop. The
+    /// coefficients `ρᵢ` come from the shared [`batch_coefficients`]
+    /// transcript derivation.
     fn batch_verify_disjoint(&self, items: &[(Acc2Value, Acc2Value, Acc2Proof)]) -> bool {
         match items {
             [] => true,
             [(a1, a2, proof)] => self.verify_disjoint(a1, a2, proof),
             _ => {
-                let mut transcript = Vec::new();
-                for (a1, a2, proof) in items {
-                    transcript.extend_from_slice(&Self::value_bytes(a1));
-                    transcript.extend_from_slice(&Self::value_bytes(a2));
-                    transcript.extend_from_slice(&Self::proof_bytes(proof));
-                }
-                let rho = rlc_coefficients(&transcript, items.len());
+                let rho = batch_coefficients::<Self>(items);
                 let scalars: Vec<U256> = rho.iter().map(Fr::to_uint).collect();
                 let mut pairs = Vec::with_capacity(items.len() + 1);
                 for ((a1, a2, _), k) in items.iter().zip(&scalars) {
@@ -288,6 +400,49 @@ mod tests {
     }
 
     #[test]
+    fn witness_reuse_matches_direct_proofs() {
+        let a = acc();
+        let x1 = ms(&[1, 2, 3, 7, 7]);
+        let clauses = vec![ms(&[10, 20]), ms(&[30]), ms(&[10, 31, 32])];
+        let w = a.prove_witness(&x1).unwrap();
+        for c in &clauses {
+            assert_eq!(a.finalize_proof(&w, c).unwrap(), a.prove_disjoint(&x1, c).unwrap());
+        }
+        let many = a.prove_disjoint_many(&x1, &clauses).unwrap();
+        for (p, c) in many.iter().zip(&clauses) {
+            assert_eq!(*p, a.prove_disjoint(&x1, c).unwrap());
+            assert!(a.verify_disjoint(&a.setup(&x1), &a.setup(c), p));
+        }
+    }
+
+    #[test]
+    fn prove_disjoint_many_propagates_errors() {
+        let a = acc();
+        let x1 = ms(&[1, 2]);
+        assert_eq!(
+            a.prove_disjoint_many(&x1, &[ms(&[10]), ms(&[2])]).unwrap_err(),
+            AccError::NotDisjoint
+        );
+        assert!(matches!(
+            a.prove_disjoint_many(&ms(&[64]), &[ms(&[1])]).unwrap_err(),
+            AccError::CapacityExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn exponent_convolution_merges_duplicates() {
+        // X1 = {2, 3}, X2 = {10, 11}: exponents {2+q−10, 2+q−11, 3+q−10,
+        // 3+q−11} collide pairwise (2−10 = 3−11), so the merged coefficient
+        // vector has 3 entries with the middle one = 2. The proof must be
+        // identical to the unmerged formulation — verified against setup.
+        let a = acc();
+        let x1 = ms(&[2, 3]);
+        let x2 = ms(&[10, 11]);
+        let proof = a.prove_disjoint(&x1, &x2).unwrap();
+        assert!(a.verify_disjoint(&a.setup(&x1), &a.setup(&x2), &proof));
+    }
+
+    #[test]
     fn wrong_value_fails() {
         let a = acc();
         let x1 = ms(&[1, 2]);
@@ -350,6 +505,12 @@ mod tests {
             a.prove_disjoint(&out_of_range, &ms(&[1])),
             Err(AccError::CapacityExceeded { .. })
         ));
+        // Error precedence (pinned): an intersecting clause reports
+        // NotDisjoint even when it also contains out-of-range elements.
+        assert_eq!(
+            a.prove_disjoint(&ms(&[1, 2]), &ms(&[2, 70])).unwrap_err(),
+            AccError::NotDisjoint
+        );
     }
 
     #[test]
@@ -403,6 +564,28 @@ mod tests {
         swapped[0].2 = swapped[1].2;
         swapped[1].2 = p0;
         assert!(!a.batch_verify_disjoint(&swapped));
+    }
+
+    #[test]
+    fn attributed_batch_names_the_forged_item() {
+        let a = acc();
+        let mut items = batch(&a, &[(&[1], &[10]), (&[2], &[20]), (&[3], &[30])]);
+        assert_eq!(a.batch_verify_disjoint_attributed(&items), Ok(()));
+        items[1].2 = Acc2Proof { pi: G1Projective::generator().mul_u64(99).to_affine() };
+        assert_eq!(a.batch_verify_disjoint_attributed(&items), Err(1));
+    }
+
+    #[test]
+    fn batch_coefficients_are_deterministic_and_transcript_bound() {
+        // Regression for the hoisted Fiat–Shamir derivation: two calls over
+        // the same items must produce identical coefficients (the batch and
+        // its error-attribution retry see one transcript), and any reorder
+        // of the items must change them.
+        let a = acc();
+        let items = batch(&a, &[(&[1], &[10]), (&[2], &[20])]);
+        assert_eq!(batch_coefficients::<Acc2>(&items), batch_coefficients::<Acc2>(&items));
+        let swapped = vec![items[1], items[0]];
+        assert_ne!(batch_coefficients::<Acc2>(&items), batch_coefficients::<Acc2>(&swapped));
     }
 
     #[test]

@@ -6,12 +6,24 @@
 use std::collections::BTreeMap;
 
 /// A multiset over an ordered element type.
+///
+/// ```
+/// use vchain_acc::MultiSet;
+///
+/// let a: MultiSet<u64> = [1u64, 1, 2].into_iter().collect();
+/// let b: MultiSet<u64> = [2u64, 3].into_iter().collect();
+/// assert_eq!(a.count(&1), 2);
+/// assert_eq!(a.sum(&b).count(&2), 2); // counts add
+/// assert_eq!(a.union(&b).count(&2), 1); // counts max
+/// assert!(!a.is_disjoint(&b));
+/// ```
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct MultiSet<E: Ord> {
     counts: BTreeMap<E, u64>,
 }
 
 impl<E: Ord + Copy> MultiSet<E> {
+    /// The empty multiset.
     pub fn new() -> Self {
         Self { counts: BTreeMap::new() }
     }
@@ -39,22 +51,27 @@ impl<E: Ord + Copy> MultiSet<E> {
         self.counts.values().sum()
     }
 
+    /// Is the multiset empty?
     pub fn is_empty(&self) -> bool {
         self.counts.is_empty()
     }
 
+    /// Does the support contain `e`?
     pub fn contains(&self, e: &E) -> bool {
         self.counts.contains_key(e)
     }
 
+    /// Multiplicity of `e` (0 when absent).
     pub fn count(&self, e: &E) -> u64 {
         self.counts.get(e).copied().unwrap_or(0)
     }
 
+    /// Iterate `(element, multiplicity)` pairs in canonical order.
     pub fn iter(&self) -> impl Iterator<Item = (&E, u64)> {
         self.counts.iter().map(|(e, &c)| (e, c))
     }
 
+    /// Iterate the support in canonical order.
     pub fn elements(&self) -> impl Iterator<Item = &E> {
         self.counts.keys()
     }
@@ -67,6 +84,7 @@ impl<E: Ord + Copy> MultiSet<E> {
         !small.counts.keys().any(|e| large.counts.contains_key(e))
     }
 
+    /// Do the supports share any element?
     pub fn intersects(&self, other: &Self) -> bool {
         !self.is_disjoint(other)
     }

@@ -13,20 +13,24 @@ pub struct Poly {
 }
 
 impl Poly {
+    /// The zero polynomial (empty coefficient vector).
     pub fn zero() -> Self {
         Self { coeffs: Vec::new() }
     }
 
+    /// The constant polynomial `1`.
     pub fn one() -> Self {
         Self::constant(Fr::one())
     }
 
+    /// The constant polynomial `c`.
     pub fn constant(c: Fr) -> Self {
         let mut p = Self { coeffs: vec![c] };
         p.normalize();
         p
     }
 
+    /// Build from little-endian coefficients (trailing zeros trimmed).
     pub fn from_coeffs(coeffs: Vec<Fr>) -> Self {
         let mut p = Self { coeffs };
         p.normalize();
@@ -57,6 +61,7 @@ impl Poly {
         }
     }
 
+    /// Is this the zero polynomial?
     pub fn is_zero(&self) -> bool {
         self.coeffs.is_empty()
     }
@@ -66,10 +71,12 @@ impl Poly {
         self.coeffs.len().checked_sub(1)
     }
 
+    /// The little-endian coefficient slice (no trailing zeros).
     pub fn coeffs(&self) -> &[Fr] {
         &self.coeffs
     }
 
+    /// Horner evaluation at a point.
     pub fn eval(&self, at: &Fr) -> Fr {
         let mut acc = Fr::zero();
         for c in self.coeffs.iter().rev() {
@@ -78,6 +85,7 @@ impl Poly {
         acc
     }
 
+    /// Polynomial addition.
     pub fn add(&self, rhs: &Self) -> Self {
         let mut coeffs = vec![Fr::zero(); self.coeffs.len().max(rhs.coeffs.len())];
         for (i, c) in coeffs.iter_mut().enumerate() {
@@ -88,6 +96,7 @@ impl Poly {
         Self::from_coeffs(coeffs)
     }
 
+    /// Polynomial subtraction.
     pub fn sub(&self, rhs: &Self) -> Self {
         let mut coeffs = vec![Fr::zero(); self.coeffs.len().max(rhs.coeffs.len())];
         for (i, c) in coeffs.iter_mut().enumerate() {
@@ -98,6 +107,7 @@ impl Poly {
         Self::from_coeffs(coeffs)
     }
 
+    /// Schoolbook polynomial multiplication.
     pub fn mul(&self, rhs: &Self) -> Self {
         if self.is_zero() || rhs.is_zero() {
             return Self::zero();
@@ -114,6 +124,7 @@ impl Poly {
         Self::from_coeffs(coeffs)
     }
 
+    /// Multiply every coefficient by a scalar.
     pub fn scale(&self, k: &Fr) -> Self {
         Self::from_coeffs(self.coeffs.iter().map(|c| Field::mul(c, k)).collect())
     }

@@ -16,8 +16,10 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vchain_acc::{Acc2, Accumulator, MultiSet};
-use vchain_bench::{shared_acc1, shared_acc2};
+use vchain_bench::{build_chain, shared_acc1, shared_acc2};
+use vchain_core::cache::ProofCache;
 use vchain_core::intra::IntraTree;
+use vchain_core::miner::IndexScheme;
 use vchain_datagen::{Dataset, WorkloadSpec};
 use vchain_pairing::{
     final_exponentiation, multi_miller_loop, multi_pairing, pairing, Field, Fp, Fp12, Fr,
@@ -95,6 +97,52 @@ fn main() {
     let v2b = acc2.setup(&x2);
     let p2 = acc2.prove_disjoint(&x1, &x2).unwrap();
     timings.push(time("verify_disjoint_acc2", 20, || acc2.verify_disjoint(&v1b, &v2b, &p2)));
+
+    // --- SP proving: cold, witness-shared and pre-PR-naive ---------------
+    // A mid-size tree-node multiset against a 4-keyword clause (interned
+    // element ids are sequential, so both sides are runs of nearby indices
+    // — the shape that makes exponent convolution collapse |X1|·|X2| pairs
+    // into few distinct powers).
+    let node_ms: MultiSet<u64> = (1..=64u64).collect();
+    let clause4: MultiSet<u64> = (1000..1004u64).collect();
+    timings.push(time("prove_disjoint_acc2_cold", 50, || {
+        acc2.prove_disjoint(&node_ms, &clause4).unwrap()
+    }));
+    // The pre-PR algorithm (one point per (x, y) pair, generic multiexp,
+    // no merging, no batched-affine summation) — kept as the speed-up
+    // reference for the trajectory file.
+    let naive = {
+        let pk = acc2.public_key();
+        let (q, powers) = (pk.q, &pk.g1_powers);
+        move |x1: &MultiSet<u64>, x2: &MultiSet<u64>| {
+            let mut bases = Vec::new();
+            let mut scalars = Vec::new();
+            for (x, c1) in x1.iter() {
+                for (y, c2) in x2.iter() {
+                    bases.push(powers[(x + q - y) as usize].to_projective());
+                    scalars.push(vchain_bigint::U256::from_u64(c1 * c2));
+                }
+            }
+            vchain_pairing::multiexp(&bases, &scalars)
+        }
+    };
+    timings.push(time("prove_disjoint_acc2_naive", 20, || naive(&node_ms, &clause4)));
+    // Witness reuse across the clauses of one query (per-clause mean).
+    let clauses8: Vec<MultiSet<u64>> =
+        (0..8u64).map(|i| (1000 + 4 * i..1004 + 4 * i).collect()).collect();
+    let t = time("prove_disjoint_many_acc2_8", 10, || {
+        acc2.prove_disjoint_many(&node_ms, &clauses8).unwrap()
+    });
+    timings.push(Timing {
+        name: "prove_disjoint_many_acc2_per_clause",
+        iters: t.iters,
+        us_per_iter: t.us_per_iter / clauses8.len() as f64,
+    });
+    timings.push(t);
+    let node16: MultiSet<u64> = (1..=16u64).collect();
+    timings.push(time("prove_disjoint_acc1_cold", 10, || {
+        acc1.prove_disjoint(&node16, &clause4).unwrap()
+    }));
     let batch: Vec<_> = (0..32u64)
         .map(|i| {
             let (xa, xb) = (ms(&[2 * i + 1]), ms(&[1000 + i]));
@@ -119,6 +167,40 @@ fn main() {
     let tree = IntraTree::build_clustered(&objects, &acc2_honest, 8);
     timings
         .push(time("block_query_intra_acc2", 5, || tree.query(&objects, &cq, &acc2_honest, false)));
+    // Same query against a warm window-level proof cache (the `time`
+    // warm-up call populates it; every measured iteration hits).
+    let cache: ProofCache<Acc2> = ProofCache::default();
+    timings.push(time("block_query_intra_acc2_cached", 5, || {
+        tree.query_cached(&objects, &cq, &acc2_honest, false, Some(&cache))
+    }));
+
+    // --- multi-window scan over a chain (cold vs warm cache) -------------
+    // 12 blocks, 8 overlapping windows answered in parallel through one
+    // ServiceProvider. "Cold" clears the SP's proof cache every iteration;
+    // "warm" reuses it, which is the steady state of an overlapping-window
+    // dashboard/scan workload.
+    let scan_spec = WorkloadSpec::paper_defaults(Dataset::FourSquare, 12);
+    let scan_w = scan_spec.generate();
+    let (sp, _light, _cfg) =
+        build_chain(&scan_w, IndexScheme::Both, 4, shared_acc2().with_fast_setup(false));
+    let mut qg2 = scan_spec.query_gen(11);
+    let t0 = scan_w.blocks.first().expect("blocks").0;
+    let t1 = scan_w.blocks.last().expect("blocks").0;
+    let span = (t1 - t0).max(8);
+    let windows: Vec<_> = (0..8u64)
+        .map(|i| {
+            // windows of ~half the chain, sliding by ~1/16 each — heavy overlap
+            let lo = t0 + i * span / 16;
+            qg2.time_window((lo, lo + span / 2)).compile(scan_spec.domain_bits)
+        })
+        .collect();
+    let scan_cold = time("multi_window_scan_cold", 3, || {
+        sp.proof_cache().clear();
+        sp.time_window_queries(&windows)
+    });
+    timings.push(scan_cold);
+    let scan_warm = time("multi_window_scan_warm", 3, || sp.time_window_queries(&windows));
+    timings.push(scan_warm);
 
     // --- JSON output -----------------------------------------------------
     let mut json = String::from("{\n  \"schema\": \"vchain-bench-smoke/v1\",\n  \"timings\": [\n");

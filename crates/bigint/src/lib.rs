@@ -1,7 +1,7 @@
 //! Fixed-width and arbitrary-precision big integers.
 //!
 //! This crate is the lowest substrate of the vChain reproduction: it provides
-//! the limb arithmetic on which the BLS12-381 fields ([`vchain-pairing`])
+//! the limb arithmetic on which the BLS12-381 fields (`vchain-pairing`)
 //! are built.
 //!
 //! Two layers:

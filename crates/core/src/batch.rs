@@ -27,18 +27,22 @@ impl<A: Accumulator> Default for BatchCollector<A> {
 }
 
 impl<A: Accumulator> BatchCollector<A> {
+    /// An empty collector.
     pub fn new() -> Self {
         Self { members: Vec::new() }
     }
 
+    /// Add one mismatching entity (its multiset and AttDigest).
     pub fn push(&mut self, ms: MultiSet<ElementId>, att: A::Value) {
         self.members.push((ms, att));
     }
 
+    /// Number of collected members.
     pub fn len(&self) -> usize {
         self.members.len()
     }
 
+    /// Is the collector empty?
     pub fn is_empty(&self) -> bool {
         self.members.is_empty()
     }

@@ -1,0 +1,372 @@
+//! The window-level proof cache of the SP proving pipeline.
+//!
+//! Disjointness proofs are *deterministic* functions of
+//! `(X₁, clause)` — both accumulator constructions derive the proof point
+//! from the two multisets and the public key alone — so any two proving
+//! sites that agree on the accumulative value `acc(X₁)` (a binding,
+//! collision-resistant commitment to `X₁`) and on the clause's element set
+//! can share one proof verbatim. Overlapping time-window queries replay the
+//! same skip entries against the same clauses; consecutive blocks of a
+//! subscription replay the same per-node refutations; both were re-proving
+//! from scratch before this cache existed.
+//!
+//! [`ProofCache`] is a fixed-capacity, thread-safe LRU map from
+//! `H(acc(X₁) ‖ clause)` to the proof. Keys are 32-byte digests of the
+//! *serialized* accumulative value plus the clause's canonical index/count
+//! encoding, so a hit is sound whenever SHA-256 is collision-resistant —
+//! the cache never needs to retain the (potentially large) multisets
+//! themselves. All entries of one cache refer to one accumulator public
+//! key; callers that rotate keys must use fresh caches.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use vchain_acc::{AccElem, AccError, Accumulator, MultiSet};
+use vchain_hash::{hash_concat, Digest};
+
+/// Sentinel index for "no node" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+/// Hit/miss/eviction counters of a [`ProofCache`] (monotonic since
+/// construction or the last [`ProofCache::clear`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the prover.
+    pub misses: u64,
+    /// Entries displaced by the LRU policy.
+    pub evictions: u64,
+}
+
+struct Node<P> {
+    key: Digest,
+    proof: P,
+    prev: usize,
+    next: usize,
+}
+
+struct Inner<P> {
+    map: HashMap<Digest, usize>,
+    nodes: Vec<Node<P>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    stats: CacheStats,
+}
+
+impl<P> Inner<P> {
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.nodes[h].prev = i,
+        }
+        self.head = i;
+    }
+}
+
+/// A thread-safe LRU cache of disjointness proofs, keyed by
+/// `(accumulative value, clause element set)`. See the module docs for the
+/// soundness argument; see [`ProofCache::get_or_prove`] for the one-call
+/// usage every SP site goes through.
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use vchain_acc::{Acc2, Accumulator, MultiSet};
+/// use vchain_core::cache::ProofCache;
+///
+/// let acc = Acc2::keygen(64, &mut StdRng::seed_from_u64(4));
+/// let cache: ProofCache<Acc2> = ProofCache::new(128);
+/// let x1: MultiSet<u64> = [1u64, 2].into_iter().collect();
+/// let clause: MultiSet<u64> = [10u64].into_iter().collect();
+/// let att = acc.setup(&x1);
+/// let cold = cache.get_or_prove(&acc, &att, &x1, &clause).unwrap();
+/// let warm = cache.get_or_prove(&acc, &att, &x1, &clause).unwrap();
+/// assert_eq!(Acc2::proof_bytes(&cold), Acc2::proof_bytes(&warm));
+/// assert_eq!((cache.stats().hits, cache.stats().misses), (1, 1));
+/// ```
+pub struct ProofCache<A: Accumulator> {
+    inner: Mutex<Inner<A::Proof>>,
+    capacity: usize,
+}
+
+impl<A: Accumulator> ProofCache<A> {
+    /// Default capacity: generous for whole-chain scans (a few thousand
+    /// distinct (skip-entry, clause) pairs) while bounding memory to a few
+    /// hundred kilobytes of proofs.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// A cache holding at most `capacity` proofs (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "proof cache capacity must be positive");
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                nodes: Vec::new(),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
+                stats: CacheStats::default(),
+            }),
+            capacity,
+        }
+    }
+
+    /// The cache key for proving `X₁` (committed as `att`) disjoint from
+    /// `clause`: a digest over the serialized accumulative value and the
+    /// clause's canonical `(index, count)` encoding.
+    pub fn key<E: AccElem>(att: &A::Value, clause: &MultiSet<E>) -> Digest {
+        let att_bytes = A::value_bytes(att);
+        let mut clause_bytes = Vec::with_capacity(16 * clause.distinct_len());
+        for (e, c) in clause.iter() {
+            clause_bytes.extend_from_slice(&e.to_index().to_le_bytes());
+            clause_bytes.extend_from_slice(&c.to_le_bytes());
+        }
+        hash_concat(&[b"vchain/proof-cache", &att_bytes, &clause_bytes])
+    }
+
+    /// Look up a proof, refreshing its recency on a hit.
+    pub fn get(&self, key: &Digest) -> Option<A::Proof> {
+        let mut g = self.inner.lock();
+        match g.map.get(key).copied() {
+            Some(i) => {
+                g.detach(i);
+                g.push_front(i);
+                g.stats.hits += 1;
+                Some(g.nodes[i].proof.clone())
+            }
+            None => {
+                g.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a proof, evicting the least-recently-used entry
+    /// when full.
+    pub fn insert(&self, key: Digest, proof: A::Proof) {
+        let mut g = self.inner.lock();
+        if let Some(&i) = g.map.get(&key) {
+            g.nodes[i].proof = proof;
+            g.detach(i);
+            g.push_front(i);
+            return;
+        }
+        if g.map.len() == self.capacity {
+            let lru = g.tail;
+            g.detach(lru);
+            let old_key = g.nodes[lru].key;
+            g.map.remove(&old_key);
+            g.free.push(lru);
+            g.stats.evictions += 1;
+        }
+        let i = match g.free.pop() {
+            Some(i) => {
+                g.nodes[i] = Node { key, proof, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                g.nodes.push(Node { key, proof, prev: NIL, next: NIL });
+                g.nodes.len() - 1
+            }
+        };
+        g.map.insert(key, i);
+        g.push_front(i);
+    }
+
+    /// The SP fast path: return the cached proof for `(att, clause)` or
+    /// prove `X₁ ∩ clause = ∅` cold and remember the result. Errors are
+    /// *not* cached (they are cheap to re-derive and carry context).
+    pub fn get_or_prove<E: AccElem>(
+        &self,
+        acc: &A,
+        att: &A::Value,
+        x1: &MultiSet<E>,
+        clause: &MultiSet<E>,
+    ) -> Result<A::Proof, AccError> {
+        let key = Self::key(att, clause);
+        if let Some(p) = self.get(&key) {
+            return Ok(p);
+        }
+        let proof = acc.prove_disjoint(x1, clause)?;
+        self.insert(key, proof.clone());
+        Ok(proof)
+    }
+
+    /// Number of cached proofs.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of cached proofs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Drop every entry and reset the counters.
+    pub fn clear(&self) {
+        let mut g = self.inner.lock();
+        g.map.clear();
+        g.nodes.clear();
+        g.free.clear();
+        g.head = NIL;
+        g.tail = NIL;
+        g.stats = CacheStats::default();
+    }
+}
+
+impl<A: Accumulator> Default for ProofCache<A> {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl<A: Accumulator> core::fmt::Debug for ProofCache<A> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let stats = self.stats();
+        write!(f, "ProofCache(len={}, cap={}, {stats:?})", self.len(), self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vchain_acc::Acc2;
+
+    fn acc() -> Acc2 {
+        Acc2::keygen(32, &mut StdRng::seed_from_u64(9))
+    }
+
+    fn ms(v: &[u64]) -> MultiSet<u64> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn cold_then_warm_byte_identical() {
+        let a = acc();
+        let cache: ProofCache<Acc2> = ProofCache::new(8);
+        let x1 = ms(&[1, 2, 3]);
+        let clause = ms(&[10, 11]);
+        let att = a.setup(&x1);
+        let cold = cache.get_or_prove(&a, &att, &x1, &clause).unwrap();
+        let warm = cache.get_or_prove(&a, &att, &x1, &clause).unwrap();
+        assert_eq!(Acc2::proof_bytes(&cold), Acc2::proof_bytes(&warm));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn key_separates_values_and_clauses() {
+        let a = acc();
+        let att1 = a.setup(&ms(&[1]));
+        let att2 = a.setup(&ms(&[2]));
+        let c1 = ms(&[10]);
+        let c2 = ms(&[10, 10]); // multiplicity is part of the key
+        assert_ne!(ProofCache::<Acc2>::key(&att1, &c1), ProofCache::<Acc2>::key(&att2, &c1));
+        assert_ne!(ProofCache::<Acc2>::key(&att1, &c1), ProofCache::<Acc2>::key(&att1, &c2));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_refreshes_on_hit() {
+        let a = acc();
+        let cache: ProofCache<Acc2> = ProofCache::new(2);
+        let x = ms(&[1]);
+        let att = a.setup(&x);
+        let clauses = [ms(&[10]), ms(&[11]), ms(&[12])];
+        let keys: Vec<Digest> = clauses.iter().map(|c| ProofCache::<Acc2>::key(&att, c)).collect();
+        for c in &clauses[..2] {
+            cache.get_or_prove(&a, &att, &x, c).unwrap();
+        }
+        // touch the first entry so the *second* is now least recent
+        assert!(cache.get(&keys[0]).is_some());
+        cache.get_or_prove(&a, &att, &x, &clauses[2]).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&keys[0]).is_some(), "refreshed entry survives");
+        assert!(cache.get(&keys[1]).is_none(), "LRU entry evicted");
+        assert!(cache.get(&keys[2]).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn insert_same_key_updates_in_place() {
+        let a = acc();
+        let cache: ProofCache<Acc2> = ProofCache::new(2);
+        let x = ms(&[1]);
+        let att = a.setup(&x);
+        let key = ProofCache::<Acc2>::key(&att, &ms(&[10]));
+        let p = a.prove_disjoint(&x, &ms(&[10])).unwrap();
+        cache.insert(key, p);
+        cache.insert(key, p);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let a = acc();
+        let cache: ProofCache<Acc2> = ProofCache::new(4);
+        let x = ms(&[1]);
+        let att = a.setup(&x);
+        cache.get_or_prove(&a, &att, &x, &ms(&[10])).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let a = acc();
+        let cache: ProofCache<Acc2> = ProofCache::new(4);
+        let x = ms(&[1]);
+        let att = a.setup(&x);
+        assert_eq!(cache.get_or_prove(&a, &att, &x, &ms(&[1])).unwrap_err(), AccError::NotDisjoint);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let a = acc();
+        let cache: ProofCache<Acc2> = ProofCache::new(64);
+        let x = ms(&[1, 2]);
+        let att = a.setup(&x);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let (cache, a, x, att) = (&cache, &a, &x, &att);
+                s.spawn(move || {
+                    for i in 0..8u64 {
+                        let clause = ms(&[10 + (t + i) % 6]);
+                        cache.get_or_prove(a, att, x, &clause).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 6, "one entry per distinct clause");
+    }
+}

@@ -25,11 +25,21 @@ use vchain_pairing::Fr;
 /// bits: 0b10 }` (dimensions are 0-based).
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Element {
+    /// A textual attribute (the paper's set W).
     Keyword(String),
-    Prefix { dim: u8, len: u8, bits: u64 },
+    /// A binary prefix of a numeric attribute (the paper's `trans(·)`).
+    Prefix {
+        /// 0-based numeric dimension.
+        dim: u8,
+        /// Prefix length in bits.
+        len: u8,
+        /// The most-significant `len` bits of the value.
+        bits: u64,
+    },
 }
 
 impl Element {
+    /// Convenience constructor for a keyword element.
     pub fn keyword(s: impl Into<String>) -> Self {
         Element::Keyword(s.into())
     }
@@ -102,6 +112,7 @@ impl ElementId {
         ElementId(id)
     }
 
+    /// Intern a keyword string directly.
     pub fn keyword(s: &str) -> ElementId {
         Self::intern(&Element::keyword(s))
     }
@@ -117,6 +128,7 @@ impl ElementId {
         interner().read().entries.len()
     }
 
+    /// The raw 0-based dictionary id.
     pub fn raw(self) -> u32 {
         self.0
     }

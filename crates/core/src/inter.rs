@@ -61,6 +61,7 @@ pub struct SkipList<A: Accumulator> {
 /// Summary of an already-mined block the miner keeps for index maintenance.
 #[derive(Clone, Debug)]
 pub struct BlockSummary<A: Accumulator> {
+    /// The block hash.
     pub hash: Digest,
     /// The block-level multiset sum of its objects' attributes.
     pub ms: MultiSet<ElementId>,

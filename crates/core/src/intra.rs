@@ -10,6 +10,7 @@ use vchain_acc::{Accumulator, MultiSet};
 use vchain_chain::Object;
 use vchain_hash::{hash_concat, hash_pair, Digest};
 
+use crate::cache::ProofCache;
 use crate::element::ElementId;
 use crate::query::{object_multiset, CompiledQuery};
 use crate::vo::{BlockVo, GroupProof, MismatchProof, VoNode};
@@ -17,25 +18,40 @@ use crate::vo::{BlockVo, GroupProof, MismatchProof, VoNode};
 /// Node payload: a leaf holds one object, an internal node two children.
 #[derive(Clone, Debug)]
 pub enum IntraNodeKind {
-    Leaf { obj_idx: usize },
-    Internal { left: usize, right: usize },
+    /// A leaf over one object.
+    Leaf {
+        /// Index into the block's object list.
+        obj_idx: usize,
+    },
+    /// An internal node over two children.
+    Internal {
+        /// Arena index of the left child.
+        left: usize,
+        /// Arena index of the right child.
+        right: usize,
+    },
 }
 
 /// One node of the index (arena-allocated in [`IntraTree::nodes`]).
 #[derive(Clone, Debug)]
 pub struct IntraNode<A: Accumulator> {
+    /// The node's Merkle commitment.
     pub hash: Digest,
+    /// The multiset union of the subtree's attributes.
     pub ms: MultiSet<ElementId>,
     /// `AttDigest`. `None` only for internal nodes under the `nil` scheme
     /// (plain Merkle interior, no pruning possible).
     pub att: Option<A::Value>,
+    /// Leaf or internal payload.
     pub kind: IntraNodeKind,
 }
 
 /// The per-block authenticated index.
 #[derive(Clone, Debug)]
 pub struct IntraTree<A: Accumulator> {
+    /// Arena of nodes (leaves first, then internals bottom-up).
     pub nodes: Vec<IntraNode<A>>,
+    /// Arena index of the root.
     pub root: usize,
 }
 
@@ -148,18 +164,22 @@ impl<A: Accumulator> IntraTree<A> {
         Self { nodes: arena, root }
     }
 
+    /// The root Merkle commitment (goes into the block header).
     pub fn root_hash(&self) -> Digest {
         self.nodes[self.root].hash
     }
 
+    /// The block-level attribute multiset (the root's union).
     pub fn root_multiset(&self) -> &MultiSet<ElementId> {
         &self.nodes[self.root].ms
     }
 
+    /// The root AttDigest (`None` under the `nil` scheme).
     pub fn root_att(&self) -> Option<&A::Value> {
         self.nodes[self.root].att.as_ref()
     }
 
+    /// Number of leaves (= number of objects indexed).
     pub fn leaf_count(&self) -> usize {
         self.nodes.iter().filter(|n| matches!(n.kind, IntraNodeKind::Leaf { .. })).count()
     }
@@ -186,9 +206,26 @@ impl<A: Accumulator> IntraTree<A> {
         acc: &A,
         batch: bool,
     ) -> (Vec<Object>, BlockVo<A>) {
+        self.query_cached(objects, q, acc, batch, None)
+    }
+
+    /// [`IntraTree::query`] with a window-level [`ProofCache`]: every inline
+    /// mismatch proof is looked up by `(node AttDigest, clause)` before
+    /// proving cold, and §6.3 group proofs are keyed by the `Sum` of their
+    /// members' digests — so overlapping windows and repeated subscription
+    /// scans re-prove nothing.
+    pub fn query_cached(
+        &self,
+        objects: &[Object],
+        q: &CompiledQuery,
+        acc: &A,
+        batch: bool,
+        cache: Option<&ProofCache<A>>,
+    ) -> (Vec<Object>, BlockVo<A>) {
         let mut results = Vec::new();
         let mut mismatches: Vec<(usize, usize)> = Vec::new(); // (node, clause) in DFS order
-        let mut root = self.walk(self.root, objects, q, &mut results, &mut mismatches, acc, batch);
+        let mut root =
+            self.walk(self.root, objects, q, &mut results, &mut mismatches, acc, batch, cache);
 
         // Batch grouping (§6.3): one aggregate proof per distinct mismatch
         // clause, over the multiset sum of the member nodes.
@@ -207,9 +244,23 @@ impl<A: Accumulator> IntraTree<A> {
                     summed = summed.sum(&self.nodes[n].ms);
                 }
                 let clause_ms = q.cnf.0[clause_idx].to_multiset();
-                let proof = acc
-                    .prove_disjoint(&summed, &clause_ms)
-                    .expect("clause was checked disjoint per member");
+                // A group's digest is `Sum` of its members' AttDigests — a
+                // few point additions — so even group proofs get a cache
+                // key cheaply and overlapping windows reuse them.
+                let summed_att = cache.and_then(|_| {
+                    let atts: Vec<A::Value> =
+                        nodes.iter().filter_map(|&n| self.nodes[n].att.clone()).collect();
+                    if atts.len() == nodes.len() {
+                        acc.sum(&atts).ok()
+                    } else {
+                        None
+                    }
+                });
+                let proof = match (cache, summed_att) {
+                    (Some(cache), Some(att)) => cache.get_or_prove(acc, &att, &summed, &clause_ms),
+                    _ => acc.prove_disjoint(&summed, &clause_ms),
+                }
+                .expect("clause was checked disjoint per member");
                 groups.push(GroupProof {
                     clause: crate::vo::ClauseRef::Index(clause_idx as u16),
                     proof,
@@ -234,6 +285,7 @@ impl<A: Accumulator> IntraTree<A> {
         mismatches: &mut Vec<(usize, usize)>,
         acc: &A,
         batch: bool,
+        cache: Option<&ProofCache<A>>,
     ) -> VoNode<A> {
         let node = &self.nodes[idx];
         let can_prune = node.att.is_some();
@@ -253,18 +305,18 @@ impl<A: Accumulator> IntraTree<A> {
             }
             (IntraNodeKind::Leaf { obj_idx }, Some(clause)) => {
                 let att = node.att.clone().expect("leaves always carry AttDigest");
-                let proof = self.make_proof(idx, clause, q, acc, batch, mismatches);
+                let proof = self.make_proof(idx, clause, q, acc, batch, mismatches, cache);
                 VoNode::LeafMismatch { obj_hash: objects[*obj_idx].digest(), att, proof }
             }
             (IntraNodeKind::Internal { left, right }, Some(clause)) if can_prune => {
                 let att = node.att.clone().expect("checked");
                 let child_hash = hash_pair(&self.nodes[*left].hash, &self.nodes[*right].hash);
-                let proof = self.make_proof(idx, clause, q, acc, batch, mismatches);
+                let proof = self.make_proof(idx, clause, q, acc, batch, mismatches, cache);
                 VoNode::InternalMismatch { child_hash, att, proof }
             }
             (IntraNodeKind::Internal { left, right }, _) => {
-                let l = self.walk(*left, objects, q, results, mismatches, acc, batch);
-                let r = self.walk(*right, objects, q, results, mismatches, acc, batch);
+                let l = self.walk(*left, objects, q, results, mismatches, acc, batch, cache);
+                let r = self.walk(*right, objects, q, results, mismatches, acc, batch, cache);
                 VoNode::Internal { att: node.att.clone(), left: Box::new(l), right: Box::new(r) }
             }
         }
@@ -279,6 +331,7 @@ impl<A: Accumulator> IntraTree<A> {
         acc: &A,
         batch: bool,
         mismatches: &mut Vec<(usize, usize)>,
+        cache: Option<&ProofCache<A>>,
     ) -> MismatchProof<A> {
         if batch && acc.supports_aggregation() {
             // Defer: record the (node, clause) pair; `query` assigns group
@@ -287,9 +340,12 @@ impl<A: Accumulator> IntraTree<A> {
             MismatchProof::Group(u16::MAX)
         } else {
             let clause_ms = q.cnf.0[clause_idx].to_multiset();
-            let proof = acc
-                .prove_disjoint(&self.nodes[node_idx].ms, &clause_ms)
-                .expect("find_disjoint_clause guarantees disjointness");
+            let node = &self.nodes[node_idx];
+            let proof = match (cache, &node.att) {
+                (Some(cache), Some(att)) => cache.get_or_prove(acc, att, &node.ms, &clause_ms),
+                _ => acc.prove_disjoint(&node.ms, &clause_ms),
+            }
+            .expect("find_disjoint_clause guarantees disjointness");
             MismatchProof::Inline { proof, clause: crate::vo::ClauseRef::Index(clause_idx as u16) }
         }
     }

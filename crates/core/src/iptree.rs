@@ -35,6 +35,7 @@ pub enum CoverType {
 /// A dyadic grid cell: a `depth`-bit prefix in each grid dimension.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Cell {
+    /// Prefix length in bits (0 = the whole domain).
     pub depth: u8,
     /// `(dim, prefix_bits)` pairs, one per grid dimension.
     pub prefixes: Vec<(u8, u64)>,
@@ -78,20 +79,26 @@ impl Cell {
 /// One IP-Tree node.
 #[derive(Clone, Debug)]
 pub struct IpNode {
+    /// The grid cell this node covers.
     pub cell: Cell,
     /// RCIF: `(query, cover type)`.
     pub rcif: Vec<(QueryId, CoverType)>,
     /// BCIF: Boolean clause content → full-cover queries sharing it.
     pub bcif: Vec<(Vec<ElementId>, Vec<QueryId>)>,
+    /// The `2^dims` sub-cells (empty at the leaves).
     pub children: Vec<IpNode>,
 }
 
 /// The inverted prefix tree.
 #[derive(Clone, Debug)]
 pub struct IpTree {
+    /// The root node (the full domain).
     pub root: IpNode,
+    /// Width of every numeric dimension in bits.
     pub domain_bits: u8,
+    /// The grid dimensions, ascending.
     pub dims: Vec<u8>,
+    /// Depth cap (paper §7.1's threshold).
     pub max_depth: u8,
 }
 

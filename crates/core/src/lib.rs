@@ -26,7 +26,10 @@
 //! The generic parameter `A: Accumulator` selects between the paper's two
 //! accumulator constructions (`vchain_acc::Acc1`, `vchain_acc::Acc2`).
 
+#![warn(missing_docs)]
+
 pub mod batch;
+pub mod cache;
 pub mod element;
 pub mod inter;
 pub mod intra;
@@ -39,6 +42,7 @@ pub mod trans;
 pub mod verify;
 pub mod vo;
 
+pub use cache::{CacheStats, ProofCache};
 pub use element::{Element, ElementId};
 pub use inter::{SkipEntry, SkipList};
 pub use intra::{IntraNodeKind, IntraTree};

@@ -24,11 +24,13 @@ pub enum IndexScheme {
 /// Public system parameters — known to miners, SPs and users alike.
 #[derive(Clone, Copy, Debug)]
 pub struct MinerConfig {
+    /// Which authenticated indexes are built.
     pub scheme: IndexScheme,
     /// Skip-list levels `L` (distances `2 … 2^L`); ignored unless `Both`.
     pub skip_levels: u8,
     /// Numeric dimension width in bits.
     pub domain_bits: u8,
+    /// Simulated proof-of-work difficulty.
     pub difficulty: Difficulty,
 }
 
@@ -46,7 +48,9 @@ impl Default for MinerConfig {
 /// A block's authenticated structures, kept by full nodes (miner & SP).
 #[derive(Clone, Debug)]
 pub struct IndexedBlock<A: Accumulator> {
+    /// The intra-block index (§6.1).
     pub tree: IntraTree<A>,
+    /// The inter-block skip list (§6.2; empty unless the `Both` scheme).
     pub skiplist: SkipList<A>,
 }
 
@@ -59,7 +63,9 @@ impl<A: Accumulator> IndexedBlock<A> {
 
 /// The miner: owns the growing chain and its index materialization.
 pub struct Miner<A: Accumulator> {
+    /// The public system parameters.
     pub cfg: MinerConfig,
+    /// The accumulator scheme handle.
     pub acc: A,
     store: ChainStore,
     indexed: Vec<IndexedBlock<A>>,
@@ -67,6 +73,7 @@ pub struct Miner<A: Accumulator> {
 }
 
 impl<A: Accumulator> Miner<A> {
+    /// A miner over an empty chain.
     pub fn new(cfg: MinerConfig, acc: A) -> Self {
         Self {
             cfg,
@@ -124,18 +131,22 @@ impl<A: Accumulator> Miner<A> {
         height
     }
 
+    /// The chain mined so far.
     pub fn store(&self) -> &ChainStore {
         &self.store
     }
 
+    /// The per-block authenticated indexes.
     pub fn indexed(&self) -> &[IndexedBlock<A>] {
         &self.indexed
     }
 
+    /// All block headers, by height (what a light client syncs).
     pub fn headers(&self) -> Vec<BlockHeader> {
         self.store.blocks().iter().map(|b| b.header.clone()).collect()
     }
 
+    /// All block hashes, by height.
     pub fn block_hashes(&self) -> Vec<Digest> {
         self.store.blocks().iter().map(Block::block_hash).collect()
     }

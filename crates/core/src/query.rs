@@ -20,22 +20,28 @@ use crate::trans::{range_cover_ids, trans_value_ids};
 pub struct Clause(pub BTreeSet<ElementId>);
 
 impl Clause {
+    /// Build a clause from element ids.
     pub fn from_ids(ids: impl IntoIterator<Item = ElementId>) -> Self {
         Clause(ids.into_iter().collect())
     }
 
+    /// Does the clause share any element with the multiset (i.e. match)?
     pub fn intersects(&self, ms: &MultiSet<ElementId>) -> bool {
         self.0.iter().any(|e| ms.contains(e))
     }
 
+    /// The clause as a (unit-multiplicity) multiset — what disjointness
+    /// proofs are made against.
     pub fn to_multiset(&self) -> MultiSet<ElementId> {
         self.0.iter().copied().collect()
     }
 
+    /// Number of elements in the clause.
     pub fn len(&self) -> usize {
         self.0.len()
     }
 
+    /// Is the clause empty (unsatisfiable)?
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
@@ -53,6 +59,23 @@ impl Cnf {
 
     /// Index of some clause disjoint from the multiset (the mismatch
     /// witness the SP proves).
+    ///
+    /// ```
+    /// use vchain_core::query::Query;
+    /// use vchain_core::query::object_multiset;
+    /// use vchain_chain::Object;
+    ///
+    /// let q = Query {
+    ///     time_window: None,
+    ///     ranges: vec![],
+    ///     keywords: vec![vec!["Sedan".into()], vec!["Benz".into(), "BMW".into()]],
+    /// }
+    /// .compile(8);
+    /// let van = Object::new(1, 0, vec![], vec!["Van".into(), "Benz".into()]);
+    /// // clause 0 = {Sedan} is disjoint from the Van's attributes: the SP
+    /// // proves exactly that to refute the object.
+    /// assert_eq!(q.cnf.find_disjoint_clause(&object_multiset(&van, 8)), Some(0));
+    /// ```
     pub fn find_disjoint_clause(&self, ms: &MultiSet<ElementId>) -> Option<usize> {
         self.0.iter().position(|c| !c.intersects(ms))
     }
@@ -61,8 +84,11 @@ impl Cnf {
 /// A per-dimension numeric range predicate `lo ≤ V[dim] ≤ hi` (inclusive).
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RangeSpec {
+    /// 0-based numeric dimension.
     pub dim: u8,
+    /// Lower bound (inclusive).
     pub lo: u64,
+    /// Upper bound (inclusive).
     pub hi: u64,
 }
 
@@ -86,19 +112,23 @@ pub struct RangeSpec {
 pub struct Query {
     /// `[ts, te]` for time-window queries; `None` for subscriptions.
     pub time_window: Option<(u64, u64)>,
+    /// Per-dimension numeric range predicates.
     pub ranges: Vec<RangeSpec>,
+    /// The monotone Boolean function ϒ in CNF (AND of OR-clauses).
     pub keywords: Vec<Vec<String>>,
 }
 
 /// A compiled query: the unified CNF plus bookkeeping for verification.
 #[derive(Clone, Debug)]
 pub struct CompiledQuery {
+    /// `[ts, te]` for time-window queries; `None` for subscriptions.
     pub time_window: Option<(u64, u64)>,
     /// `ϒ′ = trans([α, β]) ∧ ϒ`.
     pub cnf: Cnf,
     /// The original ranges (for verifier-side containment checks on shared
     /// subscription proofs).
     pub ranges: Vec<RangeSpec>,
+    /// The numeric domain width the query was compiled against.
     pub domain_bits: u8,
 }
 

@@ -1,21 +1,34 @@
 //! The service provider role (paper Fig. 3): answers time-window queries
 //! with `⟨R, VO⟩`, using the intra-block index (Algorithm 3) and the
 //! inter-block skip list (Algorithm 4).
+//!
+//! The proving pipeline is cache-backed and parallel:
+//!
+//! * every inline mismatch proof and every skip-entry proof goes through a
+//!   window-level [`ProofCache`] keyed by `(AttDigest, clause)`, so
+//!   overlapping windows — the common shape of dashboard/scan workloads —
+//!   re-prove nothing they have proven before;
+//! * [`ServiceProvider::time_window_queries`] answers a batch of windows on
+//!   all available cores, sharing that cache across the threads.
 
 use vchain_acc::Accumulator;
 use vchain_chain::ChainStore;
 
+use crate::cache::ProofCache;
 use crate::miner::{IndexScheme, IndexedBlock, MinerConfig};
 use crate::query::CompiledQuery;
 use crate::vo::{BlockCoverage, ClauseRef, QueryResponse};
 
 /// A full node serving verifiable queries.
 pub struct ServiceProvider<A: Accumulator> {
+    /// The public system parameters this chain was mined under.
     pub cfg: MinerConfig,
+    /// The accumulator scheme handle (public key).
     pub acc: A,
     store: ChainStore,
     indexed: Vec<IndexedBlock<A>>,
     history: Vec<crate::inter::BlockSummary<A>>,
+    cache: ProofCache<A>,
     /// §6.3 online batch verification (effective with Construction 2 only).
     pub batch_verify: bool,
 }
@@ -29,24 +42,42 @@ impl<A: Accumulator> ServiceProvider<A> {
         history: Vec<crate::inter::BlockSummary<A>>,
     ) -> Self {
         let batch_verify = acc.supports_aggregation();
-        Self { cfg, acc, store, indexed, history, batch_verify }
+        Self { cfg, acc, store, indexed, history, cache: ProofCache::default(), batch_verify }
     }
 
+    /// The replicated chain.
     pub fn store(&self) -> &ChainStore {
         &self.store
     }
 
+    /// The per-block authenticated indexes.
     pub fn indexed(&self) -> &[IndexedBlock<A>] {
         &self.indexed
     }
 
+    /// The per-block summaries (for subscription engines).
     pub fn history(&self) -> &[crate::inter::BlockSummary<A>] {
         &self.history
     }
 
+    /// Enable / disable §6.3 grouped proofs in the VOs this SP produces.
     pub fn with_batch_verify(mut self, enabled: bool) -> Self {
         self.batch_verify = enabled && self.acc.supports_aggregation();
         self
+    }
+
+    /// Replace the proof cache with one of the given capacity (entries).
+    pub fn with_proof_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = ProofCache::new(capacity);
+        self
+    }
+
+    /// The window-level proof cache (inspect its [`stats`] to observe warm
+    /// vs cold behaviour).
+    ///
+    /// [`stats`]: ProofCache::stats
+    pub fn proof_cache(&self) -> &ProofCache<A> {
+        &self.cache
     }
 
     /// Answer a time-window query (paper §3; Algorithms 3 & 4).
@@ -71,8 +102,13 @@ impl<A: Accumulator> ServiceProvider<A> {
             // 1. process this block individually
             let block = self.store.block(height).expect("height in range");
             let idx = &self.indexed[height as usize];
-            let (block_results, vo) =
-                idx.tree.query(&block.objects, q, &self.acc, self.batch_verify);
+            let (block_results, vo) = idx.tree.query_cached(
+                &block.objects,
+                q,
+                &self.acc,
+                self.batch_verify,
+                Some(&self.cache),
+            );
             if !block_results.is_empty() {
                 results.push((height, block_results));
             }
@@ -95,6 +131,33 @@ impl<A: Accumulator> ServiceProvider<A> {
         QueryResponse { results, coverage }
     }
 
+    /// Answer many time-window queries in parallel — the multi-window scan
+    /// path. Queries are chunked over the available cores with
+    /// `std::thread::scope`; all threads share this SP's proof cache, so a
+    /// proof any window derives is immediately warm for every other window
+    /// that overlaps it. Responses come back in input order.
+    pub fn time_window_queries(&self, queries: &[CompiledQuery]) -> Vec<QueryResponse<A>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(queries.len().max(1));
+        if threads <= 1 || queries.len() <= 1 {
+            return queries.iter().map(|q| self.time_window_query(q)).collect();
+        }
+        let chunk = queries.len().div_ceil(threads);
+        let mut out: Vec<Option<QueryResponse<A>>> = (0..queries.len()).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for (qs, os) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for (q, o) in qs.iter().zip(os.iter_mut()) {
+                        *o = Some(self.time_window_query(q));
+                    }
+                });
+            }
+        });
+        out.into_iter().map(|o| o.expect("every chunk slot is written")).collect()
+    }
+
     /// Try the largest skip at block `cur` covering `cur-distance ..= cur-1`
     /// entirely inside `[start, cur-1]` whose summary mismatches the query.
     fn try_skip(&self, cur: u64, start: u64, q: &CompiledQuery) -> Option<(BlockCoverage<A>, u64)> {
@@ -105,9 +168,11 @@ impl<A: Accumulator> ServiceProvider<A> {
             }
             if let Some(clause_idx) = q.cnf.find_disjoint_clause(&entry.ms) {
                 let clause_ms = q.cnf.0[clause_idx].to_multiset();
+                // Overlapping windows replay the same (skip entry, clause)
+                // pairs — exactly what the cache is for.
                 let proof = self
-                    .acc
-                    .prove_disjoint(&entry.ms, &clause_ms)
+                    .cache
+                    .get_or_prove(&self.acc, &entry.att, &entry.ms, &clause_ms)
                     .expect("disjointness established");
                 let siblings = skiplist
                     .entries

@@ -19,6 +19,7 @@ use std::collections::{BTreeMap, HashMap};
 use vchain_acc::{Accumulator, MultiSet};
 use vchain_chain::{Block, LightClient, Object};
 
+use crate::cache::ProofCache;
 use crate::element::ElementId;
 use crate::intra::{IntraNodeKind, IntraTree};
 use crate::iptree::{Cell, IpTree, QueryId};
@@ -30,7 +31,10 @@ use crate::vo::{BlockCoverage, BlockVo, ClauseRef, MismatchProof, QueryResponse,
 /// Publication policy (paper §7.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SubscriptionMode {
+    /// Publish an update to every registered query on every block.
     Realtime,
+    /// §7.2, Algorithm 5: buffer whole-block mismatches, compress runs with
+    /// skip entries and `ProofSum`, publish on the next match.
     Lazy,
 }
 
@@ -38,15 +42,20 @@ pub enum SubscriptionMode {
 /// block since the previous update.
 #[derive(Clone, Debug)]
 pub struct SubscriptionUpdate<A: Accumulator> {
+    /// The subscription this update answers.
     pub query_id: QueryId,
-    /// Heights covered by this update (inclusive).
+    /// First height covered by this update (inclusive).
     pub from_height: u64,
+    /// Last height covered by this update (inclusive).
     pub to_height: u64,
+    /// Matching objects, grouped by height.
     pub results: Vec<(u64, Vec<Object>)>,
+    /// The VO covering every block in `[from_height, to_height]`.
     pub coverage: Vec<BlockCoverage<A>>,
 }
 
 impl<A: Accumulator> SubscriptionUpdate<A> {
+    /// View the update as a standard query response (for verification).
     pub fn response(&self) -> QueryResponse<A> {
         QueryResponse { results: self.results.clone(), coverage: self.coverage.clone() }
     }
@@ -77,19 +86,29 @@ struct LazyState<A: Accumulator> {
 
 /// The SP-side subscription processor.
 pub struct SubscriptionEngine<A: Accumulator> {
+    /// The public system parameters this chain was mined under.
     pub cfg: MinerConfig,
+    /// The accumulator scheme handle (public key).
     pub acc: A,
+    /// Publication policy.
     pub mode: SubscriptionMode,
+    /// Whether the §7.1 inverted prefix tree is consulted.
     pub use_iptree: bool,
     queries: BTreeMap<QueryId, CompiledQuery>,
     iptree: Option<IpTree>,
     enclosing: BTreeMap<QueryId, Cell>,
     lazy: BTreeMap<QueryId, LazyState<A>>,
+    /// Persists across [`SubscriptionEngine::process_block`] calls: a
+    /// refutation derived at block `h` is warm for block `h+1` whenever the
+    /// node digest and clause recur (stable subscriptions over repetitive
+    /// traffic hit constantly).
+    cache: ProofCache<A>,
     next_id: QueryId,
     next_height: u64,
 }
 
 impl<A: Accumulator> SubscriptionEngine<A> {
+    /// An engine with no registered queries, expecting block 0 next.
     pub fn new(cfg: MinerConfig, acc: A, mode: SubscriptionMode, use_iptree: bool) -> Self {
         if mode == SubscriptionMode::Lazy {
             assert!(
@@ -106,9 +125,15 @@ impl<A: Accumulator> SubscriptionEngine<A> {
             iptree: None,
             enclosing: BTreeMap::new(),
             lazy: BTreeMap::new(),
+            cache: ProofCache::default(),
             next_id: 0,
             next_height: 0,
         }
+    }
+
+    /// The cross-block proof cache (inspect its stats to observe reuse).
+    pub fn proof_cache(&self) -> &ProofCache<A> {
+        &self.cache
     }
 
     /// Number of registered queries.
@@ -116,6 +141,7 @@ impl<A: Accumulator> SubscriptionEngine<A> {
         self.queries.len()
     }
 
+    /// The compiled form of a registered query.
     pub fn compiled(&self, id: QueryId) -> Option<&CompiledQuery> {
         self.queries.get(&id)
     }
@@ -196,7 +222,16 @@ impl<A: Accumulator> SubscriptionEngine<A> {
         } else {
             self.queries
                 .iter()
-                .map(|(id, q)| (*id, indexed.tree.query(&block.objects, q, &self.acc, false)))
+                .map(|(id, q)| {
+                    let out = indexed.tree.query_cached(
+                        &block.objects,
+                        q,
+                        &self.acc,
+                        false,
+                        Some(&self.cache),
+                    );
+                    (*id, out)
+                })
                 .collect()
         };
 
@@ -379,12 +414,10 @@ impl<A: Accumulator> SubscriptionEngine<A> {
     ) -> BTreeMap<QueryId, (Vec<Object>, BlockVo<A>)> {
         let tree = &indexed.tree;
         let qids: Vec<QueryId> = self.queries.keys().copied().collect();
-        let mut proof_cache: HashMap<Vec<u32>, HashMap<usize, A::Proof>> = HashMap::new();
         let mut out: BTreeMap<QueryId, (Vec<Object>, Option<VoNode<A>>)> =
             qids.iter().map(|&id| (id, (Vec::new(), None))).collect();
 
-        let roots =
-            self.shared_walk(tree, tree.root, &block.objects, &qids, &mut proof_cache, &mut out);
+        let roots = self.shared_walk(tree, tree.root, &block.objects, &qids, &mut out);
         roots
             .into_iter()
             .map(|(qid, node)| {
@@ -395,22 +428,41 @@ impl<A: Accumulator> SubscriptionEngine<A> {
     }
 
     /// Returns, per active query, the VO node for this subtree.
+    ///
+    /// Every refutation this node needs — one per distinct clause content
+    /// across all active queries (the BCIF effect) and per enclosing grid
+    /// cell — is first looked up in the persistent cross-block cache, and
+    /// the misses are proven together with one
+    /// [`Accumulator::prove_disjoint_many`] call, sharing the node-side
+    /// witness across clauses.
     fn shared_walk(
         &self,
         tree: &IntraTree<A>,
         node_idx: usize,
         objects: &[Object],
         active: &[QueryId],
-        proof_cache: &mut HashMap<Vec<u32>, HashMap<usize, A::Proof>>,
         out: &mut BTreeMap<QueryId, (Vec<Object>, Option<VoNode<A>>)>,
     ) -> BTreeMap<QueryId, VoNode<A>> {
         let node = &tree.nodes[node_idx];
         let mut results_map: BTreeMap<QueryId, VoNode<A>> = BTreeMap::new();
         let mut descend: Vec<QueryId> = Vec::new();
 
+        // The refutations this node needs, deduplicated by clause content;
+        // proofs are resolved (cache or batch-prove) after collection.
+        let mut pending: Vec<(MultiSet<ElementId>, Option<A::Proof>)> = Vec::new();
+        let mut by_content: HashMap<Vec<u32>, usize> = HashMap::new();
+        let mut assigned: BTreeMap<QueryId, (usize, ClauseRef)> = BTreeMap::new();
+        let mut intern = |pending: &mut Vec<(MultiSet<ElementId>, Option<A::Proof>)>,
+                          clause_ms: MultiSet<ElementId>| {
+            let key: Vec<u32> = clause_ms.elements().map(|e| e.raw()).collect();
+            *by_content.entry(key).or_insert_with(|| {
+                pending.push((clause_ms, None));
+                pending.len() - 1
+            })
+        };
+
         // 1. Range sharing: queries grouped by enclosing cell; one proof per
         //    cell whose slabs are all absent from the node's multiset.
-        let mut cell_refuted: BTreeMap<QueryId, (ClauseRef, A::Proof)> = BTreeMap::new();
         if !self.enclosing.is_empty() {
             let mut by_cell: BTreeMap<&Cell, Vec<QueryId>> = BTreeMap::new();
             for &qid in active {
@@ -445,65 +497,66 @@ impl<A: Accumulator> SubscriptionEngine<A> {
                         })
                     })
                     .collect();
-                let key: Vec<u32> = clause_ms.elements().map(|e| e.raw()).collect();
-                let proof = proof_cache
-                    .entry(key)
-                    .or_default()
-                    .entry(node_idx)
-                    .or_insert_with(|| {
-                        self.acc
-                            .prove_disjoint(&node.ms, &clause_ms)
-                            .expect("absent prefixes are disjoint by construction")
-                    })
-                    .clone();
+                let idx = intern(&mut pending, clause_ms);
                 let clause = ClauseRef::Cell { len: cell.depth, prefixes: absent };
                 for qid in qids {
-                    cell_refuted.insert(qid, (clause.clone(), proof.clone()));
+                    assigned.insert(qid, (idx, clause.clone()));
                 }
             }
         }
 
+        // 2. Clause-content sharing (the BCIF effect): identical clause
+        //    sets across queries collapse onto one pending refutation.
         for &qid in active {
+            if assigned.contains_key(&qid) {
+                continue; // already cell-refuted
+            }
             let q = &self.queries[&qid];
-            if let Some((clause, proof)) = cell_refuted.get(&qid) {
+            match q.cnf.find_disjoint_clause(&node.ms) {
+                Some(ci) => {
+                    let idx = intern(&mut pending, q.cnf.0[ci].to_multiset());
+                    assigned.insert(qid, (idx, ClauseRef::Index(ci as u16)));
+                }
+                None => descend.push(qid),
+            }
+        }
+
+        // 3. Resolve the pending refutations: warm ones come from the
+        //    cross-block cache, the misses share one witness computation.
+        if !pending.is_empty() {
+            let att = node.att.as_ref();
+            let mut misses: Vec<usize> = Vec::new();
+            for (i, (clause_ms, proof)) in pending.iter_mut().enumerate() {
+                match att.and_then(|a| self.cache.get(&ProofCache::<A>::key(a, clause_ms))) {
+                    Some(hit) => *proof = Some(hit),
+                    None => misses.push(i),
+                }
+            }
+            if !misses.is_empty() {
+                let clauses: Vec<MultiSet<ElementId>> =
+                    misses.iter().map(|&i| pending[i].0.clone()).collect();
+                let proofs = self
+                    .acc
+                    .prove_disjoint_many(&node.ms, &clauses)
+                    .expect("every pending clause was found disjoint from the node");
+                for (&i, proof) in misses.iter().zip(proofs) {
+                    if let Some(a) = att {
+                        self.cache.insert(ProofCache::<A>::key(a, &pending[i].0), proof.clone());
+                    }
+                    pending[i].1 = Some(proof);
+                }
+            }
+            for (&qid, (idx, clause)) in &assigned {
+                let proof = pending[*idx].1.clone().expect("resolved above");
                 results_map.insert(
                     qid,
                     self.mismatch_node(
                         tree,
                         node_idx,
                         objects,
-                        MismatchProof::Inline { proof: proof.clone(), clause: clause.clone() },
+                        MismatchProof::Inline { proof, clause: clause.clone() },
                     ),
                 );
-                continue;
-            }
-            // 2. Clause-content sharing (the BCIF effect): identical clause
-            //    sets across queries reuse one proof per node.
-            match q.cnf.find_disjoint_clause(&node.ms) {
-                Some(ci) => {
-                    let clause_ms = q.cnf.0[ci].to_multiset();
-                    let key: Vec<u32> = clause_ms.elements().map(|e| e.raw()).collect();
-                    let proof = proof_cache
-                        .entry(key)
-                        .or_default()
-                        .entry(node_idx)
-                        .or_insert_with(|| {
-                            self.acc
-                                .prove_disjoint(&node.ms, &clause_ms)
-                                .expect("clause found disjoint")
-                        })
-                        .clone();
-                    results_map.insert(
-                        qid,
-                        self.mismatch_node(
-                            tree,
-                            node_idx,
-                            objects,
-                            MismatchProof::Inline { proof, clause: ClauseRef::Index(ci as u16) },
-                        ),
-                    );
-                }
-                None => descend.push(qid),
             }
         }
 
@@ -522,8 +575,8 @@ impl<A: Accumulator> SubscriptionEngine<A> {
                 }
             }
             IntraNodeKind::Internal { left, right } => {
-                let mut l = self.shared_walk(tree, *left, objects, &descend, proof_cache, out);
-                let mut r = self.shared_walk(tree, *right, objects, &descend, proof_cache, out);
+                let mut l = self.shared_walk(tree, *left, objects, &descend, out);
+                let mut r = self.shared_walk(tree, *right, objects, &descend, out);
                 for qid in descend {
                     let ln = l.remove(&qid).expect("child VO");
                     let rn = r.remove(&qid).expect("child VO");

@@ -28,30 +28,65 @@ use crate::vo::{BlockCoverage, BlockVo, ClauseRef, MismatchProof, QueryResponse,
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum VerifyError {
     /// The reconstructed ADS root differs from the block header.
-    RootMismatch { height: u64 },
+    RootMismatch {
+        /// Offending block height.
+        height: u64,
+    },
     /// A disjointness proof failed.
-    BadProof { height: u64 },
+    BadProof {
+        /// Offending block height.
+        height: u64,
+    },
     /// A clause reference is not valid for this query.
-    BadClause { height: u64 },
+    BadClause {
+        /// Offending block height.
+        height: u64,
+    },
     /// A returned object does not satisfy the query (or its timestamp lies
     /// outside the window).
-    ResultNotMatching { height: u64, object_id: u64 },
+    ResultNotMatching {
+        /// Offending block height.
+        height: u64,
+        /// Id of the object that does not match.
+        object_id: u64,
+    },
     /// Results referenced by the VO are missing or duplicated.
-    ResultIndexing { height: u64 },
+    ResultIndexing {
+        /// Offending block height.
+        height: u64,
+    },
     /// A block in the window is not covered by the VO.
-    MissingCoverage { height: u64 },
+    MissingCoverage {
+        /// The uncovered height.
+        height: u64,
+    },
     /// A block is covered more than once.
-    DuplicateCoverage { height: u64 },
+    DuplicateCoverage {
+        /// The doubly-covered height.
+        height: u64,
+    },
     /// The skip hash chain does not match the light client's headers.
-    SkipHashMismatch { height: u64 },
+    SkipHashMismatch {
+        /// Height of the block whose skip list was used.
+        height: u64,
+    },
     /// The reconstructed skip-list root differs from the header.
-    SkipRootMismatch { height: u64 },
+    SkipRootMismatch {
+        /// Height of the block whose skip list was used.
+        height: u64,
+    },
     /// The response used a structure the scheme does not provide.
     SchemeViolation,
     /// The light client has no header at this height.
-    UnknownBlock { height: u64 },
+    UnknownBlock {
+        /// The unknown height.
+        height: u64,
+    },
     /// A batch group reference is dangling.
-    BadGroup { height: u64 },
+    BadGroup {
+        /// Offending block height.
+        height: u64,
+    },
     /// Batch groups require an aggregating accumulator.
     AggregationUnsupported,
 }
@@ -104,20 +139,14 @@ impl<A: Accumulator> DisjointBatch<A> {
         self.heights.push(height);
     }
 
-    /// Run the aggregated check; on rejection, re-verify individually so the
-    /// error still names the offending height.
+    /// Run the aggregated check; on rejection the accumulator's attributed
+    /// fallback re-verifies the *same* item slice (with the Fiat–Shamir
+    /// coefficients derived once — see
+    /// [`Accumulator::batch_verify_disjoint_attributed`]) so the error still
+    /// names the offending height.
     fn flush(self, acc: &A) -> Result<(), VerifyError> {
-        if self.items.is_empty() || acc.batch_verify_disjoint(&self.items) {
-            return Ok(());
-        }
-        for ((a1, a2, proof), height) in self.items.iter().zip(&self.heights) {
-            if !acc.verify_disjoint(a1, a2, proof) {
-                return Err(VerifyError::BadProof { height: *height });
-            }
-        }
-        // Unreachable in practice: an all-valid batch satisfies the RLC
-        // identity with probability 1. Fail closed regardless.
-        Err(VerifyError::BadProof { height: self.heights[0] })
+        acc.batch_verify_disjoint_attributed(&self.items)
+            .map_err(|i| VerifyError::BadProof { height: self.heights[i] })
     }
 }
 
@@ -244,6 +273,7 @@ pub fn verify_with_expected<A: Accumulator>(
 pub struct ClauseCache<A: Accumulator>(HashMap<ClauseKey, A::Value>);
 
 impl<A: Accumulator> ClauseCache<A> {
+    /// An empty cache.
     pub fn new() -> Self {
         Self(HashMap::new())
     }

@@ -24,15 +24,27 @@ pub enum ClauseRef {
     /// Used by the IP-Tree subscription path (§7.1) where one proof against
     /// a cell is shared by every query whose range box lies inside it; the
     /// verifier checks the containment before trusting it.
-    Cell { len: u8, prefixes: Vec<(u8, u64)> },
+    Cell {
+        /// Prefix length in bits.
+        len: u8,
+        /// `(dimension, prefix bits)` pairs.
+        prefixes: Vec<(u8, u64)>,
+    },
 }
 
 /// Errors raised when a [`ClauseRef`] cannot be resolved for a query.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ClauseError {
+    /// The clause index exceeds the query's CNF.
     OutOfRange(u16),
+    /// The cell references a dimension the query has no range on.
     NoSuchDim(u8),
-    NotContaining { dim: u8 },
+    /// The query's range box is not contained in the cell.
+    NotContaining {
+        /// The dimension where containment fails.
+        dim: u8,
+    },
+    /// The cell lists no prefixes.
     EmptyCell,
 }
 
@@ -83,8 +95,11 @@ impl ClauseRef {
 /// How a mismatch is proven: inline, or as a member of a §6.3 batch group.
 #[derive(Clone, Debug)]
 pub enum MismatchProof<A: Accumulator> {
+    /// A proof carried directly in the VO node.
     Inline {
+        /// The disjointness proof.
         proof: A::Proof,
+        /// The clause it refutes.
         clause: ClauseRef,
     },
     /// Index into [`BlockVo::groups`]; the verifier sums the member
@@ -100,38 +115,54 @@ pub enum VoNode<A: Accumulator> {
         /// `AttDigest_n`; `None` under the `nil` scheme where internal nodes
         /// are plain Merkle nodes.
         att: Option<A::Value>,
+        /// The left child's VO.
         left: Box<VoNode<A>>,
+        /// The right child's VO.
         right: Box<VoNode<A>>,
     },
     /// A pruned internal node: everything below mismatches `clause`.
     InternalMismatch {
         /// `hash(hash_l | hash_r)` — opaque, binds the hidden subtree.
         child_hash: Digest,
+        /// The node's AttDigest.
         att: A::Value,
+        /// Why the whole subtree mismatches.
         proof: MismatchProof<A>,
     },
     /// A matching leaf; the object is in the result set.
     LeafMatch {
+        /// The leaf's AttDigest.
         att: A::Value,
         /// Index into this block's result list.
         result_idx: u32,
     },
     /// A mismatching leaf.
-    LeafMismatch { obj_hash: Digest, att: A::Value, proof: MismatchProof<A> },
+    LeafMismatch {
+        /// `hash(object)` — opaque, binds the hidden object.
+        obj_hash: Digest,
+        /// The leaf's AttDigest.
+        att: A::Value,
+        /// Why the object mismatches.
+        proof: MismatchProof<A>,
+    },
 }
 
 /// A batch-verification group (§6.3): one proof for several mismatch nodes
 /// sharing the same reason.
 #[derive(Clone, Debug)]
 pub struct GroupProof<A: Accumulator> {
+    /// The clause every group member mismatches.
     pub clause: ClauseRef,
+    /// One proof for the `Sum` of the members' digests.
     pub proof: A::Proof,
 }
 
 /// The VO for one block.
 #[derive(Clone, Debug)]
 pub struct BlockVo<A: Accumulator> {
+    /// The pruned tree mirroring the intra-block index.
     pub root: VoNode<A>,
+    /// §6.3 batch groups referenced by `MismatchProof::Group` nodes.
     pub groups: Vec<GroupProof<A>>,
 }
 
@@ -139,15 +170,24 @@ pub struct BlockVo<A: Accumulator> {
 #[derive(Clone, Debug)]
 pub enum BlockCoverage<A: Accumulator> {
     /// An individually processed block.
-    Block { height: u64, vo: BlockVo<A> },
+    Block {
+        /// The covered height.
+        height: u64,
+        /// Its verification object.
+        vo: BlockVo<A>,
+    },
     /// An inter-block skip (§6.2): blocks `height-distance ..= height-1`
     /// all mismatch `clause`.
     Skip {
         /// The block whose skip list is being used.
         height: u64,
+        /// Number of preceding blocks covered.
         distance: u64,
+        /// The skip entry's AttDigest.
         att: A::Value,
+        /// Disjointness of the entry's multiset from `clause`.
         proof: A::Proof,
+        /// The refuted clause.
         clause: ClauseRef,
         /// `(distance, hash_Lk)` of the *other* levels, to rebuild
         /// `SkipListRoot`.
@@ -159,13 +199,16 @@ pub enum BlockCoverage<A: Accumulator> {
 /// the VO covering every block of the window.
 #[derive(Clone, Debug)]
 pub struct QueryResponse<A: Accumulator> {
+    /// Matching objects, grouped by block height (descending).
     pub results: Vec<(u64, Vec<Object>)>,
+    /// The VO covering every in-window block.
     pub coverage: Vec<BlockCoverage<A>>,
 }
 
 /// Nominal wire-size accounting (compressed points + digests), the paper's
 /// "VO size" metric. Result objects are *not* part of the VO.
 pub trait VoSize<A: Accumulator> {
+    /// Nominal serialized size of this VO fragment in bytes.
     fn vo_size_bytes(&self, acc: &A) -> usize;
 }
 

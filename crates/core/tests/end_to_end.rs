@@ -141,6 +141,47 @@ fn skips_actually_occur_under_both() {
 }
 
 #[test]
+fn parallel_overlapping_windows_verify_and_hit_the_cache() {
+    // The multi-window scan path: overlapping windows answered in parallel
+    // must (a) verify exactly like sequential answers, (b) share proofs via
+    // the SP's cache, and (c) produce byte-identical proofs warm vs cold.
+    let acc = Acc2::keygen(4096, &mut StdRng::seed_from_u64(16));
+    let (miner, light) = build_chain(IndexScheme::Both, acc);
+    let sp = miner.into_service_provider();
+    let windows: Vec<_> = [(10u64, 70u64), (20, 80), (30, 90), (10, 90)]
+        .iter()
+        .map(|&(lo, hi)| {
+            Query {
+                time_window: Some((lo, hi)),
+                ranges: vec![RangeSpec { dim: 0, lo: 5, hi: 40 }],
+                keywords: vec![vec!["Sedan".into()], vec!["Benz".into(), "BMW".into()]],
+            }
+            .compile(DOMAIN_BITS)
+        })
+        .collect();
+    let parallel = sp.time_window_queries(&windows);
+    assert_eq!(parallel.len(), windows.len());
+    for (cq, resp) in windows.iter().zip(&parallel) {
+        verify_response(cq, resp, &light, &sp.cfg, &sp.acc).expect("parallel answers verify");
+    }
+    let after_first = sp.proof_cache().stats();
+    assert!(after_first.hits > 0, "overlapping windows must share cached proofs");
+    // a warm second pass answers from the cache and byte-matches
+    let warm = sp.time_window_queries(&windows);
+    let grew = sp.proof_cache().stats();
+    assert_eq!(grew.misses, after_first.misses, "warm pass must not prove anything new");
+    for ((cq, cold), warm) in windows.iter().zip(&parallel).zip(&warm) {
+        assert_eq!(cold.vo_size_bytes(&sp.acc), warm.vo_size_bytes(&sp.acc));
+        let a = verify_response(cq, cold, &light, &sp.cfg, &sp.acc).unwrap();
+        let b = verify_response(cq, warm, &light, &sp.cfg, &sp.acc).unwrap();
+        assert_eq!(
+            a.iter().map(|o| o.id).collect::<Vec<_>>(),
+            b.iter().map(|o| o.id).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
 fn adversarial_sp_is_caught() {
     let acc = Acc1::keygen(600, &mut StdRng::seed_from_u64(8));
     let (miner, light) = build_chain(IndexScheme::Intra, acc);

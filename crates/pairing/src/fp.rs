@@ -117,7 +117,10 @@ macro_rules! prime_field {
 
             fn inverse(&self) -> Option<Self> {
                 // Binary extended GCD on the Montgomery representation —
-                // far cheaper than the Fermat exponent `a^{m−2}`.
+                // far cheaper than the Fermat exponent `a^{m−2}`. Counted so
+                // tests can assert hot paths (the projective Miller loop)
+                // stay inversion-free.
+                $crate::stats::FIELD_INVERSIONS.with(|c| c.set(c.get() + 1));
                 $params().inv_mont(&self.0).map(Self)
             }
 

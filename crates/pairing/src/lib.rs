@@ -36,12 +36,13 @@ pub mod fp2;
 pub mod fp6;
 pub mod pairing_impl;
 pub mod params;
+pub mod stats;
 
 pub use curve::{
-    multiexp, Affine, CurveSpec, G1Affine, G1Projective, G1Spec, G2Affine, G2Projective, G2Spec,
-    Projective,
+    batch_to_affine, multiexp, sum_affine, Affine, CurveSpec, G1Affine, G1Projective, G1Spec,
+    G2Affine, G2Projective, G2Spec, Projective,
 };
-pub use field::Field;
+pub use field::{batch_invert, Field};
 pub use fp::{Fp, Fr};
 pub use fp12::Fp12;
 pub use fp2::Fp2;

@@ -1,13 +1,23 @@
 //! The optimal-ate pairing `e : G1 × G2 → Gt`.
 //!
-//! The Miller loop keeps `T` in affine coordinates *on the twist* and emits
-//! sparse line values `l0 + l2·w² + l3·w³` (the `w³` clearing factor lies in
-//! `F_{p⁴}` and vertical lines lie in `F_{p⁶}`; both subgroups are
-//! annihilated by the final exponentiation, so dropping them is sound),
-//! folded with [`Fp12::mul_by_line`]. [`multi_miller_loop`] runs *one*
-//! shared squaring chain for every pair: per loop iteration the accumulator
-//! is squared once and each pair contributes only its line values, so `n`
-//! pairs cost one loop plus `n` line evaluations — not `n` loops.
+//! The Miller loop keeps `T` in **homogeneous projective coordinates** on
+//! the twist and evaluates lines with Costello–Lange–Naehrig-style
+//! inversion-free formulas: a doubling step costs 3 `Fp2` multiplications
+//! and 6 squarings, an addition step 11 multiplications and 2 squarings,
+//! and *no step performs a field inversion* (the per-iteration Montgomery
+//! batch inversion of the earlier affine loop is gone — the
+//! [`stats::field_inversions`] counter proves the invariant). Lines are
+//! sparse values `l0 + l2·w² + l3·w³` folded with [`Fp12::mul_by_line`];
+//! projective evaluation scales each line by a factor in `Fp2`, which the
+//! final exponentiation annihilates (`c^{(p⁶−1)(p²+1)} = 1` for every
+//! `c ∈ Fp2 ∪ Fp4 ∪ Fp6`), so raw loop outputs differ from the affine
+//! reference ([`affine`]) only by such factors and the *pairings* agree
+//! exactly.
+//!
+//! [`multi_miller_loop`] runs *one* shared squaring chain for every pair:
+//! per loop iteration the accumulator is squared once and each pair
+//! contributes only its line values, so `n` pairs cost one loop plus `n`
+//! line evaluations — not `n` loops.
 //!
 //! The final exponentiation computes the easy part `f^{(p⁶−1)(p²+1)}` with
 //! conjugation/inversion/Frobenius, and the hard part via the cyclotomic
@@ -33,30 +43,7 @@ use crate::fp12::Fp12;
 use crate::fp2::Fp2;
 use crate::params;
 
-/// Lightweight operation counters for tests and benchmarks: they prove the
-/// batching invariants ("n-pair `multi_pairing` = 1 shared Miller loop +
-/// 1 final exponentiation") without instrumenting call sites. The counters
-/// are *per-thread* so that concurrent callers (e.g. parallel tests) cannot
-/// perturb each other's deltas.
-pub mod stats {
-    use core::cell::Cell;
-
-    thread_local! {
-        pub(super) static FINAL_EXPS: Cell<u64> = const { Cell::new(0) };
-        pub(super) static MILLER_LOOPS: Cell<u64> = const { Cell::new(0) };
-    }
-
-    /// Final exponentiations performed by the current thread.
-    pub fn final_exps() -> u64 {
-        FINAL_EXPS.with(Cell::get)
-    }
-
-    /// Shared Miller-loop executions by the current thread (a
-    /// `multi_miller_loop` over any number of pairs counts once).
-    pub fn miller_loops() -> u64 {
-        MILLER_LOOPS.with(Cell::get)
-    }
-}
+pub use crate::stats;
 
 /// An element of the pairing target group `Gt ⊂ Fp12*` (order `r`),
 /// written multiplicatively.
@@ -69,6 +56,7 @@ impl Gt {
         Gt(Fp12::one())
     }
 
+    /// Is this the identity element?
     pub fn is_one(&self) -> bool {
         self.0 == Fp12::one()
     }
@@ -89,6 +77,7 @@ impl Gt {
         Gt(self.0.cyclotomic_pow_limbs(&k.to_uint().0))
     }
 
+    /// Exponentiation by a small integer.
     pub fn pow_u64(&self, k: u64) -> Gt {
         Gt(self.0.cyclotomic_pow_limbs(&[k]))
     }
@@ -107,62 +96,89 @@ impl core::ops::Mul for Gt {
     }
 }
 
-/// Affine point on the twist during the Miller loop.
+/// A sparse line value `l0 + l2·w² + l3·w³`.
+type Line = (Fp2, Fp2, Fp2);
+
+/// The twist point `Q` kept in affine form (used by addition steps).
 #[derive(Clone, Copy)]
-struct TwistPoint {
+struct TwistAffine {
     x: Fp2,
     y: Fp2,
 }
 
-/// A sparse line value `l0 + l2·w² + l3·w³`.
-type Line = (Fp2, Fp2, Fp2);
-
-/// Montgomery batch inversion: replaces every (nonzero) element with its
-/// inverse at the cost of *one* field inversion plus `3(n−1)` products.
-/// The shared Miller loop uses it so that `n` pairs cost one `Fp2`
-/// inversion per iteration instead of `n`.
-fn batch_invert(values: &mut [Fp2], prefix: &mut Vec<Fp2>) {
-    prefix.clear();
-    let mut acc = Fp2::one();
-    for v in values.iter() {
-        prefix.push(acc);
-        acc = Field::mul(&acc, v);
-    }
-    let mut inv = acc.inverse().expect("Miller-loop denominators are nonzero");
-    for i in (0..values.len()).rev() {
-        let old = values[i];
-        values[i] = Field::mul(&prefix[i], &inv);
-        inv = Field::mul(&inv, &old);
-    }
+/// The running point `T` in homogeneous projective coordinates on the
+/// twist (`x = X/Z`, `y = Y/Z`). No Miller step ever needs `Z = 1`, so no
+/// step ever inverts.
+#[derive(Clone, Copy)]
+struct TwistProjective {
+    x: Fp2,
+    y: Fp2,
+    z: Fp2,
 }
 
-/// Tangent line at `t`, evaluated at `p`, given `(2·t.y)⁻¹`; advances
-/// `t ← 2t`.
-fn double_step(t: &mut TwistPoint, xp: &Fp, yp: &Fp, denom_inv: &Fp2) -> Line {
-    // λ' = 3x² / 2y on the twist
-    let lambda = Field::mul(&t.x.square().triple(), denom_inv);
-    let l0 = Field::sub(&Field::mul(&lambda, &t.x), &t.y);
-    let l2 = Field::neg(&lambda.mul_by_fp(xp));
-    let l3 = Fp2::from_fp(*yp);
+/// `12·ξ·c` — multiplying by the twist constant `3b′ = 12(1+u)` costs only
+/// additions because ξ-multiplication is `(a−b) + (a+b)u`.
+fn mul_by_12_xi(c: &Fp2) -> Fp2 {
+    let t = c.mul_by_xi();
+    let t4 = t.double().double();
+    Field::add(&t4, &t4.double())
+}
 
-    let x3 = Field::sub(&lambda.square(), &t.x.double());
-    let y3 = Field::sub(&Field::mul(&lambda, &Field::sub(&t.x, &x3)), &t.y);
-    *t = TwistPoint { x: x3, y: y3 };
+/// Inversion-free doubling step: tangent line at `T` evaluated at `P`,
+/// scaled by `2YZ/Z²` (an `Fp2` factor, killed by the final
+/// exponentiation); advances `T ← 2T`. 3 `Fp2` multiplications + 6
+/// squarings + 2 `Fp` scalings.
+fn projective_double_step(t: &mut TwistProjective, xp: &Fp, yp: &Fp) -> Line {
+    // B = Y², C = Z², E = 3b′·C, H = 2YZ (all on the *incoming* T)
+    let b = t.y.square();
+    let c = t.z.square();
+    let e = mul_by_12_xi(&c);
+    let h = Field::sub(&Field::sub(&(t.y + t.z).square(), &b), &c);
+    let xx3 = t.x.square().triple();
+
+    // line (affine tangent scaled by 2YZ): uses the curve relation
+    // X³ = Y²Z − b′Z³ to collapse l0 to B − E.
+    let l0 = Field::sub(&b, &e);
+    let l2 = Field::neg(&xx3.mul_by_fp(xp));
+    let l3 = h.mul_by_fp(yp);
+
+    // point update (CLN doubling, scaled ×4 to avoid halvings):
+    // X₃ = 2·XY·(B − F), Y₃ = (B + F)² − 12E², Z₃ = 4·B·H with F = 3E.
+    let f = e.triple();
+    let xy = Field::mul(&t.x, &t.y);
+    let x3 = Field::mul(&xy, &Field::sub(&b, &f)).double();
+    let e2 = e.square();
+    let e2_12 = Field::add(&e2.double().double(), &e2.double().double().double());
+    let y3 = Field::sub(&(b + f).square(), &e2_12);
+    let z3 = Field::mul(&b, &h).double().double();
+    *t = TwistProjective { x: x3, y: y3, z: z3 };
 
     (l0, l2, l3)
 }
 
-/// Chord line through `t` and `q`, evaluated at `p`, given `(t.x − q.x)⁻¹`;
-/// advances `t ← t + q`.
-fn add_step(t: &mut TwistPoint, q: &TwistPoint, xp: &Fp, yp: &Fp, denom_inv: &Fp2) -> Line {
-    let lambda = Field::mul(&Field::sub(&t.y, &q.y), denom_inv);
-    let l0 = Field::sub(&Field::mul(&lambda, &t.x), &t.y);
-    let l2 = Field::neg(&lambda.mul_by_fp(xp));
-    let l3 = Fp2::from_fp(*yp);
+/// Inversion-free mixed addition step: chord line through `T` and the
+/// affine `Q`, evaluated at `P`, scaled by `x_Q·Z − X ∈ Fp2`; advances
+/// `T ← T + Q`. 11 `Fp2` multiplications + 2 squarings + 2 `Fp` scalings.
+fn projective_add_step(t: &mut TwistProjective, q: &TwistAffine, xp: &Fp, yp: &Fp) -> Line {
+    // λ = u/v with u = y_Q·Z − Y, v = x_Q·Z − X (both ≠ 0: T ≠ ±Q during a
+    // BLS loop over the prime-order subgroup).
+    let u = Field::sub(&Field::mul(&q.y, &t.z), &t.y);
+    let v = Field::sub(&Field::mul(&q.x, &t.z), &t.x);
 
-    let x3 = Field::sub(&Field::sub(&lambda.square(), &t.x), &q.x);
-    let y3 = Field::sub(&Field::mul(&lambda, &Field::sub(&t.x, &x3)), &t.y);
-    *t = TwistPoint { x: x3, y: y3 };
+    // line (affine chord through Q scaled by v)
+    let l0 = Field::sub(&Field::mul(&u, &q.x), &Field::mul(&v, &q.y));
+    let l2 = Field::neg(&u.mul_by_fp(xp));
+    let l3 = v.mul_by_fp(yp);
+
+    // classical projective mixed addition
+    let vv = v.square();
+    let vvv = Field::mul(&vv, &v);
+    let vv_x = Field::mul(&vv, &t.x);
+    let a = Field::sub(&Field::sub(&Field::mul(&u.square(), &t.z), &vvv), &vv_x.double());
+    let x3 = Field::mul(&v, &a);
+    let y3 = Field::sub(&Field::mul(&u, &Field::sub(&vv_x, &a)), &Field::mul(&vvv, &t.y));
+    let z3 = Field::mul(&vvv, &t.z);
+    *t = TwistProjective { x: x3, y: y3, z: z3 };
 
     (l0, l2, l3)
 }
@@ -171,21 +187,28 @@ fn add_step(t: &mut TwistPoint, q: &TwistPoint, xp: &Fp, yp: &Fp, denom_inv: &Fp
 struct MillerState {
     xp: Fp,
     yp: Fp,
-    q0: TwistPoint,
-    t: TwistPoint,
+    q0: TwistAffine,
+    t: TwistProjective,
 }
 
-/// The shared Miller loop `Π f_{|x|,Qᵢ}(Pᵢ)`: one squaring chain for any
-/// number of pairs, conjugated once for the negative BLS parameter.
-/// Identity inputs contribute the neutral value 1 (they are skipped).
+/// The shared Miller loop `Π f_{|x|,Qᵢ}(Pᵢ)` (up to per-pair `Fp2` line
+/// scalings): one squaring chain for any number of pairs, conjugated once
+/// for the negative BLS parameter, and **zero field inversions** — every
+/// step uses the homogeneous projective formulas. Identity inputs
+/// contribute the neutral value 1 (they are skipped).
 pub fn multi_miller_loop(pairs: &[(G1Affine, G2Affine)]) -> Fp12 {
     stats::MILLER_LOOPS.with(|c| c.set(c.get() + 1));
     let mut states: Vec<MillerState> = pairs
         .iter()
         .filter(|(p, q)| !p.is_identity() && !q.is_identity())
         .map(|(p, q)| {
-            let q0 = TwistPoint { x: q.x, y: q.y };
-            MillerState { xp: p.x, yp: p.y, q0, t: q0 }
+            let q0 = TwistAffine { x: q.x, y: q.y };
+            MillerState {
+                xp: p.x,
+                yp: p.y,
+                q0,
+                t: TwistProjective { x: q.x, y: q.y, z: Fp2::one() },
+            }
         })
         .collect();
     if states.is_empty() {
@@ -193,29 +216,18 @@ pub fn multi_miller_loop(pairs: &[(G1Affine, G2Affine)]) -> Fp12 {
     }
 
     let mut f = Fp12::one();
-    let mut denoms = vec![Fp2::zero(); states.len()];
-    let mut prefix = Vec::with_capacity(states.len());
     let x = params::BLS_X;
     let top = 63 - x.leading_zeros();
     for i in (0..top).rev() {
         f = f.square();
-        // one shared Montgomery batch inversion per step, for all pairs
-        for (d, s) in denoms.iter_mut().zip(&states) {
-            *d = s.t.y.double(); // 2y ≠ 0 in the prime-order subgroup
-        }
-        batch_invert(&mut denoms, &mut prefix);
-        for (s, inv) in states.iter_mut().zip(&denoms) {
-            let (l0, l2, l3) = double_step(&mut s.t, &s.xp, &s.yp, inv);
+        for s in states.iter_mut() {
+            let (l0, l2, l3) = projective_double_step(&mut s.t, &s.xp, &s.yp);
             f = f.mul_by_line(&l0, &l2, &l3);
         }
         if (x >> i) & 1 == 1 {
-            for (d, s) in denoms.iter_mut().zip(&states) {
-                *d = Field::sub(&s.t.x, &s.q0.x); // T ≠ ±Q during a BLS loop
-            }
-            batch_invert(&mut denoms, &mut prefix);
-            for (s, inv) in states.iter_mut().zip(&denoms) {
+            for s in states.iter_mut() {
                 let q0 = s.q0;
-                let (l0, l2, l3) = add_step(&mut s.t, &q0, &s.xp, &s.yp, inv);
+                let (l0, l2, l3) = projective_add_step(&mut s.t, &q0, &s.xp, &s.yp);
                 f = f.mul_by_line(&l0, &l2, &l3);
             }
         }
@@ -228,6 +240,110 @@ pub fn multi_miller_loop(pairs: &[(G1Affine, G2Affine)]) -> Fp12 {
 pub fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fp12 {
     let pair = (*p, *q);
     multi_miller_loop(core::slice::from_ref(&pair))
+}
+
+/// The retired affine Miller loop, kept as an independently-derived
+/// reference implementation: property tests assert that the projective
+/// loop above agrees with it on random inputs (after final exponentiation
+/// — the raw loop values differ by subfield line scalings). Production
+/// code must not call it: every iteration pays a Montgomery batch
+/// inversion that the projective formulas avoid entirely.
+pub mod affine {
+    use super::{Line, TwistAffine};
+    use crate::curve::{G1Affine, G2Affine};
+    use crate::field::Field;
+    use crate::fp::Fp;
+    use crate::fp12::Fp12;
+    use crate::fp2::Fp2;
+    use crate::params;
+
+    /// Tangent line at `t`, evaluated at `p`, given `(2·t.y)⁻¹`; advances
+    /// `t ← 2t`.
+    fn double_step(t: &mut TwistAffine, xp: &Fp, yp: &Fp, denom_inv: &Fp2) -> Line {
+        // λ = 3x² / 2y on the twist
+        let lambda = Field::mul(&t.x.square().triple(), denom_inv);
+        let l0 = Field::sub(&Field::mul(&lambda, &t.x), &t.y);
+        let l2 = Field::neg(&lambda.mul_by_fp(xp));
+        let l3 = Fp2::from_fp(*yp);
+
+        let x3 = Field::sub(&lambda.square(), &t.x.double());
+        let y3 = Field::sub(&Field::mul(&lambda, &Field::sub(&t.x, &x3)), &t.y);
+        *t = TwistAffine { x: x3, y: y3 };
+
+        (l0, l2, l3)
+    }
+
+    /// Chord line through `t` and `q`, evaluated at `p`, given
+    /// `(t.x − q.x)⁻¹`; advances `t ← t + q`.
+    fn add_step(t: &mut TwistAffine, q: &TwistAffine, xp: &Fp, yp: &Fp, denom_inv: &Fp2) -> Line {
+        let lambda = Field::mul(&Field::sub(&t.y, &q.y), denom_inv);
+        let l0 = Field::sub(&Field::mul(&lambda, &t.x), &t.y);
+        let l2 = Field::neg(&lambda.mul_by_fp(xp));
+        let l3 = Fp2::from_fp(*yp);
+
+        let x3 = Field::sub(&Field::sub(&lambda.square(), &t.x), &q.x);
+        let y3 = Field::sub(&Field::mul(&lambda, &Field::sub(&t.x, &x3)), &t.y);
+        *t = TwistAffine { x: x3, y: y3 };
+
+        (l0, l2, l3)
+    }
+
+    struct State {
+        xp: Fp,
+        yp: Fp,
+        q0: TwistAffine,
+        t: TwistAffine,
+    }
+
+    /// The affine shared Miller loop (reference only — see module docs).
+    pub fn multi_miller_loop(pairs: &[(G1Affine, G2Affine)]) -> Fp12 {
+        let mut states: Vec<State> = pairs
+            .iter()
+            .filter(|(p, q)| !p.is_identity() && !q.is_identity())
+            .map(|(p, q)| {
+                let q0 = TwistAffine { x: q.x, y: q.y };
+                State { xp: p.x, yp: p.y, q0, t: q0 }
+            })
+            .collect();
+        if states.is_empty() {
+            return Fp12::one();
+        }
+
+        let mut f = Fp12::one();
+        let mut denoms = vec![Fp2::zero(); states.len()];
+        let x = params::BLS_X;
+        let top = 63 - x.leading_zeros();
+        for i in (0..top).rev() {
+            f = f.square();
+            for (d, s) in denoms.iter_mut().zip(&states) {
+                *d = s.t.y.double(); // 2y ≠ 0 in the prime-order subgroup
+            }
+            crate::field::batch_invert(&mut denoms);
+            for (s, inv) in states.iter_mut().zip(&denoms) {
+                let (l0, l2, l3) = double_step(&mut s.t, &s.xp, &s.yp, inv);
+                f = f.mul_by_line(&l0, &l2, &l3);
+            }
+            if (x >> i) & 1 == 1 {
+                for (d, s) in denoms.iter_mut().zip(&states) {
+                    *d = Field::sub(&s.t.x, &s.q0.x); // T ≠ ±Q during a BLS loop
+                }
+                crate::field::batch_invert(&mut denoms);
+                for (s, inv) in states.iter_mut().zip(&denoms) {
+                    let q0 = s.q0;
+                    let (l0, l2, l3) = add_step(&mut s.t, &q0, &s.xp, &s.yp, inv);
+                    f = f.mul_by_line(&l0, &l2, &l3);
+                }
+            }
+        }
+        const { assert!(params::BLS_X_IS_NEGATIVE) };
+        f.conjugate()
+    }
+
+    /// Reference pairing: affine Miller loop + the shared final
+    /// exponentiation.
+    pub fn pairing(p: &G1Affine, q: &G2Affine) -> super::Gt {
+        super::final_exponentiation(&multi_miller_loop(core::slice::from_ref(&(*p, *q))))
+    }
 }
 
 /// `f^{3(p¹²−1)/r}`: easy part by Frobenius/conjugation/inversion, hard part
@@ -310,6 +426,35 @@ mod tests {
         // not merely equal after final exponentiation.
         assert_eq!(shared, product);
         assert_eq!(final_exponentiation(&shared), final_exponentiation(&product));
+    }
+
+    #[test]
+    fn projective_loop_matches_affine_reference() {
+        let mut r = StdRng::seed_from_u64(77);
+        for _ in 0..3 {
+            let p = G1Projective::generator().mul_fr(&Fr::random(&mut r)).to_affine();
+            let q = G2Projective::generator().mul_fr(&Fr::random(&mut r)).to_affine();
+            // Raw loop outputs differ by Fp2 line scalings; the pairings
+            // (post final exponentiation) must agree exactly.
+            assert_eq!(pairing(&p, &q), affine::pairing(&p, &q));
+        }
+    }
+
+    #[test]
+    fn miller_loop_is_inversion_free() {
+        let (g1, _g2) = gens();
+        let pairs: Vec<_> =
+            (1..=4u64).map(|i| (g1, G2Projective::generator().mul_u64(i).to_affine())).collect();
+        let before = stats::field_inversions();
+        let _ = multi_miller_loop(&pairs);
+        assert_eq!(
+            stats::field_inversions(),
+            before,
+            "the projective Miller loop must not invert any field element"
+        );
+        // sanity: the counter is actually wired up
+        let _ = Fp::from_u64(7).inverse();
+        assert_eq!(stats::field_inversions(), before + 1);
     }
 
     #[test]

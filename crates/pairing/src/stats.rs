@@ -1,0 +1,35 @@
+//! Lightweight operation counters for tests and benchmarks: they prove the
+//! batching invariants ("n-pair `multi_pairing` = 1 shared Miller loop +
+//! 1 final exponentiation") and the projective-loop invariant ("a Miller
+//! loop performs zero base-field inversions") without instrumenting call
+//! sites. The counters are *per-thread* so that concurrent callers (e.g.
+//! parallel tests) cannot perturb each other's deltas.
+//!
+//! This is a leaf module: the field layer increments the inversion counter
+//! without depending on the pairing layer above it.
+
+use core::cell::Cell;
+
+thread_local! {
+    pub(crate) static FINAL_EXPS: Cell<u64> = const { Cell::new(0) };
+    pub(crate) static MILLER_LOOPS: Cell<u64> = const { Cell::new(0) };
+    pub(crate) static FIELD_INVERSIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Final exponentiations performed by the current thread.
+pub fn final_exps() -> u64 {
+    FINAL_EXPS.with(Cell::get)
+}
+
+/// Shared Miller-loop executions by the current thread (a
+/// `multi_miller_loop` over any number of pairs counts once).
+pub fn miller_loops() -> u64 {
+    MILLER_LOOPS.with(Cell::get)
+}
+
+/// Base-field (`Fp`/`Fr`) inversions performed by the current thread.
+/// Every tower inversion bottoms out here, so a delta of zero across a
+/// region proves the region is inversion-free.
+pub fn field_inversions() -> u64 {
+    FIELD_INVERSIONS.with(Cell::get)
+}

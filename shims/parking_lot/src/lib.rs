@@ -1,4 +1,4 @@
-//! Offline stand-in for [`parking_lot`]: thin wrappers over the `std::sync`
+//! Offline stand-in for the `parking_lot` crate: thin wrappers over the `std::sync`
 //! primitives exposing parking_lot's poison-free signatures (`read()` /
 //! `write()` / `lock()` return guards directly). Lock poisoning is converted
 //! to a panic-through, which matches parking_lot's behaviour of not

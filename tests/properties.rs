@@ -83,6 +83,40 @@ proptest! {
     }
 
     #[test]
+    fn projective_and_affine_miller_loops_agree(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        use vchain::pairing::{pairing, pairing_impl, G1Projective, G2Projective};
+        // The production (projective, inversion-free) Miller loop and the
+        // retained affine reference differ in raw Fp12 output only by
+        // subfield line scalings; the final exponentiation must erase them.
+        let p = G1Projective::generator().mul_u64(a).to_affine();
+        let q = G2Projective::generator().mul_u64(b).to_affine();
+        prop_assert_eq!(pairing(&p, &q), pairing_impl::affine::pairing(&p, &q));
+    }
+
+    #[test]
+    fn cached_and_cold_proofs_byte_match(
+        a in ms_strategy(6),
+        b_ids in proptest::collection::vec(100u32..140, 1..4),
+    ) {
+        use vchain::core::cache::ProofCache;
+        let acc = acc2();
+        let b: MultiSet<ElementId> =
+            b_ids.into_iter().map(|i| ElementId::keyword(&format!("pp:{i}"))).collect();
+        // ids < 40 vs ids >= 100 => always disjoint
+        let att = acc.setup(&a);
+        let cache: ProofCache<Acc2> = ProofCache::new(16);
+        // two overlapping windows replay the same (value, clause) pair: the
+        // first query proves cold, the second hits the cache — the proofs
+        // must serialize identically (and match a cache-free derivation).
+        let w1 = acc.prove_disjoint(&a, &b).unwrap();
+        let cold = cache.get_or_prove(&acc, &att, &a, &b).unwrap();
+        let warm = cache.get_or_prove(&acc, &att, &a, &b).unwrap();
+        prop_assert_eq!(cache.stats().hits, 1);
+        prop_assert_eq!(Acc2::proof_bytes(&cold), Acc2::proof_bytes(&warm));
+        prop_assert_eq!(Acc2::proof_bytes(&w1), Acc2::proof_bytes(&warm));
+    }
+
+    #[test]
     fn multiset_algebra(xs in proptest::collection::vec(0u64..30, 0..20),
                         ys in proptest::collection::vec(0u64..30, 0..20)) {
         let a: MultiSet<u64> = xs.iter().map(|x| x + 1).collect();
