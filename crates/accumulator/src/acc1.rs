@@ -15,12 +15,19 @@ use std::sync::Arc;
 use rand::Rng;
 use vchain_bigint::U256;
 use vchain_pairing::{
-    multi_pairing, multiexp, pairing, CurveSpec, Field, Fr, G1Affine, G1Projective, G1Spec,
-    G2Affine, G2Projective, G2Spec, Gt,
+    multi_pairing, pairing, CurveSpec, Field, Fr, G1Affine, G1Projective, G1Spec, G2Affine,
+    G2Projective, G2Spec, Gt, PowersCombCache,
 };
 
 use crate::poly::Poly;
 use crate::{batch_coefficients, AccElem, AccError, Accumulator, MultiSet};
+
+/// Comb tables are precomputed for at most this many public-key powers per
+/// source group (lazily, as commitments actually need them); commitments
+/// of higher degree fall back to the generic Pippenger multi-exponentiation.
+/// 1024 bounds the per-key table memory at ~50 MiB in `G2` while covering
+/// every multiset size the vChain workloads commit.
+pub const COMB_PREFIX_LIMIT: usize = 1024;
 
 /// The accumulative value `acc(X) ∈ G1` (a block's AttDigest under acc1).
 pub type Acc1Value = G1Affine;
@@ -34,7 +41,9 @@ pub struct Acc1Proof {
     pub f2: G2Affine,
 }
 
-/// Public parameters: powers of the trapdoor in both source groups.
+/// Public parameters: powers of the trapdoor in both source groups, plus
+/// the lazily-built fixed-base comb tables that make committing against
+/// those powers cheap (see [`vchain_pairing::comb`]).
 pub struct Acc1PublicKey {
     /// `g₁^{sⁱ}` for `i = 0..=capacity`.
     pub g1_powers: Vec<G1Projective>,
@@ -42,6 +51,12 @@ pub struct Acc1PublicKey {
     pub g2_powers: Vec<G2Projective>,
     /// `e(g₁, g₂)`, the right-hand side of the verification equation.
     pub gt_gen: Gt,
+    /// Comb tables over a prefix of [`Acc1PublicKey::g1_powers`] (setup
+    /// commitments).
+    pub g1_combs: PowersCombCache<G1Spec>,
+    /// Comb tables over a prefix of [`Acc1PublicKey::g2_powers`] (the two
+    /// Bézout commitments of every disjointness proof).
+    pub g2_combs: PowersCombCache<G2Spec>,
 }
 
 impl Acc1PublicKey {
@@ -72,8 +87,15 @@ impl Acc1 {
         let g2_powers = fixed_base_batch(&G2Projective::generator(), &scalars);
         let gt_gen =
             pairing(&G1Projective::generator().to_affine(), &G2Projective::generator().to_affine());
+        let comb_limit = (capacity + 1).min(COMB_PREFIX_LIMIT);
         Self {
-            pk: Arc::new(Acc1PublicKey { g1_powers, g2_powers, gt_gen }),
+            pk: Arc::new(Acc1PublicKey {
+                g1_powers,
+                g2_powers,
+                gt_gen,
+                g1_combs: PowersCombCache::new(comb_limit),
+                g2_combs: PowersCombCache::new(comb_limit),
+            }),
             sk: Some(s),
             fast_setup: false,
         }
@@ -92,29 +114,37 @@ impl Acc1 {
     }
 
     fn char_poly<E: AccElem>(x: &MultiSet<E>) -> Poly {
-        Poly::char_poly(x.iter().map(|(e, c)| (e.to_fr(), c)))
+        x.char_poly()
     }
 
-    /// Commit to a polynomial in `G1` using the public powers.
-    fn commit_g1(&self, p: &Poly) -> Result<G1Projective, AccError> {
-        self.commit(p, &self.pk.g1_powers)
+    /// Commit to a polynomial in `G1` using the public powers:
+    /// `g₁^{p(s)} = Π (g₁^{sⁱ})^{cᵢ}`, computed through the key's comb
+    /// tables. This is the `Setup` half of Construction 1; it is public
+    /// (no trapdoor) and errors when `deg p` exceeds the key capacity.
+    pub fn commit_g1(&self, p: &Poly) -> Result<G1Projective, AccError> {
+        self.commit(p, &self.pk.g1_powers, &self.pk.g1_combs)
     }
 
-    fn commit_g2(&self, p: &Poly) -> Result<G2Projective, AccError> {
-        self.commit(p, &self.pk.g2_powers)
+    /// Commit to a polynomial in `G2` — the proof half of Construction 1:
+    /// both Bézout polynomials of a disjointness witness are committed
+    /// here. Exposed so benchmarks can time the commitment phase apart
+    /// from the polynomial phase.
+    pub fn commit_g2(&self, p: &Poly) -> Result<G2Projective, AccError> {
+        self.commit(p, &self.pk.g2_powers, &self.pk.g2_combs)
     }
 
     fn commit<S: vchain_pairing::CurveSpec>(
         &self,
         p: &Poly,
         powers: &[vchain_pairing::Projective<S>],
+        combs: &PowersCombCache<S>,
     ) -> Result<vchain_pairing::Projective<S>, AccError> {
         let n = p.coeffs().len();
         if n > powers.len() {
             return Err(AccError::CapacityExceeded { needed: n - 1, capacity: powers.len() - 1 });
         }
         let scalars: Vec<U256> = p.coeffs().iter().map(|c| c.to_uint()).collect();
-        Ok(multiexp(&powers[..n], &scalars))
+        Ok(combs.multiexp(powers, &scalars))
     }
 
     /// The per-clause half of proving: Bézout polynomials against the
@@ -177,8 +207,9 @@ impl Accumulator for Acc1 {
         x1: &MultiSet<E>,
         clauses: &[MultiSet<E>],
     ) -> Result<Vec<Acc1Proof>, AccError> {
-        // The X₁-side witness — its characteristic polynomial, the O(|X₁|²)
-        // part of proving — is computed once and shared by every clause.
+        // The X₁-side witness — its characteristic polynomial, the largest
+        // subproduct tree of proving — is computed once and shared by every
+        // clause; each clause then pays only its own xgcd and two commits.
         let p1 = Self::char_poly(x1);
         clauses
             .iter()

@@ -127,6 +127,29 @@ impl<E: Ord + Copy> MultiSet<E> {
     }
 }
 
+impl<E: crate::AccElem> MultiSet<E> {
+    /// Construction 1's characteristic polynomial
+    /// `P_X(s) = ∏_{x ∈ X} (s + x)^{count(x)}` over the element
+    /// representatives, built with the subproduct tree of
+    /// [`Poly::char_poly`](crate::Poly::char_poly).
+    ///
+    /// The canonical `BTreeMap` iteration order makes the leaf order — and
+    /// therefore the exact coefficient vector — deterministic across
+    /// miners, which keeps AttDigests reproducible.
+    ///
+    /// ```
+    /// use vchain_acc::MultiSet;
+    ///
+    /// let x: MultiSet<u64> = [1u64, 2, 2, 3].into_iter().collect();
+    /// // degree = total multiplicity, not support size
+    /// assert_eq!(x.char_poly().degree(), Some(4));
+    /// assert_eq!(MultiSet::<u64>::new().char_poly().degree(), Some(0)); // ∅ ↦ 1
+    /// ```
+    pub fn char_poly(&self) -> crate::Poly {
+        crate::Poly::char_poly(self.iter().map(|(e, c)| (e.to_fr(), c)))
+    }
+}
+
 impl<E: Ord + Copy> FromIterator<E> for MultiSet<E> {
     fn from_iter<T: IntoIterator<Item = E>>(iter: T) -> Self {
         let mut ms = Self::new();

@@ -1,16 +1,73 @@
-//! Dense univariate polynomials over the scalar field `Fr`.
+//! Dense univariate polynomial engine over the scalar field `Fr`.
 //!
-//! Construction 1 needs: building a characteristic polynomial from its
-//! (negated) roots, multiplication, division with remainder, and the
-//! extended Euclidean algorithm for Bézout disjointness witnesses.
+//! Construction 1 needs four operations: building a characteristic
+//! polynomial from its (negated) roots, multiplication, division with
+//! remainder, and an extended GCD producing the Bézout pair behind
+//! disjointness witnesses. The seed implemented all four naively — O(n²)
+//! incremental root folding, schoolbook multiplication, long division and
+//! the quadratic extended Euclid — which capped Acc1 at toy sizes.
+//!
+//! This module keeps those routines as the [`naive`] reference and layers
+//! the divide-and-conquer versions on top:
+//!
+//! * [`Poly::mul`] — Karatsuba above a schoolbook base case
+//!   ([`KARATSUBA_THRESHOLD`]), with a chunked path for very unbalanced
+//!   operands: `O(n^1.585)` instead of `O(n²)`.
+//! * [`Poly::char_poly`] — a subproduct tree: the linear leaves `(s + xᵢ)`
+//!   are merged pairwise, so every multiplication is balanced and the total
+//!   cost is `O(M(n) log n)` where `M` is the multiplication cost.
+//! * [`Poly::divrem`] — Newton inversion of the reversed divisor
+//!   (`O(M(n))`) when both quotient and divisor are large, long division
+//!   otherwise.
+//! * [`Poly::xgcd`] — a half-GCD (divide-and-conquer Euclid) that collapses
+//!   runs of quotient steps into 2×2 polynomial matrices when both degrees
+//!   are ≥ [`HALF_GCD_THRESHOLD`], and the classical loop below that.
+//!
+//! Every fast path is property-tested against its [`naive`] twin; see the
+//! tests at the bottom of this file and `tests/poly_props.rs`. The
+//! algorithms and their complexity trade-offs are documented in
+//! `docs/POLYNOMIALS.md`.
 
 use vchain_pairing::{Field, Fr};
+
+/// Below this operand length [`Poly::mul`] uses schoolbook multiplication;
+/// above it, Karatsuba. The crossover was measured on the container CPU
+/// (see `docs/POLYNOMIALS.md`): Karatsuba's extra additions beat the saved
+/// multiplications only once both operands have ≳16 coefficients.
+pub const KARATSUBA_THRESHOLD: usize = 16;
+
+/// Below this degree (of the *smaller* operand) [`Poly::xgcd`] runs the
+/// classical extended Euclid; at or above it, the half-GCD. Acc1 clause
+/// polynomials are tiny (a few keywords), so the classical loop — which is
+/// `O(deg a · deg b)`, not `O(max²)` — already handles the production
+/// shape; the half-GCD takes over for large×large inputs.
+pub const HALF_GCD_THRESHOLD: usize = 64;
+
+/// Minimum quotient *and* divisor degree for Newton-inversion division;
+/// below it [`Poly::divrem`] long-divides. Long division costs
+/// `O(deg q · deg b)`, which is linear whenever either factor is small —
+/// exactly the Acc1 shape (huge quotient, tiny divisor).
+pub const FAST_DIVISION_THRESHOLD: usize = 32;
 
 /// A polynomial `Σ cᵢ·sⁱ`, coefficients little-endian, no trailing zeros.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct Poly {
     coeffs: Vec<Fr>,
 }
+
+/// Error returned by [`Poly::char_poly_distinct`] when the input contains
+/// a repeated element: the *set* characteristic polynomial is squarefree by
+/// definition, so a duplicate is a caller bug, not a multiplicity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DuplicateElement;
+
+impl core::fmt::Display for DuplicateElement {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "duplicate element in a distinct-root characteristic polynomial")
+    }
+}
+
+impl std::error::Error for DuplicateElement {}
 
 impl Poly {
     /// The zero polynomial (empty coefficient vector).
@@ -39,20 +96,59 @@ impl Poly {
 
     /// The characteristic polynomial `∏ (s + xᵢ)^{cᵢ}` of a multiset given
     /// as `(representative, count)` pairs.
+    ///
+    /// Built with a subproduct tree: one linear leaf `(s + xᵢ)` per
+    /// occurrence, merged pairwise with [`Poly::mul`], so the expensive
+    /// multiplications near the root are balanced Karatsuba products. The
+    /// result is byte-identical to [`naive::char_poly`] (asserted by
+    /// property test), only the association order of an associative product
+    /// changes.
+    ///
+    /// ```
+    /// use vchain_acc::Poly;
+    /// use vchain_pairing::{Field, Fr};
+    ///
+    /// // (s + 2)(s + 3) = s² + 5s + 6, whatever the build order
+    /// let p = Poly::char_poly([(Fr::from_u64(2), 1), (Fr::from_u64(3), 1)].into_iter());
+    /// assert_eq!(p.coeffs(), &[Fr::from_u64(6), Fr::from_u64(5), Field::one()]);
+    /// assert_eq!(p.degree(), Some(2));
+    /// ```
     pub fn char_poly(elems: impl Iterator<Item = (Fr, u64)>) -> Self {
-        let mut coeffs = vec![Fr::one()];
+        let mut leaves: Vec<Vec<Fr>> = Vec::new();
         for (x, count) in elems {
             for _ in 0..count {
-                // multiply by (s + x): new[i] = old[i-1] + x*old[i]
-                let mut next = vec![Fr::zero(); coeffs.len() + 1];
-                for (i, c) in coeffs.iter().enumerate() {
-                    next[i + 1] += *c;
-                    next[i] += Field::mul(c, &x);
-                }
-                coeffs = next;
+                leaves.push(vec![x, Fr::one()]);
             }
         }
-        Self::from_coeffs(coeffs)
+        Self::from_coeffs(subproduct(leaves))
+    }
+
+    /// The squarefree characteristic polynomial `∏ (s + xᵢ)` of a *set*,
+    /// rejecting duplicates with [`DuplicateElement`].
+    ///
+    /// Use this instead of [`Poly::char_poly`] when the caller's invariant
+    /// is distinctness (e.g. interned element ids): a repeated element
+    /// would silently become a multiplicity there, but is an error here.
+    ///
+    /// ```
+    /// use vchain_acc::poly::{DuplicateElement, Poly};
+    /// use vchain_pairing::Fr;
+    ///
+    /// let ok = Poly::char_poly_distinct([Fr::from_u64(1), Fr::from_u64(2)]).unwrap();
+    /// assert_eq!(ok.degree(), Some(2));
+    /// let dup = Poly::char_poly_distinct([Fr::from_u64(7), Fr::from_u64(7)]);
+    /// assert_eq!(dup.unwrap_err(), DuplicateElement);
+    /// ```
+    pub fn char_poly_distinct(
+        elems: impl IntoIterator<Item = Fr>,
+    ) -> Result<Self, DuplicateElement> {
+        let mut seen: Vec<Fr> = elems.into_iter().collect();
+        let leaves: Vec<Vec<Fr>> = seen.iter().map(|x| vec![*x, Fr::one()]).collect();
+        seen.sort_by_key(|f| f.to_uint());
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return Err(DuplicateElement);
+        }
+        Ok(Self::from_coeffs(subproduct(leaves)))
     }
 
     fn normalize(&mut self) {
@@ -107,21 +203,30 @@ impl Poly {
         Self::from_coeffs(coeffs)
     }
 
-    /// Schoolbook polynomial multiplication.
+    /// Polynomial multiplication: schoolbook below
+    /// [`KARATSUBA_THRESHOLD`], Karatsuba above it, and a chunked
+    /// decomposition when one operand is much longer than the other (so the
+    /// recursion always works on balanced halves).
+    ///
+    /// ```
+    /// use vchain_acc::Poly;
+    /// use vchain_pairing::{Field, Fr};
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(7);
+    /// let a = Poly::from_coeffs((0..100).map(|_| Fr::random(&mut rng)).collect());
+    /// let b = Poly::from_coeffs((0..100).map(|_| Fr::random(&mut rng)).collect());
+    /// let prod = a.mul(&b); // Karatsuba: 3 half-size products per level
+    /// assert_eq!(prod.degree(), Some(198));
+    /// // multiplication evaluates pointwise: (a·b)(z) = a(z)·b(z)
+    /// let z = Fr::from_u64(123456789);
+    /// assert_eq!(prod.eval(&z), Field::mul(&a.eval(&z), &b.eval(&z)));
+    /// ```
     pub fn mul(&self, rhs: &Self) -> Self {
         if self.is_zero() || rhs.is_zero() {
             return Self::zero();
         }
-        let mut coeffs = vec![Fr::zero(); self.coeffs.len() + rhs.coeffs.len() - 1];
-        for (i, a) in self.coeffs.iter().enumerate() {
-            if a.is_zero() {
-                continue;
-            }
-            for (j, b) in rhs.coeffs.iter().enumerate() {
-                coeffs[i + j] += Field::mul(a, b);
-            }
-        }
-        Self::from_coeffs(coeffs)
+        Self::from_coeffs(mul_slices(&self.coeffs, &rhs.coeffs))
     }
 
     /// Multiply every coefficient by a scalar.
@@ -130,11 +235,246 @@ impl Poly {
     }
 
     /// Division with remainder; panics on a zero divisor.
+    ///
+    /// Long division when the quotient or divisor is small (that path is
+    /// linear in the large degree); otherwise the quotient is recovered
+    /// from a Newton-iteration power-series inverse of the reversed divisor
+    /// in `O(M(n))`.
     pub fn divrem(&self, divisor: &Self) -> (Self, Self) {
         let dd = divisor.degree().expect("polynomial division by zero");
+        let Some(dn) = self.degree() else { return (Self::zero(), Self::zero()) };
+        if dn < dd {
+            return (Self::zero(), self.clone());
+        }
+        let dq = dn - dd; // quotient degree
+        if dq.min(dd) < FAST_DIVISION_THRESHOLD {
+            return naive::divrem(self, divisor);
+        }
+        // Newton path: rev(q) = rev(self) · rev(divisor)⁻¹ mod s^{dq+1},
+        // where rev(p) reverses coefficients w.r.t. its own degree.
+        let rev_n: Vec<Fr> = self.coeffs.iter().rev().copied().collect();
+        let rev_d: Vec<Fr> = divisor.coeffs.iter().rev().copied().collect();
+        let inv = inv_series(&rev_d, dq + 1);
+        let mut rev_q = mul_slices(&rev_n[..(dq + 1).min(rev_n.len())], &inv);
+        rev_q.truncate(dq + 1);
+        rev_q.resize(dq + 1, Fr::zero());
+        rev_q.reverse();
+        let q = Self::from_coeffs(rev_q);
+        let r = self.sub(&q.mul(divisor));
+        debug_assert!(r.degree().is_none_or(|d| d < dd));
+        (q, r)
+    }
+
+    /// Extended Euclid: returns `(g, u, v)` with `u·self + v·rhs = g` and
+    /// `g = gcd(self, rhs)` (not normalized to monic).
+    ///
+    /// Runs the classical quadratic loop while the smaller degree is below
+    /// [`HALF_GCD_THRESHOLD`] — which keeps it byte-identical to
+    /// [`naive::xgcd`] on the Acc1 production shape — and the half-GCD
+    /// above it. The half-GCD result can differ from the classical one by
+    /// a nonzero scalar factor (both are valid Bézout triples; callers that
+    /// need canonicity normalize `g` to monic, as Acc1 does).
+    ///
+    /// ```
+    /// use vchain_acc::Poly;
+    /// use vchain_pairing::Fr;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(42);
+    /// let a = Poly::char_poly((0..80).map(|_| (Fr::random(&mut rng), 1)));
+    /// let b = Poly::char_poly((0..80).map(|_| (Fr::random(&mut rng), 1)));
+    /// let (g, u, v) = a.xgcd(&b); // half-GCD: both degrees ≥ threshold
+    /// assert_eq!(g.degree(), Some(0), "random roots never collide");
+    /// assert_eq!(u.mul(&a).add(&v.mul(&b)), g, "Bézout identity");
+    /// ```
+    pub fn xgcd(&self, rhs: &Self) -> (Self, Self, Self) {
+        let small = match (self.degree(), rhs.degree()) {
+            (Some(a), Some(b)) => a.min(b) < HALF_GCD_THRESHOLD,
+            _ => true,
+        };
+        if small {
+            return naive::xgcd(self, rhs);
+        }
+        hgcd::xgcd(self, rhs)
+    }
+}
+
+/// Multiply two coefficient slices (both non-empty, not normalized).
+fn mul_slices(a: &[Fr], b: &[Fr]) -> Vec<Fr> {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.len() < KARATSUBA_THRESHOLD {
+        return schoolbook(short, long);
+    }
+    if long.len() > 2 * short.len() {
+        // Unbalanced: multiply the long operand chunkwise so the Karatsuba
+        // recursion below always sees comparable halves.
+        let mut out = vec![Fr::zero(); short.len() + long.len() - 1];
+        for (i, chunk) in long.chunks(short.len()).enumerate() {
+            let part = mul_slices(short, chunk);
+            let off = i * short.len();
+            for (j, c) in part.iter().enumerate() {
+                out[off + j] += *c;
+            }
+        }
+        return out;
+    }
+    karatsuba(short, long)
+}
+
+/// Schoolbook product, `O(|a|·|b|)`.
+fn schoolbook(a: &[Fr], b: &[Fr]) -> Vec<Fr> {
+    let mut out = vec![Fr::zero(); a.len() + b.len() - 1];
+    for (i, x) in a.iter().enumerate() {
+        if x.is_zero() {
+            continue;
+        }
+        for (j, y) in b.iter().enumerate() {
+            out[i + j] += Field::mul(x, y);
+        }
+    }
+    out
+}
+
+/// One Karatsuba level: split both operands at `m`, three recursive
+/// half-products instead of four.
+fn karatsuba(a: &[Fr], b: &[Fr]) -> Vec<Fr> {
+    let m = a.len().max(b.len()).div_ceil(2);
+    let (a0, a1) = a.split_at(m.min(a.len()));
+    let (b0, b1) = b.split_at(m.min(b.len()));
+    let z0 = mul_slices(a0, b0);
+    let z2 = if a1.is_empty() || b1.is_empty() { Vec::new() } else { mul_slices(a1, b1) };
+    let sa = add_slices(a0, a1);
+    let sb = add_slices(b0, b1);
+    let mut z1 = mul_slices(&sa, &sb);
+    for (i, c) in z0.iter().enumerate() {
+        z1[i] -= *c;
+    }
+    for (i, c) in z2.iter().enumerate() {
+        z1[i] -= *c;
+    }
+    let mut out = vec![Fr::zero(); a.len() + b.len() - 1];
+    for (i, c) in z0.iter().enumerate() {
+        out[i] += *c;
+    }
+    // z1 = sa·sb − z0 − z2 is the cross term a0·b1 + a1·b0; its vector can
+    // carry zero top coefficients past the product degree when a high half
+    // is empty, so the write is bounds-guarded.
+    for (i, c) in z1.iter().enumerate() {
+        if let Some(slot) = out.get_mut(m + i) {
+            *slot += *c;
+        } else {
+            debug_assert!(c.is_zero(), "karatsuba cross term exceeds product degree");
+        }
+    }
+    for (i, c) in z2.iter().enumerate() {
+        out[2 * m + i] += *c;
+    }
+    out
+}
+
+fn add_slices(a: &[Fr], b: &[Fr]) -> Vec<Fr> {
+    let mut out = vec![Fr::zero(); a.len().max(b.len())];
+    for (i, c) in a.iter().enumerate() {
+        out[i] += *c;
+    }
+    for (i, c) in b.iter().enumerate() {
+        out[i] += *c;
+    }
+    out
+}
+
+/// Reduce a list of coefficient vectors to their product by pairwise
+/// merging — the subproduct tree, iterated bottom-up so every product
+/// multiplies two polynomials of (nearly) equal degree.
+fn subproduct(mut level: Vec<Vec<Fr>>) -> Vec<Fr> {
+    if level.is_empty() {
+        return vec![Fr::one()];
+    }
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.chunks_exact(2);
+        for pair in &mut it {
+            next.push(mul_slices(&pair[0], &pair[1]));
+        }
+        if let [odd] = it.remainder() {
+            next.push(odd.clone());
+        }
+        level = next;
+    }
+    level.pop().expect("non-empty level")
+}
+
+/// Power-series inverse: the first `k` coefficients of `f⁻¹`, requiring
+/// `f[0] ≠ 0`. Newton iteration `g ← g·(2 − f·g)` doubles the correct
+/// prefix each round, so the total cost is `O(M(k))`.
+fn inv_series(f: &[Fr], k: usize) -> Vec<Fr> {
+    let f0_inv = f[0].inverse().expect("power-series inverse needs a unit constant term");
+    let mut g = vec![f0_inv];
+    let mut prec = 1;
+    while prec < k {
+        prec = (2 * prec).min(k);
+        // g ← g·(2 − f·g) mod s^prec
+        let fg = mul_slices(&f[..prec.min(f.len())], &g);
+        let mut t = vec![Fr::zero(); prec];
+        t[0] = Fr::from_u64(2);
+        for (i, c) in fg.iter().take(prec).enumerate() {
+            t[i] -= *c;
+        }
+        let mut g2 = mul_slices(&g, &t);
+        g2.truncate(prec);
+        g = g2;
+    }
+    g.truncate(k);
+    g.resize(k, Fr::zero());
+    g
+}
+
+pub mod naive {
+    //! The seed's quadratic reference algorithms, retained verbatim.
+    //!
+    //! The fast engine is property-tested against these (see
+    //! `tests/poly_props.rs`): [`char_poly`] must agree byte-for-byte with
+    //! [`Poly::char_poly`], [`divrem`]/[`mul`] must agree exactly, and
+    //! [`xgcd`] must agree with [`Poly::xgcd`] up to the scalar factor the
+    //! half-GCD is allowed to introduce. They are also the benchmark
+    //! baseline: `bench_smoke` times both engines in the same run so the
+    //! speed-up ratio in `BENCH_pairing.json` is noise-free.
+
+    use super::{schoolbook, Poly};
+    use vchain_pairing::{Field, Fr};
+
+    /// Incremental `O(n²)` characteristic polynomial: multiply by one
+    /// linear factor `(s + x)` at a time.
+    pub fn char_poly(elems: impl Iterator<Item = (Fr, u64)>) -> Poly {
+        let mut coeffs = vec![Fr::one()];
+        for (x, count) in elems {
+            for _ in 0..count {
+                // multiply by (s + x): new[i] = old[i-1] + x*old[i]
+                let mut next = vec![Fr::zero(); coeffs.len() + 1];
+                for (i, c) in coeffs.iter().enumerate() {
+                    next[i + 1] += *c;
+                    next[i] += Field::mul(c, &x);
+                }
+                coeffs = next;
+            }
+        }
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// Schoolbook multiplication, `O(deg a · deg b)`.
+    pub fn mul(a: &Poly, b: &Poly) -> Poly {
+        if a.is_zero() || b.is_zero() {
+            return Poly::zero();
+        }
+        Poly::from_coeffs(schoolbook(a.coeffs(), b.coeffs()))
+    }
+
+    /// Long division with remainder; panics on a zero divisor.
+    pub fn divrem(a: &Poly, divisor: &Poly) -> (Poly, Poly) {
+        let dd = divisor.degree().expect("polynomial division by zero");
         let lead_inv = divisor.coeffs[dd].inverse().expect("field leading coeff");
-        let mut rem = self.coeffs.clone();
-        let mut quot = vec![Fr::zero(); self.coeffs.len().saturating_sub(dd) + 1];
+        let mut rem = a.coeffs.clone();
+        let mut quot = vec![Fr::zero(); a.coeffs.len().saturating_sub(dd) + 1];
         loop {
             // effective degree of rem
             let dr = match rem.iter().rposition(|c| !c.is_zero()) {
@@ -147,17 +487,17 @@ impl Poly {
                 rem[dr - dd + i] -= Field::mul(&q, &divisor.coeffs[i]);
             }
         }
-        (Self::from_coeffs(quot), Self::from_coeffs(rem))
+        (Poly::from_coeffs(quot), Poly::from_coeffs(rem))
     }
 
-    /// Extended Euclid: returns `(g, u, v)` with `u·self + v·rhs = g` and
-    /// `g = gcd(self, rhs)` (not normalized to monic).
-    pub fn xgcd(&self, rhs: &Self) -> (Self, Self, Self) {
-        let (mut r0, mut r1) = (self.clone(), rhs.clone());
+    /// Classical extended Euclid: `(g, u, v)` with `u·a + v·b = g`, not
+    /// normalized to monic.
+    pub fn xgcd(a: &Poly, b: &Poly) -> (Poly, Poly, Poly) {
+        let (mut r0, mut r1) = (a.clone(), b.clone());
         let (mut u0, mut u1) = (Poly::one(), Poly::zero());
         let (mut v0, mut v1) = (Poly::zero(), Poly::one());
         while !r1.is_zero() {
-            let (q, r) = r0.divrem(&r1);
+            let (q, r) = divrem(&r0, &r1);
             r0 = std::mem::replace(&mut r1, r);
             let u = u0.sub(&q.mul(&u1));
             u0 = std::mem::replace(&mut u1, u);
@@ -165,6 +505,126 @@ impl Poly {
             v0 = std::mem::replace(&mut v1, v);
         }
         (r0, u0, v0)
+    }
+}
+
+mod hgcd {
+    //! Half-GCD: divide-and-conquer extended Euclid.
+    //!
+    //! A run of Euclidean quotient steps is the linear map
+    //! `(r₀, r₁) ↦ Q·(r₀, r₁)` with `Q = ∏ [[0, 1], [1, −qᵢ]]`. The
+    //! half-GCD computes the matrix that halves the degree of `r₀` while
+    //! touching only the *top half* of the coefficients: the first
+    //! `2(deg r₀ − deg r₁) + 1` leading coefficients determine a quotient,
+    //! so the early quotients of the full-size problem equal those of the
+    //! high-part problem. Recursing twice (with a single connecting
+    //! division in the middle) yields `O(M(n) log n)` instead of `O(n²)`.
+
+    use super::Poly;
+
+    /// A 2×2 matrix over `Fr[s]`, acting on remainder pairs.
+    struct Mat([Poly; 4]); // row-major: [m00, m01, m10, m11]
+
+    impl Mat {
+        fn identity() -> Self {
+            Mat([Poly::one(), Poly::zero(), Poly::zero(), Poly::one()])
+        }
+
+        /// `self · rhs` (matrix product, four Karatsuba-backed muls each).
+        fn compose(&self, rhs: &Mat) -> Mat {
+            let m = |a: usize, b: usize, c: usize, d: usize| {
+                self.0[a].mul(&rhs.0[b]).add(&self.0[c].mul(&rhs.0[d]))
+            };
+            Mat([m(0, 0, 1, 2), m(0, 1, 1, 3), m(2, 0, 3, 2), m(2, 1, 3, 3)])
+        }
+
+        /// Prepend one quotient step: `[[0,1],[1,−q]] · self`.
+        fn push_quotient(self, q: &Poly) -> Mat {
+            let Mat([m00, m01, m10, m11]) = self;
+            let n10 = m00.sub(&q.mul(&m10));
+            let n11 = m01.sub(&q.mul(&m11));
+            Mat([m10, m11, n10, n11])
+        }
+
+        /// Apply to a remainder pair.
+        fn apply(&self, r0: &Poly, r1: &Poly) -> (Poly, Poly) {
+            (self.0[0].mul(r0).add(&self.0[1].mul(r1)), self.0[2].mul(r0).add(&self.0[3].mul(r1)))
+        }
+    }
+
+    /// Drop the low `k` coefficients (divide by `s^k`, discarding the rest).
+    fn shift_down(p: &Poly, k: usize) -> Poly {
+        Poly::from_coeffs(p.coeffs().get(k..).map_or(Vec::new(), <[_]>::to_vec))
+    }
+
+    /// Half-GCD of `(a, b)` with `deg a > deg b`: returns `M` such that for
+    /// `(c, d) = M·(a, b)` the degree of `d` has dropped below
+    /// `⌈deg a / 2⌉ = m` while `deg c ≥ m`. The two recursive calls each
+    /// work on polynomials of *half* the degree, truncated from the top.
+    fn hgcd(a: &Poly, b: &Poly) -> Mat {
+        let n = a.degree().expect("hgcd: nonzero a");
+        let m = n.div_ceil(2);
+        if b.degree().is_none_or(|d| d < m) {
+            return Mat::identity();
+        }
+        // First recursion: the top halves determine the first run of
+        // quotient steps.
+        let r = hgcd(&shift_down(a, m), &shift_down(b, m));
+        let (t0, t1) = r.apply(a, b);
+        if t1.degree().is_none_or(|d| d < m) {
+            return r;
+        }
+        // One connecting division in the middle…
+        let (q, rem) = t0.divrem(&t1);
+        let r = r.push_quotient(&q);
+        let (u0, u1) = (t1, rem);
+        if u1.degree().is_none_or(|d| d < m) {
+            return r;
+        }
+        // …then the second recursion on the (shorter) tail, again truncated.
+        // Here m ≤ deg u0 ≤ 2m − 1, so k = 2m − deg u0 lies in [1, m].
+        let l = u0.degree().expect("u0 outdegrees u1");
+        let k = (2 * m).saturating_sub(l).min(m);
+        let s = hgcd(&shift_down(&u0, k), &shift_down(&u1, k));
+        s.compose(&r)
+    }
+
+    /// Extended GCD via repeated half-GCD reduction. Returns `(g, u, v)`
+    /// with `u·a + v·b = g`; `g` may differ from the classical result by a
+    /// nonzero scalar.
+    pub(super) fn xgcd(a: &Poly, b: &Poly) -> (Poly, Poly, Poly) {
+        let (mut r0, mut r1) = (a.clone(), b.clone());
+        let mut m = Mat::identity();
+        // hgcd only makes progress when deg r1 ≥ ⌈deg r0 / 2⌉ (below that
+        // its entry guard returns the identity matrix — calling it anyway
+        // would loop forever); a classical quotient step both restores
+        // that precondition and strictly shrinks deg r1, so the loop
+        // always terminates.
+        while !r1.is_zero() {
+            let (d0, d1) = (r0.degree(), r1.degree());
+            let hgcd_reduces = match (d0, d1) {
+                (Some(n0), Some(n1)) => n0 > n1 && n1 >= n0.div_ceil(2),
+                _ => false,
+            };
+            if !hgcd_reduces || d1.is_none_or(|d| d < super::HALF_GCD_THRESHOLD) {
+                // classical quotient step
+                let (q, rem) = r0.divrem(&r1);
+                m = m.push_quotient(&q);
+                r0 = std::mem::replace(&mut r1, rem);
+            } else {
+                let h = hgcd(&r0, &r1);
+                let (n0, n1) = h.apply(&r0, &r1);
+                debug_assert!(
+                    n1.degree() < n0.degree(),
+                    "hgcd must keep the remainder sequence ordered"
+                );
+                m = h.compose(&m);
+                (r0, r1) = (n0, n1);
+            }
+        }
+        let Mat([u, v, _, _]) = m;
+        debug_assert_eq!(u.mul(a).add(&v.mul(b)), r0, "Bézout identity");
+        (r0, u, v)
     }
 }
 
@@ -176,6 +636,10 @@ mod tests {
 
     fn p(v: &[u64]) -> Poly {
         Poly::from_coeffs(v.iter().map(|&c| Fr::from_u64(c)).collect())
+    }
+
+    fn rand_poly(rng: &mut StdRng, len: usize) -> Poly {
+        Poly::from_coeffs((0..len).map(|_| Fr::random(rng)).collect())
     }
 
     #[test]
@@ -191,10 +655,41 @@ mod tests {
     }
 
     #[test]
+    fn char_poly_tree_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for n in [0usize, 1, 2, 3, 7, 33, 100] {
+            let elems: Vec<(Fr, u64)> =
+                (0..n).map(|i| (Fr::random(&mut rng), 1 + (i as u64 % 3))).collect();
+            let fast = Poly::char_poly(elems.iter().copied());
+            let slow = naive::char_poly(elems.iter().copied());
+            assert_eq!(fast, slow, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn char_poly_distinct_rejects_duplicates() {
+        let dup = Fr::from_u64(5);
+        assert_eq!(Poly::char_poly_distinct([Fr::from_u64(1), dup, dup]), Err(DuplicateElement));
+        let ok = Poly::char_poly_distinct([Fr::from_u64(1), Fr::from_u64(2)]).unwrap();
+        assert_eq!(ok, Poly::char_poly([(Fr::from_u64(1), 1), (Fr::from_u64(2), 1)].into_iter()));
+        assert_eq!(Poly::char_poly_distinct(std::iter::empty()), Ok(Poly::one()));
+    }
+
+    #[test]
     fn eval_horner() {
         let q = p(&[6, 5, 1]);
         assert_eq!(q.eval(&Fr::from_u64(1)), Fr::from_u64(12));
         assert!(q.eval(&(-Fr::from_u64(2))).is_zero());
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for (la, lb) in [(33, 33), (64, 64), (100, 7), (7, 100), (257, 129), (40, 200)] {
+            let a = rand_poly(&mut rng, la);
+            let b = rand_poly(&mut rng, lb);
+            assert_eq!(a.mul(&b), naive::mul(&a, &b), "{la}×{lb}");
+        }
     }
 
     #[test]
@@ -216,6 +711,29 @@ mod tests {
     }
 
     #[test]
+    fn newton_division_matches_long_division() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for (ln, ld) in [(129, 65), (200, 40), (256, 128), (90, 89)] {
+            let a = rand_poly(&mut rng, ln);
+            let b = rand_poly(&mut rng, ld);
+            let (qf, rf) = a.divrem(&b);
+            let (qn, rn) = naive::divrem(&a, &b);
+            assert_eq!(qf, qn, "{ln}/{ld} quotient");
+            assert_eq!(rf, rn, "{ln}/{ld} remainder");
+        }
+    }
+
+    #[test]
+    fn inv_series_is_a_series_inverse() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let f = rand_poly(&mut rng, 50);
+        let g = Poly::from_coeffs(inv_series(f.coeffs(), 77));
+        let mut prod = f.mul(&g).coeffs().to_vec();
+        prod.truncate(77);
+        assert_eq!(Poly::from_coeffs(prod), Poly::one());
+    }
+
+    #[test]
     fn xgcd_coprime_char_polys() {
         let mut rng = StdRng::seed_from_u64(5);
         let xs: Vec<Fr> = (0..6).map(|_| Fr::random(&mut rng)).collect();
@@ -234,6 +752,46 @@ mod tests {
         let (g, u, v) = a.xgcd(&b);
         assert_eq!(g.degree(), Some(1), "shared root => non-constant gcd");
         assert_eq!(u.mul(&a).add(&v.mul(&b)), g);
+    }
+
+    #[test]
+    fn half_gcd_large_coprime() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let a = Poly::char_poly((0..100).map(|_| (Fr::random(&mut rng), 1)));
+        let b = Poly::char_poly((0..90).map(|_| (Fr::random(&mut rng), 1)));
+        let (g, u, v) = a.xgcd(&b); // takes the half-GCD path
+        assert_eq!(g.degree(), Some(0));
+        assert_eq!(u.mul(&a).add(&v.mul(&b)), g);
+        // minimal Bézout degrees
+        assert!(u.degree() < b.degree());
+        assert!(v.degree() < a.degree());
+    }
+
+    #[test]
+    fn half_gcd_unbalanced_degrees_terminate() {
+        // Regression: deg b in [HALF_GCD_THRESHOLD, ⌈deg a / 2⌉) used to
+        // re-enter hgcd forever because its entry guard returned the
+        // identity matrix without reducing anything.
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = rand_poly(&mut rng, 160); // deg 159, ⌈159/2⌉ = 80
+        let b = rand_poly(&mut rng, 71); // deg 70: ≥ threshold, < 80
+        let (g, u, v) = a.xgcd(&b);
+        assert_eq!(u.mul(&a).add(&v.mul(&b)), g);
+        assert_eq!(g.degree(), Some(0), "random polys are coprime");
+    }
+
+    #[test]
+    fn half_gcd_with_large_common_factor() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let shared = Poly::char_poly((0..70).map(|_| (Fr::random(&mut rng), 1)));
+        let a = shared.mul(&Poly::char_poly((0..30).map(|_| (Fr::random(&mut rng), 1))));
+        let b = shared.mul(&Poly::char_poly((0..25).map(|_| (Fr::random(&mut rng), 1))));
+        let (g, u, v) = a.xgcd(&b);
+        assert_eq!(g.degree(), Some(70), "gcd degree = shared factor degree");
+        assert_eq!(u.mul(&a).add(&v.mul(&b)), g);
+        // the gcd divides both inputs exactly
+        assert!(a.divrem(&g).1.is_zero());
+        assert!(b.divrem(&g).1.is_zero());
     }
 
     #[test]

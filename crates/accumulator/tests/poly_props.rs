@@ -1,0 +1,156 @@
+//! Property tests pinning the fast polynomial engine to its naive
+//! references (`poly::naive`), plus the degree and edge cases the Acc1
+//! proving pipeline relies on.
+//!
+//! The fast paths dispatch on operand size, so sizes are drawn across the
+//! thresholds: small inputs exercise the (shared) classical routines,
+//! large inputs exercise Karatsuba, the subproduct tree, Newton division
+//! and the half-GCD.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vchain_acc::poly::{naive, DuplicateElement, Poly, HALF_GCD_THRESHOLD, KARATSUBA_THRESHOLD};
+use vchain_pairing::{Field, Fr};
+
+fn rand_poly(rng: &mut StdRng, len: usize) -> Poly {
+    Poly::from_coeffs((0..len).map(|_| Fr::random(rng)).collect())
+}
+
+/// Canonical serialization of a polynomial: the concatenated canonical
+/// bytes of its coefficients. Equality of `Poly` values is coefficient
+/// equality in Montgomery form; the trajectory claim ("byte-identical to
+/// the naive build") is about *these* bytes, the form that reaches block
+/// headers and proofs.
+fn poly_bytes(p: &Poly) -> Vec<u8> {
+    p.coeffs().iter().flat_map(Fr::to_bytes).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Subproduct tree vs incremental fold: byte-equality, every size.
+    #[test]
+    fn char_poly_tree_matches_naive_bytes(seed in 0u64..u64::MAX, n in 0usize..120) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let elems: Vec<(Fr, u64)> =
+            (0..n).map(|i| (Fr::random(&mut rng), 1 + (i as u64 % 3))).collect();
+        let fast = Poly::char_poly(elems.iter().copied());
+        let slow = naive::char_poly(elems.iter().copied());
+        prop_assert_eq!(poly_bytes(&fast), poly_bytes(&slow));
+        // degree = Σ counts
+        let total: u64 = elems.iter().map(|(_, c)| *c).sum();
+        prop_assert_eq!(fast.degree(), Some(total as usize));
+    }
+
+    /// Karatsuba (and the unbalanced chunked path) vs schoolbook.
+    #[test]
+    fn mul_matches_schoolbook(seed in 0u64..u64::MAX,
+                              la in 1usize..200, lb in 1usize..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_poly(&mut rng, la);
+        let b = rand_poly(&mut rng, lb);
+        prop_assert_eq!(a.mul(&b), naive::mul(&a, &b));
+    }
+
+    /// Newton division vs long division, plus the Euclidean contract.
+    #[test]
+    fn divrem_matches_long_division(seed in 0u64..u64::MAX,
+                                    ln in 1usize..220, ld in 1usize..220) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_poly(&mut rng, ln.max(ld));
+        let b = rand_poly(&mut rng, ld.min(ln));
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.divrem(&b);
+        prop_assert_eq!((q.clone(), r.clone()), naive::divrem(&a, &b));
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+        prop_assert!(r.degree() < b.degree());
+    }
+
+    /// The Bézout identity `u·a + v·b == gcd` holds on both xgcd paths,
+    /// and the half-GCD result matches the classical one up to the scalar
+    /// factor it is allowed to introduce.
+    #[test]
+    fn xgcd_bezout_identity(seed in 0u64..u64::MAX,
+                            la in 1usize..160, lb in 1usize..160,
+                            shared in 0usize..80) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // a common factor of random degree forces non-constant gcds
+        let common = rand_poly(&mut rng, shared + 1);
+        let a = rand_poly(&mut rng, la).mul(&common);
+        let b = rand_poly(&mut rng, lb).mul(&common);
+        prop_assume!(!a.is_zero() && !b.is_zero());
+        let (g, u, v) = a.xgcd(&b);
+        prop_assert_eq!(u.mul(&a).add(&v.mul(&b)), g.clone());
+        let (gn, un, vn) = naive::xgcd(&a, &b);
+        prop_assert_eq!(un.mul(&a).add(&vn.mul(&b)), gn.clone());
+        // same gcd up to a nonzero scalar: degrees agree and each divides
+        // the other side's inputs
+        prop_assert_eq!(g.degree(), gn.degree());
+        prop_assert!(g.degree() >= common.degree());
+        prop_assert!(a.divrem(&g).1.is_zero());
+        prop_assert!(b.divrem(&g).1.is_zero());
+    }
+
+    /// Coprime characteristic polynomials (the Acc1 case): constant gcd
+    /// and minimal Bézout degrees on both sides of the size threshold.
+    #[test]
+    fn xgcd_char_poly_disjoint_supports(seed in 0u64..u64::MAX,
+                                        n1 in 1usize..100, n2 in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p1 = Poly::char_poly((0..n1).map(|_| (Fr::random(&mut rng), 1)));
+        let p2 = Poly::char_poly((0..n2).map(|_| (Fr::random(&mut rng), 1)));
+        let (g, u, v) = p1.xgcd(&p2);
+        // random 255-bit roots never collide
+        prop_assert_eq!(g.degree(), Some(0));
+        prop_assert_eq!(u.mul(&p1).add(&v.mul(&p2)), g);
+        prop_assert!(u.degree() < p2.degree());
+        prop_assert!(v.degree() < p1.degree());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Degree and edge cases (deterministic)
+// ---------------------------------------------------------------------
+
+#[test]
+fn char_poly_empty_set_is_one() {
+    assert_eq!(Poly::char_poly(std::iter::empty()), Poly::one());
+    assert_eq!(Poly::char_poly_distinct(std::iter::empty()), Ok(Poly::one()));
+    assert_eq!(Poly::char_poly(std::iter::empty()).degree(), Some(0));
+}
+
+#[test]
+fn char_poly_singleton_is_linear() {
+    let x = Fr::from_u64(77);
+    let p = Poly::char_poly([(x, 1)].into_iter());
+    assert_eq!(p.degree(), Some(1));
+    assert_eq!(p.coeffs(), &[x, Fr::from_u64(1)]);
+    assert!(p.eval(&-x).is_zero());
+}
+
+#[test]
+fn char_poly_distinct_rejects_duplicate_elements() {
+    let dup = Fr::from_u64(9);
+    assert_eq!(Poly::char_poly_distinct([dup, Fr::from_u64(1), dup]), Err(DuplicateElement));
+    // …while the multiset builder treats the repeat as a multiplicity
+    let with_mult = Poly::char_poly([(dup, 2), (Fr::from_u64(1), 1)].into_iter());
+    assert_eq!(with_mult.degree(), Some(3));
+}
+
+// Guards against someone raising a threshold past the proptest size
+// ranges above, which would silently stop covering the fast paths.
+const _: () = assert!(KARATSUBA_THRESHOLD < 200);
+const _: () = assert!(HALF_GCD_THRESHOLD < 160);
+
+#[test]
+fn zero_and_degenerate_xgcd() {
+    let a = Poly::from_coeffs(vec![Fr::from_u64(3), Fr::from_u64(1)]);
+    // gcd(a, 0) = a with trivial cofactors
+    let (g, u, v) = a.xgcd(&Poly::zero());
+    assert_eq!(g, a);
+    assert_eq!(u.mul(&a).add(&v.mul(&Poly::zero())), g);
+    // gcd(0, 0) = 0
+    let (g0, _, _) = Poly::zero().xgcd(&Poly::zero());
+    assert!(g0.is_zero());
+}

@@ -64,6 +64,7 @@ pub struct FixedBaseTable<S: CurveSpec> {
 }
 
 impl<S: CurveSpec> FixedBaseTable<S> {
+    /// Precompute the per-window multiples of `base` for `w`-bit windows.
     pub fn new(base: &Projective<S>, window: u32) -> Self {
         assert!((1..=8).contains(&window));
         let num_windows = 256u32.div_ceil(window);
@@ -84,6 +85,7 @@ impl<S: CurveSpec> FixedBaseTable<S> {
         Self { window, windows }
     }
 
+    /// `k · base` via one table addition per window — no doublings.
     pub fn mul(&self, k: &U256) -> Projective<S> {
         let mut acc = Projective::identity();
         let top = match k.highest_bit() {
@@ -246,33 +248,46 @@ impl CurveSpec for G2Spec {
 /// An affine point (or the point at infinity).
 #[derive(Clone, Copy)]
 pub struct Affine<S: CurveSpec> {
+    /// The x-coordinate (unspecified for the identity).
     pub x: S::F,
+    /// The y-coordinate (unspecified for the identity).
     pub y: S::F,
+    /// Is this the point at infinity?
     pub infinity: bool,
 }
 
 /// A point in homogeneous projective coordinates `(X : Y : Z)`.
 #[derive(Clone, Copy)]
 pub struct Projective<S: CurveSpec> {
+    /// The `X` coordinate.
     pub x: S::F,
+    /// The `Y` coordinate.
     pub y: S::F,
+    /// The `Z` coordinate (`0` for the identity).
     pub z: S::F,
 }
 
+/// An affine `G1` point.
 pub type G1Affine = Affine<G1Spec>;
+/// A projective `G1` point.
 pub type G1Projective = Projective<G1Spec>;
+/// An affine `G2` point.
 pub type G2Affine = Affine<G2Spec>;
+/// A projective `G2` point.
 pub type G2Projective = Projective<G2Spec>;
 
 impl<S: CurveSpec> Affine<S> {
+    /// The point at infinity.
     pub fn identity() -> Self {
         Self { x: S::F::zero(), y: S::F::one(), infinity: true }
     }
 
+    /// Is this the point at infinity?
     pub fn is_identity(&self) -> bool {
         self.infinity
     }
 
+    /// Does the point satisfy the curve equation? (The identity does.)
     pub fn is_on_curve(&self) -> bool {
         if self.infinity {
             return true;
@@ -282,6 +297,7 @@ impl<S: CurveSpec> Affine<S> {
         y2 == rhs
     }
 
+    /// Lift to projective coordinates (`Z = 1`).
     pub fn to_projective(&self) -> Projective<S> {
         if self.infinity {
             Projective::identity()
@@ -290,6 +306,7 @@ impl<S: CurveSpec> Affine<S> {
         }
     }
 
+    /// The group inverse `(x, −y)`.
     pub fn neg(&self) -> Self {
         Self { x: self.x, y: Field::neg(&self.y), infinity: self.infinity }
     }
@@ -332,18 +349,23 @@ impl<S: CurveSpec> fmt::Debug for Affine<S> {
 }
 
 impl<S: CurveSpec> Projective<S> {
+    /// The group identity `(0 : 1 : 0)`.
     pub fn identity() -> Self {
         Self { x: S::F::zero(), y: S::F::one(), z: S::F::zero() }
     }
 
+    /// The published group generator.
     pub fn generator() -> Self {
         S::generator().to_projective()
     }
 
+    /// Is this the group identity?
     pub fn is_identity(&self) -> bool {
         self.z.is_zero()
     }
 
+    /// Normalize to affine coordinates (one field inversion; use
+    /// [`batch_to_affine`] for many points).
     pub fn to_affine(&self) -> Affine<S> {
         match self.z.inverse() {
             None => Affine::identity(),
@@ -355,6 +377,7 @@ impl<S: CurveSpec> Projective<S> {
         }
     }
 
+    /// The group inverse.
     pub fn neg(&self) -> Self {
         Self { x: self.x, y: Field::neg(&self.y), z: self.z }
     }
@@ -429,6 +452,7 @@ impl<S: CurveSpec> Projective<S> {
         Self { x: x3, y: y3, z: z3 }
     }
 
+    /// Add an affine point (identity-safe wrapper over [`Projective::add`]).
     pub fn add_affine(&self, rhs: &Affine<S>) -> Self {
         if rhs.infinity {
             *self
@@ -481,6 +505,7 @@ impl<S: CurveSpec> Projective<S> {
         self.mul_u256(&k.to_uint())
     }
 
+    /// Scalar multiplication by a small integer.
     pub fn mul_u64(&self, k: u64) -> Self {
         self.mul_u256(&U256::from_u64(k))
     }
@@ -568,41 +593,63 @@ pub fn batch_to_affine<S: CurveSpec>(points: &[Projective<S>]) -> Vec<Affine<S>>
 /// (doublings / cancellations) are routed through the complete projective
 /// formulas, so the function is total.
 pub fn sum_affine<S: CurveSpec>(points: &[Affine<S>]) -> Projective<S> {
-    let mut layer: Vec<Affine<S>> = points.iter().filter(|p| !p.infinity).copied().collect();
-    let mut spill = Projective::<S>::identity();
+    let [sum] = &sum_affine_groups(core::slice::from_ref(&points.to_vec()))[..] else {
+        unreachable!("one group in, one sum out")
+    };
+    *sum
+}
+
+/// [`sum_affine`] over many *independent* groups at once, sharing one
+/// batched inversion per halving round across all of them — the comb
+/// multi-exponentiation sums its 32 column groups this way, so the
+/// amortization never degrades even when individual groups are short.
+/// Returns one sum per input group, in order.
+pub fn sum_affine_groups<S: CurveSpec>(groups: &[Vec<Affine<S>>]) -> Vec<Projective<S>> {
+    let mut layers: Vec<Vec<Affine<S>>> =
+        groups.iter().map(|g| g.iter().filter(|p| !p.infinity).copied().collect()).collect();
+    let mut spills = vec![Projective::<S>::identity(); groups.len()];
     let mut denoms: Vec<S::F> = Vec::new();
-    let mut fast: Vec<usize> = Vec::new();
-    while layer.len() > 1 {
-        let pairs = layer.len() / 2;
+    // (group, pair index) of each batched chord, in denominator order
+    let mut fast: Vec<(usize, usize)> = Vec::new();
+    while layers.iter().any(|l| l.len() > 1) {
         denoms.clear();
         fast.clear();
-        for i in 0..pairs {
-            let (p, q) = (&layer[2 * i], &layer[2 * i + 1]);
-            if p.x == q.x {
-                spill = spill.add(&p.to_projective()).add(&q.to_projective());
-            } else {
-                denoms.push(Field::sub(&q.x, &p.x));
-                fast.push(i);
+        for (gi, layer) in layers.iter().enumerate() {
+            for i in 0..layer.len() / 2 {
+                let (p, q) = (&layer[2 * i], &layer[2 * i + 1]);
+                if p.x == q.x {
+                    spills[gi] = spills[gi].add(&p.to_projective()).add(&q.to_projective());
+                } else {
+                    denoms.push(Field::sub(&q.x, &p.x));
+                    fast.push((gi, i));
+                }
             }
         }
         crate::field::batch_invert(&mut denoms);
-        let odd = layer.len() % 2 == 1;
-        let carry = if odd { Some(layer[layer.len() - 1]) } else { None };
-        let mut next = Vec::with_capacity(fast.len() + odd as usize);
-        for (k, &i) in fast.iter().enumerate() {
-            let (p, q) = (layer[2 * i], layer[2 * i + 1]);
+        let mut next: Vec<Vec<Affine<S>>> =
+            layers.iter().map(|l| Vec::with_capacity(l.len() / 2 + 1)).collect();
+        for (k, &(gi, i)) in fast.iter().enumerate() {
+            let (p, q) = (layers[gi][2 * i], layers[gi][2 * i + 1]);
             let lambda = Field::mul(&Field::sub(&q.y, &p.y), &denoms[k]);
             let x3 = Field::sub(&Field::sub(&lambda.square(), &p.x), &q.x);
             let y3 = Field::sub(&Field::mul(&lambda, &Field::sub(&p.x, &x3)), &p.y);
-            next.push(Affine { x: x3, y: y3, infinity: false });
+            next[gi].push(Affine { x: x3, y: y3, infinity: false });
         }
-        next.extend(carry);
-        layer = next;
+        for (gi, layer) in layers.iter().enumerate() {
+            if layer.len() % 2 == 1 {
+                next[gi].push(layer[layer.len() - 1]);
+            }
+        }
+        layers = next;
     }
-    match layer.first() {
-        Some(p) => spill.add(&p.to_projective()),
-        None => spill,
-    }
+    layers
+        .iter()
+        .zip(spills)
+        .map(|(layer, spill)| match layer.first() {
+            Some(p) => spill.add(&p.to_projective()),
+            None => spill,
+        })
+        .collect()
 }
 
 /// Pippenger bucket multi-exponentiation: `Σ scalars[i] · bases[i]`.

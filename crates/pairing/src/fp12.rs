@@ -34,7 +34,9 @@ use crate::params;
 /// An element `c0 + c1·w` of `Fp12`, coefficients in `Fp6`.
 #[derive(Clone, Copy, PartialEq, Eq, Default)]
 pub struct Fp12 {
+    /// The constant coefficient.
     pub c0: Fp6,
+    /// The coefficient of `w`.
     pub c1: Fp6,
 }
 
@@ -53,6 +55,7 @@ fn frobenius_gamma() -> &'static [Fp2; 6] {
 }
 
 impl Fp12 {
+    /// Assemble from coefficients.
     pub fn new(c0: Fp6, c1: Fp6) -> Self {
         Self { c0, c1 }
     }
@@ -179,6 +182,7 @@ impl Fp12 {
         self.pow_limbs(&e.to_uint().0)
     }
 
+    /// A uniformly random element.
     pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
         Self { c0: Fp6::random(rng), c1: Fp6::random(rng) }
     }

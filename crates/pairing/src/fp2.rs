@@ -13,11 +13,14 @@ use crate::fp::Fp;
 /// An element `c0 + c1·u` of `Fp2`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Fp2 {
+    /// The constant coefficient.
     pub c0: Fp,
+    /// The coefficient of `u`.
     pub c1: Fp,
 }
 
 impl Fp2 {
+    /// Assemble from coefficients.
     pub const fn new(c0: Fp, c1: Fp) -> Self {
         Self { c0, c1 }
     }
@@ -27,6 +30,7 @@ impl Fp2 {
         Self { c0, c1: Fp::zero() }
     }
 
+    /// Embed a small integer.
     pub fn from_u64(v: u64) -> Self {
         Self::from_fp(Fp::from_u64(v))
     }
@@ -58,6 +62,7 @@ impl Fp2 {
         Field::add(&self.double(), self)
     }
 
+    /// A uniformly random element.
     pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
         Self { c0: Fp::random(rng), c1: Fp::random(rng) }
     }

@@ -22,12 +22,16 @@ use crate::fp2::Fp2;
 /// An element `c0 + c1·v + c2·v²` of `Fp6`, coefficients in `Fp2`.
 #[derive(Clone, Copy, PartialEq, Eq, Default)]
 pub struct Fp6 {
+    /// The constant coefficient.
     pub c0: Fp2,
+    /// The coefficient of `v`.
     pub c1: Fp2,
+    /// The coefficient of `v²`.
     pub c2: Fp2,
 }
 
 impl Fp6 {
+    /// Assemble from coefficients.
     pub const fn new(c0: Fp2, c1: Fp2, c2: Fp2) -> Self {
         Self { c0, c1, c2 }
     }
@@ -77,6 +81,7 @@ impl Fp6 {
         Self { c0: self.c0.conjugate(), c1: self.c1.conjugate(), c2: self.c2.conjugate() }
     }
 
+    /// A uniformly random element.
     pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
         Self { c0: Fp2::random(rng), c1: Fp2::random(rng), c2: Fp2::random(rng) }
     }

@@ -28,6 +28,9 @@
 //! assert_eq!(lhs, rhs);
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod comb;
 pub mod curve;
 pub mod field;
 pub mod fp;
@@ -38,9 +41,10 @@ pub mod pairing_impl;
 pub mod params;
 pub mod stats;
 
+pub use comb::{comb_multiexp, FixedBaseComb, PowersCombCache};
 pub use curve::{
-    batch_to_affine, multiexp, sum_affine, Affine, CurveSpec, G1Affine, G1Projective, G1Spec,
-    G2Affine, G2Projective, G2Spec, Projective,
+    batch_to_affine, multiexp, sum_affine, sum_affine_groups, Affine, CurveSpec, G1Affine,
+    G1Projective, G1Spec, G2Affine, G2Projective, G2Spec, Projective,
 };
 pub use field::{batch_invert, Field};
 pub use fp::{Fp, Fr};

@@ -140,9 +140,11 @@ pub const G1_Y_HEX: &str = "08b3f481e3aaa0f1a09e30ed741d8ae4fcf5e095d5d00af600db
 
 /// G2 generator x-coordinate (c0 + c1·u).
 pub const G2_X0_HEX: &str = "024aa2b2f08f0a91260805272dc51051c6e47ad4fa403b02b4510b647ae3d1770bac0326a805bbefd48056c8c121bdb8";
+/// G2 generator x-coordinate, `c1` part.
 pub const G2_X1_HEX: &str = "13e02b6052719f607dacd3a088274f65596bd0d09920b61ab5da61bbdc7f5049334cf11213945d57e5ac7d055d042b7e";
 /// G2 generator y-coordinate (c0 + c1·u).
 pub const G2_Y0_HEX: &str = "0ce5d527727d6e118cc9cdc6da2e351aadfd9baa8cbdd3a76d429a695160d12c923ac9cc3baca289e193548608b82801";
+/// G2 generator y-coordinate, `c1` part.
 pub const G2_Y1_HEX: &str = "0606c4a02ea734cc32acd2b02bc28b99cb3e287e85a763af267492ab572e99ab3f370d275cec1da1aaa9075ff05f79be";
 
 #[cfg(test)]
