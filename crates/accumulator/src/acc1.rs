@@ -80,11 +80,16 @@ pub struct Acc1 {
 
 impl Acc1 {
     /// `KeyGen(1^λ)`: sample the trapdoor and publish `capacity + 1` powers.
+    ///
+    /// The power vectors are produced through the generator combs
+    /// ([`vchain_pairing::generator_powers`]) — the same fixed-base layer
+    /// the commitments use — instead of the per-scalar window walk
+    /// retained as [`fixed_base_batch`] (the property-tested reference).
     pub fn keygen<R: Rng + ?Sized>(capacity: usize, rng: &mut R) -> Self {
         let s = Fr::random(rng);
         let scalars = power_scalars(&s, capacity + 1);
-        let g1_powers = fixed_base_batch(&G1Projective::generator(), &scalars);
-        let g2_powers = fixed_base_batch(&G2Projective::generator(), &scalars);
+        let g1_powers = vchain_pairing::generator_powers::<G1Spec>(&scalars);
+        let g2_powers = vchain_pairing::generator_powers::<G2Spec>(&scalars);
         let gt_gen =
             pairing(&G1Projective::generator().to_affine(), &G2Projective::generator().to_affine());
         let comb_limit = (capacity + 1).min(COMB_PREFIX_LIMIT);
@@ -294,8 +299,10 @@ fn power_scalars(s: &Fr, n: usize) -> Vec<U256> {
 }
 
 /// Fixed-base batch multiplication: precompute the `2ⁱ·g` table once, then
-/// each scalar costs only additions. Used by key generation.
-pub(crate) fn fixed_base_batch<S: vchain_pairing::CurveSpec>(
+/// each scalar costs only additions. The pre-comb key-generation path,
+/// retained as the reference implementation the shared comb layer is
+/// pinned against (tests and the `acc_keygen_powers_*_naive` bench twin).
+pub fn fixed_base_batch<S: vchain_pairing::CurveSpec>(
     g: &vchain_pairing::Projective<S>,
     scalars: &[U256],
 ) -> Vec<vchain_pairing::Projective<S>> {

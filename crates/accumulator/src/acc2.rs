@@ -34,7 +34,6 @@ use vchain_pairing::{
     G2Affine, G2Projective, G2Spec,
 };
 
-use crate::acc1::fixed_base_batch;
 use crate::{batch_coefficients, AccElem, AccError, Accumulator, MultiSet};
 
 /// The accumulative value `(d_A, d_B)` (a block's AttDigest under acc2).
@@ -112,14 +111,13 @@ impl Acc2 {
             scalars.push(if i as u64 == q { U256::ZERO } else { cur.to_uint() });
             cur = Field::mul(&cur, &s);
         }
-        let g1_powers = vchain_pairing::batch_to_affine(&fixed_base_batch(
-            &G1Projective::generator(),
-            &scalars,
-        ));
-        let g2_powers = vchain_pairing::batch_to_affine(&fixed_base_batch(
-            &G2Projective::generator(),
-            &scalars[..q as usize],
-        ));
+        // Powers come from the generator combs — the fixed-base layer both
+        // constructions share (see `Acc1::keygen`).
+        let g1_powers =
+            vchain_pairing::batch_to_affine(&vchain_pairing::generator_powers::<G1Spec>(&scalars));
+        let g2_powers = vchain_pairing::batch_to_affine(
+            &vchain_pairing::generator_powers::<G2Spec>(&scalars[..q as usize]),
+        );
         Self {
             pk: Arc::new(Acc2PublicKey { q, g1_powers, g2_powers }),
             sk: Some(s),
@@ -592,5 +590,50 @@ mod tests {
     fn forbidden_power_is_poisoned() {
         let a = acc();
         assert!(a.pk.g1_powers[a.pk.q as usize].is_identity());
+    }
+
+    /// The comb-built key must equal the naive window-walk key limb for
+    /// limb, so proofs from either keygen path are byte-identical.
+    #[test]
+    fn comb_keygen_matches_naive_fixed_base() {
+        use vchain_pairing::Field;
+        let a = acc();
+        let q = a.pk.q;
+        // reconstruct the scalar vector from the retained trapdoor
+        let s = a.sk.expect("test keygen keeps the trapdoor");
+        let mut scalars = Vec::new();
+        let mut cur = Fr::one();
+        for i in 0..(2 * q - 1) {
+            scalars.push(if i == q { U256::ZERO } else { cur.to_uint() });
+            cur = Field::mul(&cur, &s);
+        }
+        let naive_g1 = vchain_pairing::batch_to_affine(&crate::acc1::fixed_base_batch(
+            &G1Projective::generator(),
+            &scalars,
+        ));
+        let naive_g2 = vchain_pairing::batch_to_affine(&crate::acc1::fixed_base_batch(
+            &G2Projective::generator(),
+            &scalars[..q as usize],
+        ));
+        assert_eq!(a.pk.g1_powers.len(), naive_g1.len(), "g1 power count drifted");
+        assert_eq!(a.pk.g2_powers.len(), naive_g2.len(), "g2 power count drifted");
+        for (comb, naive) in a.pk.g1_powers.iter().zip(&naive_g1) {
+            assert_eq!(comb.to_bytes(), naive.to_bytes());
+        }
+        for (comb, naive) in a.pk.g2_powers.iter().zip(&naive_g2) {
+            assert_eq!(comb.to_bytes(), naive.to_bytes());
+        }
+        // and a proof built on the comb key is byte-identical to one built
+        // on a naive-keyed accumulator with the same trapdoor
+        let x1 = ms(&[1, 2, 3]);
+        let x2 = ms(&[10, 20]);
+        let naive_acc = Acc2 {
+            pk: Arc::new(Acc2PublicKey { q, g1_powers: naive_g1, g2_powers: naive_g2 }),
+            sk: Some(s),
+            fast_setup: false,
+        };
+        let p_comb = a.prove_disjoint(&x1, &x2).unwrap();
+        let p_naive = naive_acc.prove_disjoint(&x1, &x2).unwrap();
+        assert_eq!(Acc2::proof_bytes(&p_comb), Acc2::proof_bytes(&p_naive));
     }
 }

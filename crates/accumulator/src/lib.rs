@@ -22,7 +22,7 @@ pub mod acc2;
 pub mod multiset;
 pub mod poly;
 
-pub use acc1::{Acc1, Acc1Proof, Acc1PublicKey, Acc1Value};
+pub use acc1::{fixed_base_batch, Acc1, Acc1Proof, Acc1PublicKey, Acc1Value};
 pub use acc2::{Acc2, Acc2Proof, Acc2PublicKey, Acc2Value};
 pub use multiset::MultiSet;
 pub use poly::Poly;

@@ -68,13 +68,21 @@ fn main() {
     let g1 = G1Projective::generator();
     timings.push(time("g1_scalar_mul", 200, || g1.mul_fr(&k)));
     timings.push(time("g1_generator_mul", 200, || G1Projective::generator_mul_fr(&k)));
+    // G2 scalar multiplication: the GLS endomorphism-split path vs the
+    // retained wNAF reference ladder, same scalar, same run.
+    let g2 = G2Projective::generator();
+    timings.push(time("g2_scalar_mul", 100, || g2.mul_fr(&k)));
+    timings.push(time("g2_scalar_mul_wnaf", 50, || g2.mul_u256_wnaf(&k.to_uint())));
 
     // --- pairing layer --------------------------------------------------
     let p = G1Projective::generator().mul_u64(7).to_affine();
     let q = G2Projective::generator().mul_u64(9).to_affine();
     let f = multi_miller_loop(&[(p, q)]);
     timings.push(time("miller_loop", 50, || multi_miller_loop(&[(p, q)])));
+    // final exponentiation: Karabina compressed x-chains vs the retained
+    // Granger–Scott reference pipeline, same Miller output, same run.
     timings.push(time("final_exp", 50, || final_exponentiation(&f)));
+    timings.push(time("final_exp_gs", 50, || vchain_pairing::final_exponentiation_gs(&f)));
     timings.push(time("pairing", 50, || pairing(&p, &q)));
     let pairs10: Vec<_> = (1..=10u64)
         .map(|i| {
@@ -199,6 +207,29 @@ fn main() {
     }));
     timings.push(time("prove_disjoint_acc1_cold_256", 5, || {
         acc1.prove_disjoint(&node256, &clause4).unwrap()
+    }));
+    // --- shared fixed-base keygen layer ----------------------------------
+    // Both accumulator keygens now produce their power vectors through the
+    // generator combs; the naive per-scalar window walk is kept as the
+    // same-run reference. 256 G2 powers ≈ one mid-size Acc2 universe slice
+    // (G2 is the expensive group, and its comb teeth come from the GLS
+    // endomorphism).
+    let power_scalars: Vec<vchain_bigint::U256> = {
+        let s = Fr::random(&mut rng);
+        let mut cur = Fr::one();
+        (0..256)
+            .map(|_| {
+                let out = cur.to_uint();
+                cur = Field::mul(&cur, &s);
+                out
+            })
+            .collect()
+    };
+    timings.push(time("acc_keygen_powers_g2_256", 5, || {
+        vchain_pairing::generator_powers::<vchain_pairing::G2Spec>(&power_scalars)
+    }));
+    timings.push(time("acc_keygen_powers_g2_256_naive", 5, || {
+        vchain_acc::fixed_base_batch(&G2Projective::generator(), &power_scalars)
     }));
     let batch: Vec<_> = (0..32u64)
         .map(|i| {

@@ -2,6 +2,8 @@
 //! (dataset × scheme × accumulator), wall-clock metering, and plain-text
 //! table/series printing matching the paper's figures.
 
+pub mod check;
+
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 

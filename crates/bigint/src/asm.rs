@@ -1,0 +1,328 @@
+//! Hand-scheduled x86_64 Montgomery multiplication (BMI2 + ADX).
+//!
+//! The portable fused-CIOS loop in [`crate::mont`] is limited by how LLVM
+//! lowers `u128` carry arithmetic: every carry is extracted with
+//! `setb`/`movzbl` sequences and the two logical carry chains of CIOS are
+//! serialized through the single CPU carry flag. The `mulx`/`adcx`/`adox`
+//! instruction triple was added to x86 precisely for this workload —
+//! `mulx` does not touch flags, and `adcx`/`adox` ride two *independent*
+//! carry flags (CF and OF) — so one fused CIOS round becomes a straight
+//! line of ~40 flag-parallel instructions with no carry materialization.
+//!
+//! Layout of one round (fully unrolled, register window rotated per round):
+//!
+//! ```text
+//! rdx ← a[i]
+//! CF, OF ← 0
+//! for j in 0..N:  mulx (hi,lo) ← rdx·b[j];  t[j] +=CF lo;  t[j+1] +=OF hi
+//! t[N] += CF + OF
+//! rdx ← t[0]·n0inv  (mod 2^64)
+//! CF, OF ← 0
+//! for j in 0..N:  mulx (hi,lo) ← rdx·m[j];  t[j] +=CF lo;  t[j+1] +=OF hi
+//! t[N] += CF + OF                      // t[0] is now 0 → becomes next t[N]
+//! ```
+//!
+//! The rotation means no register moves between rounds: the zeroed `t[0]`
+//! is re-used as the incoming (zero) top limb of the next round. Results
+//! are compared against the portable path by exhaustive property tests
+//! ([`crate::mont`] test module) and the caller performs the final
+//! conditional subtraction, so this file only ever deals in raw limbs.
+//!
+//! Everything here is gated twice: compiled only on `x86_64`, and executed
+//! only when run-time CPUID detection ([`supported`]) confirms BMI2 + ADX.
+
+#![cfg(target_arch = "x86_64")]
+
+use core::arch::asm;
+
+/// Run-time check for the BMI2 (`mulx`) and ADX (`adcx`/`adox`) ISA
+/// extensions used by the kernels below.
+pub fn supported() -> bool {
+    std::arch::is_x86_feature_detected!("bmi2") && std::arch::is_x86_feature_detected!("adx")
+}
+
+/// One fused CIOS round for an `N`-limb multiplication: multiplier load,
+/// `a_i·b` accumulation pass, reduction-factor computation and `k·m`
+/// reduction pass, with the register window given by `$t0..$tN`.
+macro_rules! cios_round_6 {
+    ($ai:literal, $t0:literal, $t1:literal, $t2:literal, $t3:literal, $t4:literal,
+     $t5:literal, $t6:literal) => {
+        concat!(
+            // ---- multiply pass: t += a_i · b --------------------------
+            "mov rdx, qword ptr [{a} + ",
+            $ai,
+            "]\n",
+            "xor eax, eax\n", // clears CF and OF
+            "mulx r15, rax, qword ptr [{b} + 0]\n",
+            "adcx ",
+            $t0,
+            ", rax\n",
+            "adox ",
+            $t1,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{b} + 8]\n",
+            "adcx ",
+            $t1,
+            ", rax\n",
+            "adox ",
+            $t2,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{b} + 16]\n",
+            "adcx ",
+            $t2,
+            ", rax\n",
+            "adox ",
+            $t3,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{b} + 24]\n",
+            "adcx ",
+            $t3,
+            ", rax\n",
+            "adox ",
+            $t4,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{b} + 32]\n",
+            "adcx ",
+            $t4,
+            ", rax\n",
+            "adox ",
+            $t5,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{b} + 40]\n",
+            "adcx ",
+            $t5,
+            ", rax\n",
+            "adox ",
+            $t6,
+            ", r15\n",
+            "mov eax, 0\n", // mov keeps both carry flags alive
+            "adcx ",
+            $t6,
+            ", rax\n",
+            "adox ",
+            $t6,
+            ", rax\n",
+            // ---- reduction pass: t ← (t + k·m) >> 64 ------------------
+            "mov rdx, ",
+            $t0,
+            "\n",
+            "imul rdx, {n0}\n", // k = t0 · n0inv mod 2^64
+            "xor eax, eax\n",
+            "mulx r15, rax, qword ptr [{m} + 0]\n",
+            "adcx ",
+            $t0,
+            ", rax\n", // t0 becomes 0: the next round's top limb
+            "adox ",
+            $t1,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{m} + 8]\n",
+            "adcx ",
+            $t1,
+            ", rax\n",
+            "adox ",
+            $t2,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{m} + 16]\n",
+            "adcx ",
+            $t2,
+            ", rax\n",
+            "adox ",
+            $t3,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{m} + 24]\n",
+            "adcx ",
+            $t3,
+            ", rax\n",
+            "adox ",
+            $t4,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{m} + 32]\n",
+            "adcx ",
+            $t4,
+            ", rax\n",
+            "adox ",
+            $t5,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{m} + 40]\n",
+            "adcx ",
+            $t5,
+            ", rax\n",
+            "adox ",
+            $t6,
+            ", r15\n",
+            "mov eax, 0\n",
+            "adcx ",
+            $t6,
+            ", rax\n",
+            "adox ",
+            $t6,
+            ", rax\n",
+        )
+    };
+}
+
+/// Raw 6-limb fused-CIOS product `a·b·2^{-384} mod⁺ m` (result may exceed
+/// `m` by up to one modulus; the caller subtracts conditionally).
+///
+/// Returns the six result limbs and the overflow bit.
+///
+/// # Safety
+/// Requires BMI2 and ADX (check [`supported`]); `m` must be odd and
+/// `n0inv ≡ -m^{-1} (mod 2^64)`.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn mont_mul_6(a: &[u64; 6], b: &[u64; 6], m: &[u64; 6], n0inv: u64) -> ([u64; 6], u64) {
+    let (mut t0, mut t1, mut t2, mut t3, mut t4, mut t5, mut t6): (
+        u64,
+        u64,
+        u64,
+        u64,
+        u64,
+        u64,
+        u64,
+    );
+    asm!(
+        // Window rotates by one per round: the reduced-away t0 (now zero)
+        // becomes the next round's incoming top limb.
+        cios_round_6!("0",  "r8",  "r9",  "r10", "r11", "r12", "r13", "r14"),
+        cios_round_6!("8",  "r9",  "r10", "r11", "r12", "r13", "r14", "r8"),
+        cios_round_6!("16", "r10", "r11", "r12", "r13", "r14", "r8",  "r9"),
+        cios_round_6!("24", "r11", "r12", "r13", "r14", "r8",  "r9",  "r10"),
+        cios_round_6!("32", "r12", "r13", "r14", "r8",  "r9",  "r10", "r11"),
+        cios_round_6!("40", "r13", "r14", "r8",  "r9",  "r10", "r11", "r12"),
+        a = in(reg) a.as_ptr(),
+        b = in(reg) b.as_ptr(),
+        m = in(reg) m.as_ptr(),
+        n0 = in(reg) n0inv,
+        inout("r8") 0u64 => t0,
+        inout("r9") 0u64 => t1,
+        inout("r10") 0u64 => t2,
+        inout("r11") 0u64 => t3,
+        inout("r12") 0u64 => t4,
+        inout("r13") 0u64 => t5,
+        inout("r14") 0u64 => t6,
+        out("r15") _,
+        out("rax") _,
+        out("rdx") _,
+        options(pure, readonly, nostack),
+    );
+    // After six rotations the live window starts at r14 (= t6 variable):
+    // result limbs are [t6, t0, t1, t2, t3, t4] and t5 holds the overflow.
+    ([t6, t0, t1, t2, t3, t4], t5)
+}
+
+/// One fused CIOS round for the 4-limb (scalar field) multiplier.
+macro_rules! cios_round_4 {
+    ($ai:literal, $t0:literal, $t1:literal, $t2:literal, $t3:literal, $t4:literal) => {
+        concat!(
+            "mov rdx, qword ptr [{a} + ",
+            $ai,
+            "]\n",
+            "xor eax, eax\n",
+            "mulx r15, rax, qword ptr [{b} + 0]\n",
+            "adcx ",
+            $t0,
+            ", rax\n",
+            "adox ",
+            $t1,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{b} + 8]\n",
+            "adcx ",
+            $t1,
+            ", rax\n",
+            "adox ",
+            $t2,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{b} + 16]\n",
+            "adcx ",
+            $t2,
+            ", rax\n",
+            "adox ",
+            $t3,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{b} + 24]\n",
+            "adcx ",
+            $t3,
+            ", rax\n",
+            "adox ",
+            $t4,
+            ", r15\n",
+            "mov eax, 0\n",
+            "adcx ",
+            $t4,
+            ", rax\n",
+            "adox ",
+            $t4,
+            ", rax\n",
+            "mov rdx, ",
+            $t0,
+            "\n",
+            "imul rdx, {n0}\n",
+            "xor eax, eax\n",
+            "mulx r15, rax, qword ptr [{m} + 0]\n",
+            "adcx ",
+            $t0,
+            ", rax\n",
+            "adox ",
+            $t1,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{m} + 8]\n",
+            "adcx ",
+            $t1,
+            ", rax\n",
+            "adox ",
+            $t2,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{m} + 16]\n",
+            "adcx ",
+            $t2,
+            ", rax\n",
+            "adox ",
+            $t3,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{m} + 24]\n",
+            "adcx ",
+            $t3,
+            ", rax\n",
+            "adox ",
+            $t4,
+            ", r15\n",
+            "mov eax, 0\n",
+            "adcx ",
+            $t4,
+            ", rax\n",
+            "adox ",
+            $t4,
+            ", rax\n",
+        )
+    };
+}
+
+/// Raw 4-limb fused-CIOS product `a·b·2^{-256} mod⁺ m`; see [`mont_mul_6`].
+///
+/// # Safety
+/// Same contract as [`mont_mul_6`].
+pub unsafe fn mont_mul_4(a: &[u64; 4], b: &[u64; 4], m: &[u64; 4], n0inv: u64) -> ([u64; 4], u64) {
+    let (mut t0, mut t1, mut t2, mut t3, mut t4): (u64, u64, u64, u64, u64);
+    asm!(
+        cios_round_4!("0",  "r8",  "r9",  "r10", "r11", "r12"),
+        cios_round_4!("8",  "r9",  "r10", "r11", "r12", "r8"),
+        cios_round_4!("16", "r10", "r11", "r12", "r8",  "r9"),
+        cios_round_4!("24", "r11", "r12", "r8",  "r9",  "r10"),
+        a = in(reg) a.as_ptr(),
+        b = in(reg) b.as_ptr(),
+        m = in(reg) m.as_ptr(),
+        n0 = in(reg) n0inv,
+        inout("r8") 0u64 => t0,
+        inout("r9") 0u64 => t1,
+        inout("r10") 0u64 => t2,
+        inout("r11") 0u64 => t3,
+        inout("r12") 0u64 => t4,
+        out("r15") _,
+        out("rax") _,
+        out("rdx") _,
+        options(pure, readonly, nostack),
+    );
+    // Four rotations: window starts at r12 (= t4): result [t4, t0, t1, t2],
+    // overflow in t3.
+    ([t4, t0, t1, t2], t3)
+}

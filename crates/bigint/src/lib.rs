@@ -15,6 +15,8 @@
 //!   hard-coding them; see `vchain-pairing::params`.
 
 pub mod apint;
+#[cfg(target_arch = "x86_64")]
+pub mod asm;
 pub mod mont;
 pub mod uint;
 

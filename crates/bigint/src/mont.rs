@@ -17,6 +17,11 @@ pub struct MontParams<const N: usize> {
     pub r1: Uint<N>,
     /// `R² mod m` — used to convert into Montgomery form.
     pub r2: Uint<N>,
+    /// Whether the hand-scheduled BMI2+ADX multiplication kernels
+    /// ([`crate::asm`]) may be used for this width (CPUID-probed once at
+    /// construction; always `false` off x86_64 or for widths without a
+    /// kernel).
+    use_asm: bool,
 }
 
 impl<const N: usize> MontParams<N> {
@@ -46,7 +51,17 @@ impl<const N: usize> MontParams<N> {
         for _ in 0..(64 * N) {
             r2 = Self::add_mod_raw(&r2, &r2, &modulus);
         }
-        Self { modulus, n0inv, r1, r2 }
+        // The asm kernels keep the working value in an (N+1)-register
+        // window; mid-round sums stay below 2^{64(N+1)} only when
+        // m < 2^{64N−1}. The headroom assert above guarantees that for
+        // every constructible MontParams, but gate on it explicitly so a
+        // future relaxation of the assert cannot silently produce wrong
+        // products through the kernels.
+        #[cfg(target_arch = "x86_64")]
+        let use_asm = (N == 4 || N == 6) && modulus.0[N - 1] >> 63 == 0 && crate::asm::supported();
+        #[cfg(not(target_arch = "x86_64"))]
+        let use_asm = false;
+        Self { modulus, n0inv, r1, r2, use_asm }
     }
 
     #[inline]
@@ -89,48 +104,98 @@ impl<const N: usize> MontParams<N> {
         }
     }
 
-    /// CIOS Montgomery multiplication: returns `a * b * R^{-1} mod m` for
+    /// Montgomery multiplication: returns `a * b * R^{-1} mod m` for
     /// reduced inputs.
+    ///
+    /// Dispatches to the BMI2+ADX assembly kernels ([`crate::asm`]) when
+    /// the CPU supports them (probed once in [`MontParams::new`]); the
+    /// portable path is [`MontParams::mont_mul_portable`], which also
+    /// serves as the correctness reference the kernels are property-tested
+    /// against.
+    #[inline]
     pub fn mont_mul(&self, a: &Uint<N>, b: &Uint<N>) -> Uint<N> {
-        let m = &self.modulus.0;
-        // t has N+2 limbs of working space.
-        let mut t = [0u64; 16]; // max N = 14; BLS12-381 uses N = 6
-        debug_assert!(N + 2 <= 16);
-        for i in 0..N {
-            // t += a[i] * b
-            let mut carry = 0u128;
-            for (tj, bj) in t[..N].iter_mut().zip(&b.0) {
-                let cur = *tj as u128 + (a.0[i] as u128) * (*bj as u128) + carry;
-                *tj = cur as u64;
-                carry = cur >> 64;
+        #[cfg(target_arch = "x86_64")]
+        if self.use_asm {
+            if N == 6 {
+                let (limbs, hi) = unsafe {
+                    crate::asm::mont_mul_6(
+                        a.0[..].try_into().expect("N == 6"),
+                        b.0[..].try_into().expect("N == 6"),
+                        self.modulus.0[..].try_into().expect("N == 6"),
+                        self.n0inv,
+                    )
+                };
+                let mut out = [0u64; N];
+                out.copy_from_slice(&limbs);
+                return self.reduce_once(Uint(out), hi);
             }
-            let cur = t[N] as u128 + carry;
-            t[N] = cur as u64;
-            t[N + 1] = (cur >> 64) as u64;
-
-            // reduce: add ((t[0] * n0inv mod 2^64) * m) and shift one limb
-            let k = t[0].wrapping_mul(self.n0inv);
-            let mut carry = ((t[0] as u128) + (k as u128) * (m[0] as u128)) >> 64;
-            for j in 1..N {
-                let cur = t[j] as u128 + (k as u128) * (m[j] as u128) + carry;
-                t[j - 1] = cur as u64;
-                carry = cur >> 64;
+            if N == 4 {
+                let (limbs, hi) = unsafe {
+                    crate::asm::mont_mul_4(
+                        a.0[..].try_into().expect("N == 4"),
+                        b.0[..].try_into().expect("N == 4"),
+                        self.modulus.0[..].try_into().expect("N == 4"),
+                        self.n0inv,
+                    )
+                };
+                let mut out = [0u64; N];
+                out.copy_from_slice(&limbs);
+                return self.reduce_once(Uint(out), hi);
             }
-            let cur = t[N] as u128 + carry;
-            t[N - 1] = cur as u64;
-            t[N] = t[N + 1] + ((cur >> 64) as u64);
-            t[N + 1] = 0;
         }
-        let mut out = [0u64; N];
-        out.copy_from_slice(&t[..N]);
-        let out = Uint(out);
-        // Final conditional subtraction: result < 2m at this point.
-        if t[N] != 0 || out >= self.modulus {
+        self.mont_mul_portable(a, b)
+    }
+
+    /// Final CIOS correction: the raw product is `< 2m`, so at most one
+    /// subtraction of the modulus canonicalizes it.
+    #[inline]
+    fn reduce_once(&self, out: Uint<N>, hi: u64) -> Uint<N> {
+        if hi != 0 || out >= self.modulus {
             let (r, _) = out.sbb(&self.modulus);
             r
         } else {
             out
         }
+    }
+
+    /// Portable fused-CIOS Montgomery multiplication (`a * b * R^{-1} mod
+    /// m` for reduced inputs) — the dispatch target when no assembly
+    /// kernel applies, and the reference the kernels are tested against.
+    ///
+    /// Each outer iteration interleaves the `a[i]·b` accumulation with the
+    /// Montgomery reduction of the low limb in a *single* pass over the
+    /// working register (two independent carry chains), instead of the
+    /// classical two-pass CIOS this replaced. The working register needs
+    /// only `N` limbs plus a one-bit overflow word: the invariant
+    /// `t < 2m` holds at the top of every iteration, so the second spill
+    /// limb of two-pass CIOS never materializes.
+    pub fn mont_mul_portable(&self, a: &Uint<N>, b: &Uint<N>) -> Uint<N> {
+        let m = &self.modulus.0;
+        let n0inv = self.n0inv;
+        let mut t = [0u64; N];
+        let mut t_hi = 0u64; // the (N+1)-th limb; always 0 or 1
+        for i in 0..N {
+            let ai = a.0[i] as u128;
+            // j = 0: compute the reduction factor from the fresh low limb.
+            let cur = t[0] as u128 + ai * b.0[0] as u128;
+            let k = (cur as u64).wrapping_mul(n0inv) as u128;
+            let red = (cur as u64) as u128 + k * m[0] as u128;
+            debug_assert_eq!(red as u64, 0, "low limb must cancel");
+            let mut carry_mul = (cur >> 64) as u64;
+            let mut carry_red = (red >> 64) as u64;
+            for j in 1..N {
+                let cur = t[j] as u128 + ai * b.0[j] as u128 + carry_mul as u128;
+                carry_mul = (cur >> 64) as u64;
+                let red = (cur as u64) as u128 + k * m[j] as u128 + carry_red as u128;
+                t[j - 1] = red as u64;
+                carry_red = (red >> 64) as u64;
+            }
+            let fin = t_hi as u128 + carry_mul as u128 + carry_red as u128;
+            t[N - 1] = fin as u64;
+            t_hi = (fin >> 64) as u64;
+        }
+        // Final conditional subtraction: result < 2m at this point.
+        self.reduce_once(Uint(t), t_hi)
     }
 
     /// Convert a reduced integer into Montgomery form (`a * R mod m`).
@@ -145,62 +210,194 @@ impl<const N: usize> MontParams<N> {
         self.mont_mul(a, &Uint::one())
     }
 
-    /// Modular inverse of a *Montgomery-form* value, by binary extended GCD.
+    /// Modular inverse of a *Montgomery-form* value, by the Kaliski
+    /// almost-Montgomery-inverse.
     ///
     /// Returns `a⁻¹` also in Montgomery form, or `None` for zero (or a value
     /// sharing a factor with the modulus, which cannot happen for the prime
-    /// moduli used here). This replaces Fermat exponentiation (`a^{m−2}`,
-    /// ~`64·N` squarings + multiplications) with `O(64·N)` shift/subtract
-    /// steps on raw limbs — one to two orders of magnitude faster.
+    /// moduli used here).
+    ///
+    /// Phase 1 maintains the invariants `a·r ≡ −u·2^k` and `a·s ≡ v·2^k
+    /// (mod m)` with *plain-integer* shifts and additions on `r`/`s` — the
+    /// binary-GCD predecessor of this routine paid a modular halving
+    /// (conditional modulus addition) on the cofactor at every even step.
+    /// All four working registers are length-tracked: `u`/`v` shrink from
+    /// `N` limbs toward 1 and `r`/`s` grow from 1 limb, so the average
+    /// step touches about half the limbs. Phase 2 strips the accumulated
+    /// `2^k` with two Montgomery multiplications by precomputed powers.
     pub fn inv_mont(&self, a: &Uint<N>) -> Option<Uint<N>> {
         if a.is_zero() {
             return None;
         }
         let m = &self.modulus;
-        // Halve x modulo m: x even ⇒ x/2, else (x + m)/2 (m odd ⇒ x + m even).
-        let halve = |x: &Uint<N>| -> Uint<N> {
-            if x.is_even() {
-                x.shr1()
-            } else {
-                let (sum, carry) = x.adc(m);
-                let mut h = sum.shr1();
-                if carry {
-                    h.0[N - 1] |= 1u64 << 63;
-                }
-                h
+        // Invariants (mod m): a·r ≡ −u·2^k and a·s ≡ v·2^k — they pin the
+        // initialization to u = m, v = a, r = 0, s = 1. A third, *integer*
+        // invariant `u·s + v·r = m` is preserved by every step and bounds
+        // the cofactors: s ≤ m/u and r ≤ m/v, so r, s < 2m even after the
+        // final cross-accumulation.
+        let mut u = *m;
+        let mut v = *a;
+        // r and s carry one limb of headroom: they are bounded by 2m, and
+        // both moduli here leave at least one spare bit per Uint — but the
+        // textbook bound is easy to get subtly wrong, so the top limb is
+        // tracked explicitly and debug-asserted never to exceed one bit.
+        let mut r = [0u64; 16];
+        let mut s = [0u64; 16];
+        debug_assert!(N < 16);
+        s[0] = 1;
+        let mut u_len = N; // active limbs of u (shrinks)
+        let mut v_len = N;
+        let mut rs_len = 1usize; // active limbs of r and s (grows, incl. headroom)
+        let mut k = 0u32;
+
+        // (local helpers; arrays are wider than needed so the compiler
+        // keeps the loops simple)
+        #[inline]
+        fn shl1(x: &mut [u64; 16], len: &mut usize) {
+            let mut carry = 0u64;
+            for xi in x.iter_mut().take(*len) {
+                let nc = *xi >> 63;
+                *xi = (*xi << 1) | carry;
+                carry = nc;
             }
-        };
-        let mut u = *a;
-        let mut v = *m;
-        let mut x1 = Uint::<N>::one(); // x1·a ≡ u (mod m), up to powers of 2 tracked by halving
-        let mut x2 = Uint::<N>::ZERO; // x2·a ≡ v (mod m)
-        let one = Uint::<N>::one();
-        while u != one && v != one {
-            while u.is_even() {
-                u = u.shr1();
-                x1 = halve(&x1);
-            }
-            while v.is_even() {
-                v = v.shr1();
-                x2 = halve(&x2);
-            }
-            if u >= v {
-                let (d, _) = u.sbb(&v);
-                u = d;
-                x1 = self.sub(&x1, &x2);
-            } else {
-                let (d, _) = v.sbb(&u);
-                v = d;
-                x2 = self.sub(&x2, &x1);
-            }
-            if u.is_zero() || v.is_zero() {
-                return None; // gcd(a, m) ≠ 1
+            if carry != 0 {
+                x[*len] = carry;
+                *len += 1;
             }
         }
-        let raw = if u == one { x1 } else { x2 };
-        // raw = (a_mont)⁻¹ = a⁻¹·R⁻¹; two Montgomery muls by R² restore the
-        // Montgomery form of a⁻¹.
-        Some(self.mont_mul(&self.mont_mul(&raw, &self.r2), &self.r2))
+        #[inline]
+        fn add_into(dst: &mut [u64; 16], src: &[u64; 16], len: &mut usize) {
+            let mut carry = 0u64;
+            for i in 0..*len {
+                let (t, c1) = dst[i].overflowing_add(src[i]);
+                let (t, c2) = t.overflowing_add(carry);
+                dst[i] = t;
+                carry = (c1 as u64) + (c2 as u64);
+            }
+            if carry != 0 {
+                dst[*len] = carry;
+                *len += 1;
+            }
+        }
+
+        loop {
+            if u.0[0] & 1 == 0 {
+                // u /= 2, s *= 2
+                for i in 0..u_len {
+                    u.0[i] = (u.0[i] >> 1) | if i + 1 < u_len { u.0[i + 1] << 63 } else { 0 };
+                }
+                shl1(&mut s, &mut rs_len);
+            } else if v.0[0] & 1 == 0 {
+                // v /= 2, r *= 2
+                for i in 0..v_len {
+                    v.0[i] = (v.0[i] >> 1) | if i + 1 < v_len { v.0[i + 1] << 63 } else { 0 };
+                }
+                shl1(&mut r, &mut rs_len);
+            } else {
+                // both odd: subtract the smaller, halve, cross-accumulate
+                let u_ge_v = if u_len != v_len {
+                    u_len > v_len
+                } else {
+                    let mut ord = true;
+                    for i in (0..u_len).rev() {
+                        if u.0[i] != v.0[i] {
+                            ord = u.0[i] > v.0[i];
+                            break;
+                        }
+                    }
+                    ord
+                };
+                if u_ge_v {
+                    // u = (u − v)/2 (even after the subtraction), r += s, s *= 2
+                    let mut borrow = 0u64;
+                    for i in 0..u_len {
+                        let vi = if i < v_len { v.0[i] } else { 0 };
+                        let (t, b1) = u.0[i].overflowing_sub(vi);
+                        let (t, b2) = t.overflowing_sub(borrow);
+                        u.0[i] = t;
+                        borrow = (b1 as u64) + (b2 as u64);
+                    }
+                    for i in 0..u_len {
+                        u.0[i] = (u.0[i] >> 1) | if i + 1 < u_len { u.0[i + 1] << 63 } else { 0 };
+                    }
+                    let (r_arr, s_arr) = (&mut r, &mut s);
+                    add_into(r_arr, s_arr, &mut rs_len);
+                    shl1(s_arr, &mut rs_len);
+                    if u.is_zero() {
+                        // u == v at subtraction time ⇒ gcd(u, v) == v; for a
+                        // unit, that happens exactly when v == 1.
+                        break;
+                    }
+                } else {
+                    // v = (v − u)/2, s += r, r *= 2
+                    let mut borrow = 0u64;
+                    for i in 0..v_len {
+                        let ui = if i < u_len { u.0[i] } else { 0 };
+                        let (t, b1) = v.0[i].overflowing_sub(ui);
+                        let (t, b2) = t.overflowing_sub(borrow);
+                        v.0[i] = t;
+                        borrow = (b1 as u64) + (b2 as u64);
+                    }
+                    for i in 0..v_len {
+                        v.0[i] = (v.0[i] >> 1) | if i + 1 < v_len { v.0[i + 1] << 63 } else { 0 };
+                    }
+                    let (r_arr, s_arr) = (&mut r, &mut s);
+                    add_into(s_arr, r_arr, &mut rs_len);
+                    shl1(r_arr, &mut rs_len);
+                    if v.is_zero() {
+                        break;
+                    }
+                }
+            }
+            k += 1;
+            while u_len > 1 && u.0[u_len - 1] == 0 {
+                u_len -= 1;
+            }
+            while v_len > 1 && v.0[v_len - 1] == 0 {
+                v_len -= 1;
+            }
+        }
+        // The loop exits with the surviving register holding gcd(a, m); it
+        // must be 1 for an invertible input. The broken-out final step did
+        // not pass the bottom-of-loop increment, so count it here.
+        k += 1;
+        let (gcd, winner_is_s) = if v.is_zero() { (&u, false) } else { (&v, true) };
+        if *gcd != Uint::<N>::one() {
+            return None;
+        }
+        // Winner invariant: a·s ≡ v·2^k with v = 1 (s is the cofactor) when
+        // v survived; a·r ≡ −u·2^k when u survived. Reduce below 2^{64N},
+        // then into [0, m).
+        let mut raw = [0u64; 16];
+        raw.copy_from_slice(if winner_is_s { &s } else { &r });
+        let negate = !winner_is_s; // r-case carries the −1 sign
+        debug_assert!(rs_len <= N + 1, "cofactor outgrew the 2m bound");
+        // fold limb N (at most a few bits) back below 2^{64N} by
+        // subtracting m·2^{64N}/... — simpler: repeated subtraction of m
+        // from the (N+1)-limb value; the bound raw < 2m means at most one.
+        let mut val = Uint::<N>::ZERO;
+        val.0.copy_from_slice(&raw[..N]);
+        let mut hi = raw[N];
+        while hi != 0 || val >= *m {
+            let (d, borrow) = val.sbb(m);
+            hi -= borrow as u64;
+            val = d;
+        }
+        let mut inv_raw = if negate { self.neg(&val) } else { val };
+        // inv_raw ≡ ±a⁻¹·2^k·(sign fixed) with a in Montgomery form, i.e.
+        // inv_raw = a⁻¹·R⁻¹·2^k. Normalize k into (64N, 128N] with modular
+        // doublings (k ≥ the modulus bit-length, so only a few are needed),
+        // then two Montgomery multiplications strip the power of two:
+        //   mont(inv_raw, R²) = a⁻¹·2^k
+        //   mont(·, 2^{128N−k}) = a⁻¹·2^{64N} = a⁻¹·R.
+        while (k as usize) <= 64 * N {
+            inv_raw = self.add(&inv_raw, &inv_raw);
+            k += 1;
+        }
+        let e = 2 * 64 * N - k as usize; // in [0, 64N)
+        let mut pow2 = Uint::<N>::ZERO;
+        pow2.0[e / 64] = 1u64 << (e % 64);
+        Some(self.mont_mul(&self.mont_mul(&inv_raw, &self.r2), &pow2))
     }
 
     /// Reduce an arbitrary double-width value (little-endian limbs, length
@@ -290,6 +487,91 @@ mod tests {
         let inv = p.inv_mont(&big).unwrap();
         assert_eq!(p.mont_mul(&big, &inv), p.r1);
         assert!(p.inv_mont(&U256::ZERO).is_none());
+    }
+
+    /// A tiny deterministic xorshift so this crate needs no RNG dependency.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn fp_params() -> MontParams<6> {
+        MontParams::new(crate::U384::from_hex(
+            "1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab",
+        ))
+    }
+
+    fn random_reduced<const N: usize>(p: &MontParams<N>, state: &mut u64) -> Uint<N> {
+        loop {
+            let mut limbs = [0u64; N];
+            for l in &mut limbs {
+                *l = xorshift(state);
+            }
+            let v = Uint(limbs);
+            if v < p.modulus {
+                return v;
+            }
+        }
+    }
+
+    /// The asm kernels must agree with the portable fused-CIOS path on a
+    /// large random sample (both fields), including the boundary values
+    /// that exercise the final conditional subtraction.
+    #[test]
+    fn asm_and_portable_mont_mul_agree() {
+        let fr = super::super::U256::from_hex(
+            "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001",
+        );
+        let fr = MontParams::new(fr);
+        let fp = fp_params();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for _ in 0..2_000 {
+            let a = random_reduced(&fp, &mut state);
+            let b = random_reduced(&fp, &mut state);
+            assert_eq!(fp.mont_mul(&a, &b), fp.mont_mul_portable(&a, &b));
+            let a = random_reduced(&fr, &mut state);
+            let b = random_reduced(&fr, &mut state);
+            assert_eq!(fr.mont_mul(&a, &b), fr.mont_mul_portable(&a, &b));
+        }
+        // boundary inputs: 0, 1, m−1 in all combinations
+        let (m1, _) = fp.modulus.sbb(&Uint::one());
+        for a in [Uint::ZERO, Uint::one(), m1] {
+            for b in [Uint::ZERO, Uint::one(), m1] {
+                assert_eq!(fp.mont_mul(&a, &b), fp.mont_mul_portable(&a, &b));
+            }
+        }
+    }
+
+    /// The Kaliski inversion must round-trip on a large random sample of
+    /// both fields (the few-value test above only exercises tiny inputs).
+    #[test]
+    fn inv_mont_random_round_trip() {
+        let fr = fr_params();
+        let fp = fp_params();
+        let mut state = 0x1234_5678_9abc_def1u64;
+        for _ in 0..500 {
+            let x = random_reduced(&fp, &mut state);
+            if x.is_zero() {
+                continue;
+            }
+            let inv = fp.inv_mont(&x).expect("nonzero");
+            assert_eq!(fp.mont_mul(&x, &inv), fp.r1);
+            let y = random_reduced(&fr, &mut state);
+            if y.is_zero() {
+                continue;
+            }
+            let inv = fr.inv_mont(&y).expect("nonzero");
+            assert_eq!(fr.mont_mul(&y, &inv), fr.r1);
+        }
+        // powers of two exercise the longest even-stripping runs
+        for sh in [1u32, 63, 64, 127, 254] {
+            let mut x = U256::ZERO;
+            x.0[(sh / 64) as usize] = 1u64 << (sh % 64);
+            let inv = fr.inv_mont(&x).expect("nonzero");
+            assert_eq!(fr.mont_mul(&x, &inv), fr.r1, "2^{sh}");
+        }
     }
 
     #[test]

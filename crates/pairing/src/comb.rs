@@ -34,7 +34,9 @@ use std::sync::RwLock;
 
 use vchain_bigint::U256;
 
-use crate::curve::{batch_to_affine, multiexp, sum_affine_groups, Affine, CurveSpec, Projective};
+use crate::curve::{
+    batch_to_affine, gls_digits, multiexp, sum_affine_groups, Affine, CurveSpec, Projective,
+};
 
 /// Number of comb teeth: one scalar bit per tooth, per column.
 pub const COMB_TEETH: u32 = 8;
@@ -42,31 +44,71 @@ pub const COMB_TEETH: u32 = 8;
 /// covers the full 256-bit scalar width.
 pub const COMB_SPACING: u32 = 32;
 
+/// How a scalar's bits are distributed over the eight comb teeth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DigitScheme {
+    /// Tooth `t` reads bit `32t + column` of the raw scalar; tooth points
+    /// are the doubling chain `2^{32t}·B`.
+    Straight,
+    /// GLS teeth: the scalar is first decomposed in base `|x|` into four
+    /// 64-bit digits `e₀..e₃` ([`crate::curve::gls_digits`]); tooth
+    /// `t = 2i + j` reads bit `32j + column` of `eᵢ`, and its point is
+    /// `2^{32j}·φⁱ(B)` — six of the eight tooth points come from the cheap
+    /// endomorphism instead of 32-doubling chains, cutting the tooth
+    /// doublings per table from 224 to 32 ("halved" is an understatement:
+    /// 7×). Requires [`CurveSpec::HAS_ENDO`].
+    Gls,
+}
+
 /// Precomputed comb table for one fixed base (see the [module docs](self)).
 pub struct FixedBaseComb<S: CurveSpec> {
-    /// `table[m − 1] = Σ_{k ∈ bits(m)} 2^{COMB_SPACING·k} · base`, for
-    /// every non-empty tooth subset `m ∈ 1..=255`, in affine form.
+    /// `table[m − 1] = Σ_{t ∈ bits(m)} tooth_t`, for every non-empty tooth
+    /// subset `m ∈ 1..=255`, in affine form.
     table: Vec<Affine<S>>,
+    scheme: DigitScheme,
 }
 
 impl<S: CurveSpec> FixedBaseComb<S> {
     /// Build the comb tables for many bases at once.
     ///
-    /// Per base this costs `(COMB_TEETH − 1) · COMB_SPACING` doublings for
-    /// the tooth points plus one addition per remaining subset; the final
+    /// Per base this costs 32 doublings (`G2`, GLS teeth) or
+    /// `(COMB_TEETH − 1) · COMB_SPACING = 224` doublings (straight teeth)
+    /// plus one addition per remaining subset; the final
     /// projective→affine normalization is batched across *all* bases with
     /// a single shared inversion.
     pub fn build_many(bases: &[Projective<S>]) -> Vec<Self> {
+        let scheme = if S::HAS_ENDO { DigitScheme::Gls } else { DigitScheme::Straight };
         let subsets = (1usize << COMB_TEETH) - 1;
         let mut all = Vec::with_capacity(bases.len() * subsets);
         for base in bases {
-            // tooth[k] = 2^{32k}·B
             let mut tooth = Vec::with_capacity(COMB_TEETH as usize);
-            let mut cur = *base;
-            for _ in 0..COMB_TEETH {
-                tooth.push(cur);
-                for _ in 0..COMB_SPACING {
-                    cur = cur.double();
+            match scheme {
+                DigitScheme::Straight => {
+                    // tooth[t] = 2^{32t}·B
+                    let mut cur = *base;
+                    for _ in 0..COMB_TEETH {
+                        tooth.push(cur);
+                        for _ in 0..COMB_SPACING {
+                            cur = cur.double();
+                        }
+                    }
+                }
+                DigitScheme::Gls => {
+                    // tooth[2i + j] = 2^{32j}·φⁱ(B): one 32-doubling chain,
+                    // everything else by endomorphism images
+                    let mut lo = *base;
+                    let mut hi = *base;
+                    for _ in 0..COMB_SPACING {
+                        hi = hi.double();
+                    }
+                    for lane in 0..4 {
+                        if lane > 0 {
+                            lo = S::endo_phi_proj(&lo).expect("HAS_ENDO groups provide φ");
+                            hi = S::endo_phi_proj(&hi).expect("HAS_ENDO groups provide φ");
+                        }
+                        tooth.push(lo);
+                        tooth.push(hi);
+                    }
                 }
             }
             // table[m] = table[m with lowest bit cleared] + tooth[lowest bit]
@@ -78,12 +120,72 @@ impl<S: CurveSpec> FixedBaseComb<S> {
             all.extend_from_slice(&tbl[1..]);
         }
         let affine = batch_to_affine(&all);
-        affine.chunks(subsets).map(|c| Self { table: c.to_vec() }).collect()
+        affine.chunks(subsets).map(|c| Self { table: c.to_vec(), scheme }).collect()
     }
 
     /// The table entry for a non-zero comb digit.
     fn entry(&self, digit: usize) -> &Affine<S> {
         &self.table[digit - 1]
+    }
+
+    /// The base point this comb was built for (the singleton subset of
+    /// tooth 0).
+    fn base(&self) -> &Affine<S> {
+        &self.table[0]
+    }
+
+    /// The per-column digits of `k` under this comb's scheme, or `None`
+    /// when the scalar cannot be decomposed (GLS scheme, `k ≥ |x|⁴` — the
+    /// caller falls back to a plain ladder on [`FixedBaseComb::base`]).
+    fn digits(&self, k: &U256) -> Option<[u8; COMB_SPACING as usize]> {
+        match self.scheme {
+            DigitScheme::Straight => {
+                let mut out = [0u8; COMB_SPACING as usize];
+                for (j, d) in out.iter_mut().enumerate() {
+                    let mut m = 0u8;
+                    for t in 0..COMB_TEETH {
+                        if k.bit(j as u32 + COMB_SPACING * t) {
+                            m |= 1 << t;
+                        }
+                    }
+                    *d = m;
+                }
+                Some(out)
+            }
+            DigitScheme::Gls => {
+                let e = gls_digits(k)?;
+                let mut out = [0u8; COMB_SPACING as usize];
+                for (j, d) in out.iter_mut().enumerate() {
+                    let mut m = 0u8;
+                    for t in 0..COMB_TEETH {
+                        let (lane, half) = ((t >> 1) as usize, t & 1);
+                        if (e[lane] >> (32 * half + j as u32)) & 1 == 1 {
+                            m |= 1 << t;
+                        }
+                    }
+                    *d = m;
+                }
+                Some(out)
+            }
+        }
+    }
+
+    /// Single-scalar fixed-base multiplication through the comb: 32 table
+    /// lookups and a 31-doubling Horner pass — no per-scalar doubling
+    /// chains. Used by the shared key-generation layer
+    /// ([`generator_powers`]).
+    pub fn mul(&self, k: &U256) -> Projective<S> {
+        let Some(digits) = self.digits(k) else {
+            return self.base().to_projective().mul_u256(k);
+        };
+        let mut acc = Projective::identity();
+        for &d in digits.iter().rev() {
+            acc = acc.double();
+            if d != 0 {
+                acc = acc.add_affine(self.entry(d as usize));
+            }
+        }
+        acc
     }
 }
 
@@ -91,18 +193,6 @@ impl<S: CurveSpec> core::fmt::Debug for FixedBaseComb<S> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(f, "FixedBaseComb<{}>({} entries)", S::NAME, self.table.len())
     }
-}
-
-/// The comb digit of `k` at column `j`: bits `j, j+32, …, j+224` packed
-/// into a byte (tooth `t` contributes bit `t`).
-fn comb_digit(k: &U256, j: u32) -> usize {
-    let mut m = 0usize;
-    for t in 0..COMB_TEETH {
-        if k.bit(j + COMB_SPACING * t) {
-            m |= 1 << t;
-        }
-    }
-    m
 }
 
 /// `Σ scalars[i] · bases[i]` where each base is represented by its
@@ -126,11 +216,18 @@ pub fn comb_multiexp<S: CurveSpec>(combs: &[FixedBaseComb<S>], scalars: &[U256])
     // Bucket every (scalar, column) lookup by column…
     let mut columns: Vec<Vec<Affine<S>>> =
         (0..COMB_SPACING).map(|_| Vec::with_capacity(scalars.len())).collect();
+    // …(scalars outside the digit domain — only possible for raw
+    // non-reduced integers under the GLS scheme — fall back to a plain
+    // ladder on the comb's base and join at the end)…
+    let mut slow = Projective::identity();
     for (comb, k) in combs.iter().zip(scalars) {
-        for (j, column) in columns.iter_mut().enumerate() {
-            let digit = comb_digit(k, j as u32);
+        let Some(digits) = comb.digits(k) else {
+            slow = slow.add(&comb.base().to_projective().mul_u256(k));
+            continue;
+        };
+        for (column, &digit) in columns.iter_mut().zip(digits.iter()) {
             if digit != 0 {
-                column.push(*comb.entry(digit));
+                column.push(*comb.entry(digit as usize));
             }
         }
     }
@@ -141,7 +238,18 @@ pub fn comb_multiexp<S: CurveSpec>(combs: &[FixedBaseComb<S>], scalars: &[U256])
     for s in sums.iter().rev() {
         acc = acc.double().add(s);
     }
-    acc
+    acc.add(&slow)
+}
+
+/// Build the power vector `k₀·G, k₁·G, …` of the group generator through
+/// a comb of `G` — the shared fixed-base layer of *both* accumulator key
+/// generations. Each power costs 32 comb lookups plus a 31-doubling
+/// Horner pass, against ~64 full-width window additions for the naive
+/// per-scalar table walk it replaced (`G2` combs additionally build their
+/// teeth from endomorphism images).
+pub fn generator_powers<S: CurveSpec>(scalars: &[U256]) -> Vec<Projective<S>> {
+    let comb = &FixedBaseComb::<S>::build_many(&[Projective::generator()])[0];
+    scalars.iter().map(|k| comb.mul(k)).collect()
 }
 
 /// Lazily built comb tables over a prefix of a fixed power vector
@@ -296,17 +404,69 @@ mod tests {
     fn comb_digit_reassembles_scalar() {
         // Σ_j 2^j · digit_j(k) interpreted tooth-wise must reproduce k.
         let k = rand_scalars(1, 3)[0];
+        let comb = &FixedBaseComb::<G1Spec>::build_many(&[G1Projective::generator()])[0];
+        assert_eq!(comb.scheme, DigitScheme::Straight);
+        let digits = comb.digits(&k).expect("straight digits always exist");
         let mut acc = [0u64; 4];
-        for j in 0..COMB_SPACING {
-            let m = comb_digit(&k, j);
+        for (j, &m) in digits.iter().enumerate() {
             for t in 0..COMB_TEETH {
                 if m & (1 << t) != 0 {
-                    let bit = j + COMB_SPACING * t;
+                    let bit = j as u32 + COMB_SPACING * t;
                     acc[(bit / 64) as usize] |= 1u64 << (bit % 64);
                 }
             }
         }
         assert_eq!(acc, k.0);
+    }
+
+    #[test]
+    fn gls_comb_digits_reassemble_decomposition() {
+        // Under the GLS scheme, tooth t = 2i + j of column c must carry bit
+        // 32j + c of the base-|x| digit eᵢ.
+        let k = rand_scalars(1, 11)[0];
+        let comb =
+            &FixedBaseComb::<crate::curve::G2Spec>::build_many(&[G2Projective::generator()])[0];
+        assert_eq!(comb.scheme, DigitScheme::Gls);
+        let digits = comb.digits(&k).expect("reduced scalars decompose");
+        let e = crate::curve::gls_digits(&k).unwrap();
+        let mut acc = [0u64; 4];
+        for (c, &m) in digits.iter().enumerate() {
+            for t in 0..COMB_TEETH {
+                if m & (1 << t) != 0 {
+                    acc[(t >> 1) as usize] |= 1u64 << (32 * (t & 1) + c as u32);
+                }
+            }
+        }
+        assert_eq!(acc, e);
+    }
+
+    #[test]
+    fn comb_single_mul_matches_ladder() {
+        let g1 = G1Projective::generator().mul_u64(3);
+        let g2 = G2Projective::generator().mul_u64(3);
+        let c1 = &FixedBaseComb::build_many(&[g1])[0];
+        let c2 = &FixedBaseComb::build_many(&[g2])[0];
+        for k in rand_scalars(4, 17) {
+            assert_eq!(c1.mul(&k), g1.mul_u256(&k));
+            assert_eq!(c2.mul(&k), g2.mul_u256(&k));
+        }
+        assert!(c1.mul(&U256::ZERO).is_identity());
+        // a full-width raw integer exceeds the GLS digit domain and must
+        // take the fallback ladder, still correctly
+        let mut huge = U256::ZERO;
+        huge.0[3] = u64::MAX;
+        assert_eq!(c2.mul(&huge), g2.mul_u256(&huge));
+    }
+
+    #[test]
+    fn generator_powers_match_naive_ladder() {
+        let scalars = rand_scalars(5, 23);
+        let g1 = generator_powers::<G1Spec>(&scalars);
+        let g2 = generator_powers::<crate::curve::G2Spec>(&scalars);
+        for ((k, p1), p2) in scalars.iter().zip(&g1).zip(&g2) {
+            assert_eq!(*p1, G1Projective::generator().mul_u256(k));
+            assert_eq!(*p2, G2Projective::generator().mul_u256(k));
+        }
     }
 
     #[test]

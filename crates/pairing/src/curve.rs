@@ -30,6 +30,24 @@ pub trait CurveSpec: Copy + Clone + Send + Sync + 'static {
     fn generator() -> Affine<Self>;
     /// Cached fixed-base window table for the generator (lazily built).
     fn generator_table() -> &'static FixedBaseTable<Self>;
+    /// The cheap endomorphism `φ = [|x|]` (scalar multiplication by the
+    /// absolute BLS parameter) on an affine point, when this group has
+    /// one. `G2` returns the negated twist/GLS endomorphism `φ = −ψ` (see
+    /// [`g2_endo`]); `G1` returns `None` and takes the generic ladders.
+    fn endo_phi_affine(p: &Affine<Self>) -> Option<Affine<Self>> {
+        let _ = p;
+        None
+    }
+    /// [`CurveSpec::endo_phi_affine`] on projective coordinates (no
+    /// normalization needed: the endomorphism acts coordinate-wise).
+    fn endo_phi_proj(p: &Projective<Self>) -> Option<Projective<Self>> {
+        let _ = p;
+        None
+    }
+    /// Whether [`CurveSpec::endo_phi_affine`]/[`CurveSpec::endo_phi_proj`]
+    /// return `Some` (lets hot paths branch without an endomorphism
+    /// evaluation).
+    const HAS_ENDO: bool = false;
     /// Exact serialized size of a compressed point (`1` flag byte + `x`
     /// coordinate); [`Affine::to_bytes`] always emits this many bytes.
     const COMPRESSED_BYTES: usize;
@@ -49,6 +67,116 @@ static G1_GEN: OnceLock<Affine<G1Spec>> = OnceLock::new();
 static G2_GEN: OnceLock<Affine<G2Spec>> = OnceLock::new();
 static G1_TABLE: OnceLock<FixedBaseTable<G1Spec>> = OnceLock::new();
 static G2_TABLE: OnceLock<FixedBaseTable<G2Spec>> = OnceLock::new();
+static G2_ENDO: OnceLock<G2Endo> = OnceLock::new();
+
+/// The twist (GLS) endomorphism `ψ` of `G2`, in the coordinate form
+/// `ψ(x, y) = (c_x·x̄, c_y·ȳ)` (bar = `Fp2` conjugation, the `p`-power
+/// Frobenius on the coordinate field). On `G2` it acts as multiplication
+/// by the BLS parameter `x` (because `p ≡ x (mod r)`), so the negated map
+/// `φ = −ψ = [|x|]` turns one 255-bit `G2` scalar multiplication into four
+/// 64-bit ones sharing a doubling chain ([`Projective::mul_u256`]).
+///
+/// The coefficients are *derived*, not transcribed: `c_x` and `c_y` are
+/// solved from `ψ(g₂) = [p mod r]·g₂` on the published generator, then the
+/// start-up assertions check `c_y² = c_x³` and `c_y²·conj(b′) = b′` —
+/// together these make the map "Frobenius followed by a curve
+/// isomorphism", i.e. a genuine group endomorphism, so matching the
+/// eigenvalue on the generator pins it on the whole (cyclic) group.
+#[derive(Debug)]
+pub struct G2Endo {
+    c_x: Fp2,
+    c_y: Fp2,
+    /// `λ = r − |x|`, the eigenvalue of `ψ` on `G2`, as an integer.
+    pub lambda: U256,
+}
+
+impl G2Endo {
+    /// `ψ(P)` on projective coordinates (the identity maps to itself:
+    /// all-coordinate conjugation-and-scale preserves `Z = 0`).
+    pub fn psi(&self, p: &Projective<G2Spec>) -> Projective<G2Spec> {
+        Projective {
+            x: Field::mul(&p.x.conjugate(), &self.c_x),
+            y: Field::mul(&p.y.conjugate(), &self.c_y),
+            z: p.z.conjugate(),
+        }
+    }
+
+    /// `φ(P) = −ψ(P) = [|x|]·P`.
+    pub fn phi(&self, p: &Projective<G2Spec>) -> Projective<G2Spec> {
+        self.psi(p).neg()
+    }
+
+    /// `φ` on an affine point (stays affine: `ψ` maps `Z = 1` to `Z = 1`).
+    pub fn phi_affine(&self, p: &Affine<G2Spec>) -> Affine<G2Spec> {
+        if p.infinity {
+            return *p;
+        }
+        Affine {
+            x: Field::mul(&p.x.conjugate(), &self.c_x),
+            y: Field::neg(&Field::mul(&p.y.conjugate(), &self.c_y)),
+            infinity: false,
+        }
+    }
+}
+
+/// The derived-and-verified `G2` twist endomorphism (lazily initialized;
+/// see [`G2Endo`]).
+pub fn g2_endo() -> &'static G2Endo {
+    G2_ENDO.get_or_init(|| {
+        let g = G2Spec::generator();
+        // λ = r − |x|  (ψ multiplies by x, which is negative for BLS12-381)
+        let (lambda, borrow) = params::fr_params().modulus.sbb(&U256::from_u64(params::BLS_X));
+        assert!(!borrow, "BLS |x| must be below the group order");
+        // Solve ψ(g) = λ·g for the coordinate constants. The wNAF ladder is
+        // used deliberately: mul_u256 itself dispatches through this endo.
+        let lg = g.to_projective().mul_u256_wnaf(&lambda).to_affine();
+        let c_x = Field::mul(&lg.x, &g.x.conjugate().inverse().expect("generator x ≠ 0"));
+        let c_y = Field::mul(&lg.y, &g.y.conjugate().inverse().expect("generator y ≠ 0"));
+        // ψ = (π followed by the twist isomorphism u = c_y/c_x) requires:
+        assert_eq!(c_y.square(), Field::mul(&c_x.square(), &c_x), "c_y² = c_x³ (isomorphism form)");
+        assert_eq!(
+            Field::mul(&c_y.square(), &G2Spec::b().conjugate()),
+            G2Spec::b(),
+            "u⁶·conj(b′) = b′ (isomorphism lands on the twist)"
+        );
+        let endo = G2Endo { c_x, c_y, lambda };
+        // Belt and braces: the eigen-relation must also hold away from the
+        // generator used to derive it.
+        let probe = g.to_projective().mul_u256_wnaf(&U256::from_u64(0xfeed_beef));
+        assert_eq!(
+            endo.psi(&probe),
+            probe.mul_u256_wnaf(&lambda),
+            "ψ must act as [λ] on all of G2"
+        );
+        endo
+    })
+}
+
+/// Decompose a scalar in base `|x|`: `k = Σ eᵢ·|x|ⁱ` with `eᵢ ∈ [0, |x|)`.
+/// `None` when `k ≥ |x|⁴` (≈ 2^255.7 — never a reduced scalar; the caller
+/// falls back to the generic ladder). Shared with the comb layer, whose
+/// `G2` tooth points are endomorphism images addressed by these digits.
+pub(crate) fn gls_digits(k: &U256) -> Option<[u64; 4]> {
+    #[inline]
+    fn divrem_u64(k: &U256, d: u64) -> (U256, u64) {
+        let mut q = U256::ZERO;
+        let mut rem = 0u128;
+        for i in (0..4).rev() {
+            let cur = (rem << 64) | k.0[i] as u128;
+            q.0[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (q, rem as u64)
+    }
+    let x = params::BLS_X;
+    let (q1, e0) = divrem_u64(k, x);
+    let (q2, e1) = divrem_u64(&q1, x);
+    let (q3, e2) = divrem_u64(&q2, x);
+    if q3.highest_bit().is_some_and(|b| b >= 64) || q3.0[0] >= x {
+        return None;
+    }
+    Some([e0, e1, e2, q3.0[0]])
+}
 
 /// Window width of the wNAF scalar-multiplication ladder.
 const WNAF_WINDOW: u32 = 4;
@@ -227,8 +355,11 @@ impl CurveSpec for G2Spec {
                 infinity: false,
             };
             assert!(g.is_on_curve(), "published G2 generator not on twist curve");
+            // wNAF ladder on purpose: the dispatching mul_u256 routes
+            // through the endomorphism, whose derivation needs this
+            // generator — the reference ladder breaks the cycle.
             assert!(
-                g.to_projective().mul_u256(&params::fr_params().modulus).is_identity(),
+                g.to_projective().mul_u256_wnaf(&params::fr_params().modulus).is_identity(),
                 "published G2 generator does not have order r"
             );
             g
@@ -240,6 +371,16 @@ impl CurveSpec for G2Spec {
             FixedBaseTable::new(&Self::generator().to_projective(), FIXED_BASE_WINDOW)
         })
     }
+
+    fn endo_phi_affine(p: &Affine<Self>) -> Option<Affine<Self>> {
+        Some(g2_endo().phi_affine(p))
+    }
+
+    fn endo_phi_proj(p: &Projective<Self>) -> Option<Projective<Self>> {
+        Some(g2_endo().phi(p))
+    }
+
+    const HAS_ENDO: bool = true;
 
     const COMPRESSED_BYTES: usize = 97;
     const NAME: &'static str = "G2";
@@ -461,11 +602,85 @@ impl<S: CurveSpec> Projective<S> {
         }
     }
 
+    /// Scalar multiplication by a canonical 256-bit integer.
+    ///
+    /// Groups with a cheap `[|x|]` endomorphism (`G2`, via the twist/GLS
+    /// map — see [`G2Endo`]) decompose the scalar in base `|x|` into four
+    /// 64-bit digits and run one *shared* ~64-step double-and-add over the
+    /// four endomorphism images: about a quarter of the doublings of the
+    /// plain 256-bit ladder. Everything else (and any scalar too large to
+    /// decompose) takes the width-4 wNAF ladder
+    /// ([`Projective::mul_u256_wnaf`], retained as the property-tested
+    /// reference).
+    ///
+    /// **Precondition (G2):** the point must lie in the order-`r` subgroup
+    /// — `ψ` acts as `[p mod r]` only there, so the GLS identity is false
+    /// for twist points of other order. Every point this crate constructs
+    /// (generator multiples, endomorphism images, sums thereof) satisfies
+    /// it; a future untrusted-point deserializer must subgroup-check with
+    /// [`Projective::mul_u256_wnaf`] before its points reach this method.
+    pub fn mul_u256(&self, k: &U256) -> Self {
+        if S::HAS_ENDO {
+            if let Some(res) = self.mul_u256_gls(k) {
+                return res;
+            }
+        }
+        self.mul_u256_wnaf(k)
+    }
+
+    /// The GLS path of [`Projective::mul_u256`]: `k = Σ eᵢ·|x|ⁱ` gives
+    /// `k·P = Σ eᵢ·φⁱ(P)`, evaluated Straus-style — per-base wNAF digit
+    /// strings share one doubling chain.
+    fn mul_u256_gls(&self, k: &U256) -> Option<Self> {
+        let digits = gls_digits(k)?;
+        if digits[1..].iter().all(|&d| d == 0) {
+            // sub-|x| scalar: the decomposition degenerates to the plain
+            // ladder, so skip the 4-lane table setup
+            return None;
+        }
+        let nafs: [Vec<i16>; 4] =
+            core::array::from_fn(|i| wnaf_digits(&U256::from_u64(digits[i]), WNAF_WINDOW));
+        // bases φ⁰P … φ³P and their odd-multiple tables [B, 3B, 5B, 7B]
+        // (only for lanes with a nonzero digit)
+        let mut tables: [Option<[Self; 1 << (WNAF_WINDOW - 2)]>; 4] = [None; 4];
+        let mut base = *self;
+        for (i, naf) in nafs.iter().enumerate() {
+            if i > 0 {
+                base = S::endo_phi_proj(&base)?;
+            }
+            if naf.is_empty() {
+                continue;
+            }
+            let two_b = base.double();
+            let mut t = [Self::identity(); 1 << (WNAF_WINDOW - 2)];
+            t[0] = base;
+            for j in 1..t.len() {
+                t[j] = t[j - 1].add(&two_b);
+            }
+            tables[i] = Some(t);
+        }
+        let top = nafs.iter().map(Vec::len).max().unwrap_or(0);
+        let mut acc = Self::identity();
+        for pos in (0..top).rev() {
+            acc = acc.double();
+            for (naf, table) in nafs.iter().zip(&tables) {
+                let Some(table) = table else { continue };
+                match naf.get(pos) {
+                    Some(&d) if d > 0 => acc = acc.add(&table[(d as usize - 1) / 2]),
+                    Some(&d) if d < 0 => acc = acc.add(&table[((-d) as usize - 1) / 2].neg()),
+                    _ => {}
+                }
+            }
+        }
+        Some(acc)
+    }
+
     /// Scalar multiplication by a canonical 256-bit integer, via
     /// width-4 windowed NAF: ~w/(w+1) of the double-and-add additions are
     /// eliminated using a precomputed odd-multiples table (subtractions are
-    /// free because point negation is).
-    pub fn mul_u256(&self, k: &U256) -> Self {
+    /// free because point negation is). Reference ladder for the GLS path
+    /// of [`Projective::mul_u256`].
+    pub fn mul_u256_wnaf(&self, k: &U256) -> Self {
         let digits = wnaf_digits(k, WNAF_WINDOW);
         if digits.is_empty() {
             return Self::identity();
@@ -801,6 +1016,74 @@ mod tests {
             }
         }
         acc
+    }
+
+    #[test]
+    fn g2_endo_acts_as_lambda() {
+        let endo = g2_endo(); // runs the derivation asserts
+        let g = G2Projective::generator();
+        let p = g.mul_u256_wnaf(&U256::from_u64(987_654_321));
+        assert_eq!(endo.psi(&p), p.mul_u256_wnaf(&endo.lambda));
+        // φ = [|x|]
+        assert_eq!(endo.phi(&p), p.mul_u256_wnaf(&U256::from_u64(params::BLS_X)));
+        // affine form agrees, incl. the identity
+        assert_eq!(endo.phi_affine(&p.to_affine()), endo.phi(&p).to_affine());
+        assert!(endo.phi_affine(&G2Affine::identity()).is_identity());
+    }
+
+    #[test]
+    fn gls_mul_matches_wnaf_ladder() {
+        let mut r = rng();
+        let g = G2Projective::generator();
+        for _ in 0..10 {
+            let k = Fr::random(&mut r).to_uint();
+            assert_eq!(g.mul_u256(&k), g.mul_u256_wnaf(&k));
+        }
+        // boundary scalars: 0, 1, |x| ± 1, |x|², r − 1, r (order ⇒ identity)
+        let x = params::BLS_X;
+        let mut x2 = U256::ZERO;
+        let wide = (x as u128) * (x as u128);
+        x2.0[0] = wide as u64;
+        x2.0[1] = (wide >> 64) as u64;
+        let r_mod = params::fr_params().modulus;
+        let (r_minus_1, _) = r_mod.sbb(&U256::from_u64(1));
+        for k in
+            [U256::ZERO, U256::from_u64(1), U256::from_u64(x - 1), U256::from_u64(x), x2, r_minus_1]
+        {
+            assert_eq!(g.mul_u256(&k), g.mul_u256_wnaf(&k), "k = {k:?}");
+        }
+        assert!(g.mul_u256(&r_mod).is_identity());
+    }
+
+    #[test]
+    fn gls_digits_reassemble_scalar() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let k = Fr::random(&mut r).to_uint();
+            let d = super::gls_digits(&k).expect("reduced scalars always decompose");
+            // Σ dᵢ·|x|ⁱ must equal k exactly (checked with u128 carries)
+            let x = params::BLS_X;
+            let mut acc = U256::ZERO;
+            for &di in d.iter().rev() {
+                // acc = acc·x + di
+                let mut carry = 0u128;
+                let mut next = U256::ZERO;
+                for i in 0..4 {
+                    let cur = (acc.0[i] as u128) * (x as u128) + carry;
+                    next.0[i] = cur as u64;
+                    carry = cur >> 64;
+                }
+                assert_eq!(carry, 0);
+                let (sum, c) = next.adc(&U256::from_u64(di));
+                assert!(!c);
+                acc = sum;
+            }
+            assert_eq!(acc, k);
+        }
+        // a value ≥ |x|⁴ must refuse to decompose
+        let mut huge = U256::ZERO;
+        huge.0[3] = u64::MAX;
+        assert!(super::gls_digits(&huge).is_none());
     }
 
     #[test]

@@ -111,9 +111,19 @@ impl Fp12 {
         Self::from_coeffs(core::array::from_fn(|i| a[i].conjugate() * g[i]))
     }
 
-    /// `p²`-power Frobenius (two applications of [`Fp12::frobenius`]).
+    /// `p²`-power Frobenius. Computed directly: conjugation applied twice
+    /// is the identity, so flat coefficient `aᵢ` maps to `aᵢ·γᵢ·conj(γᵢ)` —
+    /// one constant `Fp2` multiplication per coefficient and no
+    /// conjugations (the two-`frobenius` composition this replaced paid
+    /// both twice).
     pub fn frobenius2(&self) -> Self {
-        self.frobenius().frobenius()
+        static GAMMA2: OnceLock<[Fp2; 6]> = OnceLock::new();
+        let g2 = GAMMA2.get_or_init(|| {
+            let g = frobenius_gamma();
+            core::array::from_fn(|i| g[i].conjugate() * g[i])
+        });
+        let a = self.coeffs();
+        Self::from_coeffs(core::array::from_fn(|i| a[i] * g2[i]))
     }
 
     /// Granger–Scott squaring for elements of the *cyclotomic subgroup*
@@ -144,6 +154,63 @@ impl Fp12 {
             three(&t11) + a[5].double(),
         ];
         Self::from_coeffs(out)
+    }
+
+    /// The Karabina compressed form `[B, C]` of a *cyclotomic-subgroup*
+    /// element `z = A + B·w + C·w²` over `Fp4` (see [`CompressedCyclo`]).
+    /// The precondition is NOT checked.
+    pub fn compress_cyclotomic(&self) -> CompressedCyclo {
+        let a = self.coeffs();
+        CompressedCyclo { a1: a[1], a2: a[2], a4: a[4], a5: a[5] }
+    }
+
+    /// `z^x` for the (negative) BLS parameter `x` via Karabina compressed
+    /// squarings: all 63 squarings of the chain run on the 4-coefficient
+    /// compressed form (6 `Fp2` squarings each instead of Granger–Scott's
+    /// 9), the six powers `z^{2^i}` named by the bits of `|x|` are
+    /// decompressed together with a *single* shared inversion
+    /// ([`CompressedCyclo::batch_decompress`]), and their product is
+    /// conjugated for the negative sign. Falls back to the Granger–Scott
+    /// reference chain [`Fp12::cyclotomic_pow_x`] on the measure-zero
+    /// degenerate inputs whose decompression denominator vanishes (e.g.
+    /// `z = 1`). Cyclotomic-subgroup elements only.
+    pub fn cyclotomic_pow_x_compressed(&self) -> Self {
+        const { assert!(params::BLS_X_IS_NEGATIVE) };
+        // |x| = Σ 2^i over these bits (Hamming weight 6), so z^|x| is the
+        // product of six snapshots of the compressed squaring chain.
+        const X_BITS: [u32; 6] = {
+            let x = params::BLS_X;
+            assert!(x.count_ones() == 6, "snapshot list assumes weight-6 parameter");
+            let mut bits = [0u32; 6];
+            let (mut i, mut n) = (0u32, 0usize);
+            while i < 64 {
+                if (x >> i) & 1 == 1 {
+                    bits[n] = i;
+                    n += 1;
+                }
+                i += 1;
+            }
+            assert!(bits[0] != 0, "bit 0 set would need the uncompressed base");
+            bits
+        };
+        let mut c = self.compress_cyclotomic();
+        let mut snaps = [c; 6];
+        let mut next = 0usize;
+        for i in 1..=X_BITS[5] {
+            c = c.square();
+            if i == X_BITS[next] {
+                snaps[next] = c;
+                next += 1;
+            }
+        }
+        let Some(parts) = CompressedCyclo::batch_decompress(&snaps) else {
+            return self.cyclotomic_pow_x();
+        };
+        let mut res = parts[0];
+        for p in &parts[1..] {
+            res = Field::mul(&res, p);
+        }
+        res.conjugate()
     }
 
     /// Exponentiation by a little-endian limb slice using cyclotomic
@@ -195,6 +262,108 @@ impl Fp12 {
             out.extend_from_slice(&ci.to_bytes());
         }
         out
+    }
+}
+
+/// Karabina's compressed representation of a cyclotomic-subgroup element.
+///
+/// Decompose `z = A + B·w + C·w²` over `Fp4 = Fp2[s]/(s² − ξ)` (`s = w³`),
+/// i.e. `A = (a0, a3)`, `B = (a1, a4)`, `C = (a2, a5)` in flat `w`-power
+/// coefficients. The Granger–Scott squaring formulas update `B` from
+/// `{C², B}` and `C` from `{B², C}` alone — `A` feeds only `A'` — so the
+/// four coefficients `(a1, a4, a2, a5)` are closed under squaring and a
+/// squaring *chain* can drop `A` entirely: 6 `Fp2` squarings per step
+/// instead of 9.
+///
+/// `A` is recovered on demand from the unitarity relations of the
+/// cyclotomic subgroup (`z·z̄ = 1`, expanded over `Fp4`):
+///
+/// ```text
+/// w¹:  2·a4·a0 − 2·a1·a3 = ξ·a5² − a2²        (= u1)
+/// w²:  2·a2·a0 − 2ξ·a5·a3 = a1² − ξ·a4²       (= u2)
+/// ```
+///
+/// — a 2×2 *linear* system in `(a0, a3)` with determinant
+/// `D = 4(a1·a2 − ξ·a4·a5)`, solved by Cramer's rule with one shared
+/// batched inversion across a whole chain's snapshots
+/// ([`CompressedCyclo::batch_decompress`]). Inputs with `D = 0` (e.g. the
+/// identity) cannot be decompressed; callers fall back to the
+/// Granger–Scott path, which the property tests pin this representation
+/// against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompressedCyclo {
+    /// Flat coefficient of `w¹` (real part of `B`).
+    a1: Fp2,
+    /// Flat coefficient of `w²` (real part of `C`).
+    a2: Fp2,
+    /// Flat coefficient of `w⁴` (`s`-part of `B`).
+    a4: Fp2,
+    /// Flat coefficient of `w⁵` (`s`-part of `C`).
+    a5: Fp2,
+}
+
+impl CompressedCyclo {
+    /// Compressed cyclotomic squaring: the `B`/`C` half of the
+    /// Granger–Scott formulas, 6 `Fp2` squarings (vs 9 for the full form).
+    pub fn square(&self) -> Self {
+        // (x + y·s)² = (x² + ξ·y²) + ((x+y)² − x² − y²)·s in Fp4
+        let sq = |x: &Fp2, y: &Fp2| -> (Fp2, Fp2) {
+            let x2 = x.square();
+            let y2 = y.square();
+            ((x2 + y2.mul_by_xi()), ((*x + *y).square() - x2 - y2))
+        };
+        let (t10, t11) = sq(&self.a1, &self.a4); // B²
+        let (t20, t21) = sq(&self.a2, &self.a5); // C²
+        let three = |t: &Fp2| t.double() + *t;
+        // B' = 3s·C² + 2B̄ ; C' = 3B² − 2C̄  (exactly out[1,4,2,5] of the
+        // Granger–Scott chain in Fp12::cyclotomic_square)
+        Self {
+            a1: three(&t21.mul_by_xi()) + self.a1.double(),
+            a4: three(&t20) - self.a4.double(),
+            a2: three(&t10) - self.a2.double(),
+            a5: three(&t11) + self.a5.double(),
+        }
+    }
+
+    /// Recover the full elements for a batch of compressed values with
+    /// *one* shared field inversion (Montgomery's trick over the Cramer
+    /// denominators). Returns `None` if any denominator vanishes — the
+    /// caller falls back to the uncompressed reference path.
+    pub fn batch_decompress(vals: &[CompressedCyclo]) -> Option<Vec<Fp12>> {
+        let mut dens: Vec<Fp2> = vals
+            .iter()
+            .map(|v| {
+                (Field::mul(&v.a1, &v.a2) - Field::mul(&v.a4, &v.a5).mul_by_xi()).double().double()
+            })
+            .collect();
+        if dens.iter().any(Fp2::is_zero) {
+            return None;
+        }
+        crate::field::batch_invert(&mut dens);
+        Some(
+            vals.iter()
+                .zip(&dens)
+                .map(|(v, dinv)| {
+                    let u1 = v.a5.square().mul_by_xi() - v.a2.square();
+                    let u2 = v.a1.square() - v.a4.square().mul_by_xi();
+                    let a0 = Field::mul(
+                        &(Field::mul(&v.a1, &u2) - Field::mul(&v.a5, &u1).mul_by_xi()).double(),
+                        dinv,
+                    );
+                    let a3 = Field::mul(
+                        &(Field::mul(&v.a4, &u2) - Field::mul(&v.a2, &u1)).double(),
+                        dinv,
+                    );
+                    Fp12::from_coeffs([a0, v.a1, v.a2, a3, v.a4, v.a5])
+                })
+                .collect(),
+        )
+    }
+
+    /// Decompress a single value (its own inversion; prefer the batch form
+    /// inside chains).
+    pub fn decompress(&self) -> Option<Fp12> {
+        Self::batch_decompress(core::slice::from_ref(self)).map(|v| v[0])
     }
 }
 
@@ -360,6 +529,62 @@ mod tests {
         c[4] = Fp2::random(&mut r);
         let a = Fp12::from_coeffs(c);
         assert_eq!(a.conjugate(), a);
+    }
+
+    /// Project a random element into the cyclotomic subgroup via the easy
+    /// part of the final exponentiation.
+    fn cyclotomic(r: &mut StdRng) -> Fp12 {
+        let f = Fp12::random(r);
+        let t = Field::mul(&f.conjugate(), &f.inverse().unwrap());
+        Field::mul(&t.frobenius2(), &t)
+    }
+
+    #[test]
+    fn compressed_square_matches_granger_scott() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let z = cyclotomic(&mut r);
+            let mut full = z;
+            let mut comp = z.compress_cyclotomic();
+            for step in 0..8 {
+                full = full.cyclotomic_square();
+                comp = comp.square();
+                assert_eq!(
+                    comp,
+                    full.compress_cyclotomic(),
+                    "compressed chain diverged at step {step}"
+                );
+                assert_eq!(comp.decompress().expect("nondegenerate"), full);
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_pow_x_matches_reference() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let z = cyclotomic(&mut r);
+            assert_eq!(z.cyclotomic_pow_x_compressed(), z.cyclotomic_pow_x());
+        }
+        // degenerate input: the identity compresses to all zeros and must
+        // take the fallback path (1^x = 1)
+        assert_eq!(Fp12::one().cyclotomic_pow_x_compressed(), Fp12::one());
+    }
+
+    #[test]
+    fn batch_decompress_rejects_degenerate_denominators() {
+        let mut r = rng();
+        let good = cyclotomic(&mut r).compress_cyclotomic();
+        let bad = Fp12::one().compress_cyclotomic();
+        assert!(CompressedCyclo::batch_decompress(&[good, bad]).is_none());
+        assert!(CompressedCyclo::batch_decompress(&[good]).is_some());
+    }
+
+    #[test]
+    fn frobenius2_matches_double_frobenius() {
+        let mut r = rng();
+        let a = Fp12::random(&mut r);
+        assert_eq!(a.frobenius2(), a.frobenius().frobenius());
     }
 
     #[test]

@@ -41,14 +41,16 @@ pub mod pairing_impl;
 pub mod params;
 pub mod stats;
 
-pub use comb::{comb_multiexp, FixedBaseComb, PowersCombCache};
+pub use comb::{comb_multiexp, generator_powers, FixedBaseComb, PowersCombCache};
 pub use curve::{
-    batch_to_affine, multiexp, sum_affine, sum_affine_groups, Affine, CurveSpec, G1Affine,
-    G1Projective, G1Spec, G2Affine, G2Projective, G2Spec, Projective,
+    batch_to_affine, g2_endo, multiexp, sum_affine, sum_affine_groups, Affine, CurveSpec, G1Affine,
+    G1Projective, G1Spec, G2Affine, G2Endo, G2Projective, G2Spec, Projective,
 };
 pub use field::{batch_invert, Field};
 pub use fp::{Fp, Fr};
-pub use fp12::Fp12;
+pub use fp12::{CompressedCyclo, Fp12};
 pub use fp2::Fp2;
 pub use fp6::Fp6;
-pub use pairing_impl::{final_exponentiation, multi_miller_loop, multi_pairing, pairing, Gt};
+pub use pairing_impl::{
+    final_exponentiation, final_exponentiation_gs, multi_miller_loop, multi_pairing, pairing, Gt,
+};

@@ -352,22 +352,45 @@ pub fn final_exponentiation(f: &Fp12) -> Gt {
     assert!(!f.is_zero(), "final exponentiation of zero");
     stats::FINAL_EXPS.with(|c| c.set(c.get() + 1));
     // easy part: m = f^{(p⁶−1)(p²+1)} — lands in the cyclotomic subgroup,
-    // where inversion = conjugation and Granger–Scott squaring applies.
+    // where inversion = conjugation and the cyclotomic squarings apply.
     let t = Field::mul(&f.conjugate(), &f.inverse().expect("nonzero"));
     let m = Field::mul(&t.frobenius2(), &t);
-    // hard part: m^{(x−1)²·(x+p)·(x²+p²−1) + 3}
+    // hard part: m^{(x−1)²·(x+p)·(x²+p²−1) + 3}; every z^x runs the
+    // Karabina compressed chain (Granger–Scott is its internal fallback
+    // and the property-tested reference).
     // t0 = m^{x−1}
-    let t0 = Field::mul(&m.cyclotomic_pow_x(), &m.conjugate());
+    let t0 = Field::mul(&m.cyclotomic_pow_x_compressed(), &m.conjugate());
     // t1 = m^{(x−1)²}
-    let t1 = Field::mul(&t0.cyclotomic_pow_x(), &t0.conjugate());
+    let t1 = Field::mul(&t0.cyclotomic_pow_x_compressed(), &t0.conjugate());
     // t2 = t1^{x+p}
-    let t2 = Field::mul(&t1.cyclotomic_pow_x(), &t1.frobenius());
+    let t2 = Field::mul(&t1.cyclotomic_pow_x_compressed(), &t1.frobenius());
     // t3 = t2^{x²+p²−1}
+    let t3 = Field::mul(
+        &Field::mul(
+            &t2.cyclotomic_pow_x_compressed().cyclotomic_pow_x_compressed(),
+            &t2.frobenius2(),
+        ),
+        &t2.conjugate(),
+    );
+    // result = t3 · m³
+    Gt(Field::mul(&t3, &Field::mul(&m.cyclotomic_square(), &m)))
+}
+
+/// [`final_exponentiation`] with every `z^x` on the Granger–Scott
+/// reference chain — the pre-Karabina path, retained for the perf ledger's
+/// same-run twin entry and for differential tests. Not counted in
+/// [`stats::final_exps`].
+pub fn final_exponentiation_gs(f: &Fp12) -> Gt {
+    assert!(!f.is_zero(), "final exponentiation of zero");
+    let t = Field::mul(&f.conjugate(), &f.inverse().expect("nonzero"));
+    let m = Field::mul(&t.frobenius2(), &t);
+    let t0 = Field::mul(&m.cyclotomic_pow_x(), &m.conjugate());
+    let t1 = Field::mul(&t0.cyclotomic_pow_x(), &t0.conjugate());
+    let t2 = Field::mul(&t1.cyclotomic_pow_x(), &t1.frobenius());
     let t3 = Field::mul(
         &Field::mul(&t2.cyclotomic_pow_x().cyclotomic_pow_x(), &t2.frobenius2()),
         &t2.conjugate(),
     );
-    // result = t3 · m³
     Gt(Field::mul(&t3, &Field::mul(&m.cyclotomic_square(), &m)))
 }
 
@@ -412,6 +435,15 @@ mod tests {
         let m = Field::mul(&t.frobenius2(), &t);
         let expect = m.pow_limbs(&params::derived().final_exp_hard_x3);
         assert_eq!(final_exponentiation(&f).0, expect);
+    }
+
+    #[test]
+    fn karabina_and_gs_final_exponentiation_agree() {
+        let mut r = StdRng::seed_from_u64(31);
+        for _ in 0..3 {
+            let f = Fp12::random(&mut r);
+            assert_eq!(final_exponentiation(&f), final_exponentiation_gs(&f));
+        }
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Property tests pinning the PR-5 fast paths to their retained reference
+//! implementations: Karabina compressed cyclotomic squaring against the
+//! Granger–Scott chain, the GLS endomorphism-split `G2` scalar
+//! multiplication against the wNAF ladder, and the GLS-toothed `G2` comb
+//! multi-exponentiation against cold Pippenger.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vchain_bigint::U256;
+use vchain_pairing::{
+    comb_multiexp, final_exponentiation, final_exponentiation_gs, multiexp, Field, FixedBaseComb,
+    Fp12, Fr, G2Projective,
+};
+
+/// A random element of the cyclotomic subgroup (easy-part projection).
+fn rand_cyclotomic(seed: u64) -> Fp12 {
+    let f = Fp12::random(&mut StdRng::seed_from_u64(seed));
+    let t = Field::mul(&f.conjugate(), &f.inverse().expect("random is nonzero"));
+    Field::mul(&t.frobenius2(), &t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Compressed-vs-full squaring chains and the x-power they compose to.
+    #[test]
+    fn karabina_matches_granger_scott(seed in 0u64..u64::MAX) {
+        let z = rand_cyclotomic(seed);
+        let mut full = z;
+        let mut comp = z.compress_cyclotomic();
+        for _ in 0..4 {
+            full = full.cyclotomic_square();
+            comp = comp.square();
+        }
+        prop_assert_eq!(comp.decompress().expect("nondegenerate"), full);
+        prop_assert_eq!(z.cyclotomic_pow_x_compressed(), z.cyclotomic_pow_x());
+    }
+
+    /// The two final-exponentiation pipelines agree on arbitrary inputs.
+    #[test]
+    fn final_exponentiation_pipelines_agree(seed in 0u64..u64::MAX) {
+        let f = Fp12::random(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(final_exponentiation(&f), final_exponentiation_gs(&f));
+    }
+
+    /// GLS-decomposed G2 scalar multiplication equals the wNAF ladder.
+    #[test]
+    fn gls_mul_matches_wnaf(seed in 0u64..u64::MAX, point in 1u64..1_000_000) {
+        let p = G2Projective::generator().mul_u64(point);
+        let k = Fr::random(&mut StdRng::seed_from_u64(seed)).to_uint();
+        prop_assert_eq!(p.mul_u256(&k), p.mul_u256_wnaf(&k));
+    }
+}
+
+proptest! {
+    // comb builds are comparatively expensive — fewer cases
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// GLS-toothed G2 combs agree with cold Pippenger on random inputs.
+    #[test]
+    fn g2_gls_comb_matches_pippenger(seed in 0u64..u64::MAX, n in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bases: Vec<G2Projective> =
+            (0..n).map(|_| G2Projective::generator().mul_fr(&Fr::random(&mut rng))).collect();
+        let combs = FixedBaseComb::build_many(&bases);
+        let scalars: Vec<U256> = (0..n).map(|_| Fr::random(&mut rng).to_uint()).collect();
+        prop_assert_eq!(comb_multiexp(&combs, &scalars), multiexp(&bases, &scalars));
+        // degenerate scalars exercise empty columns and the zero digit
+        let zeros = vec![U256::ZERO; n];
+        prop_assert!(comb_multiexp(&combs, &zeros).is_identity());
+    }
+}
