@@ -58,9 +58,15 @@ fn main() {
     let b = Fp::random(&mut rng);
     timings.push(time("fp_mul", 100_000, || a * b));
     timings.push(time("fp_inverse", 10_000, || a.inverse()));
+    let a2 = vchain_pairing::Fp2::random(&mut rng);
+    let b2 = vchain_pairing::Fp2::random(&mut rng);
+    timings.push(time("fp2_mul", 100_000, || Field::mul(&a2, &b2)));
     let x = Fp12::random(&mut rng);
     let y = Fp12::random(&mut rng);
+    // Fp12 multiplication: lazy-reduction production path vs the retained
+    // eager-reference twin, same operands, same run.
     timings.push(time("fp12_mul", 10_000, || Field::mul(&x, &y)));
+    timings.push(time("fp12_mul_eager", 10_000, || x.mul_eager(&y)));
     timings.push(time("fp12_inverse", 10_000, || x.inverse()));
 
     // --- group layer ----------------------------------------------------
@@ -78,12 +84,19 @@ fn main() {
     let p = G1Projective::generator().mul_u64(7).to_affine();
     let q = G2Projective::generator().mul_u64(9).to_affine();
     let f = multi_miller_loop(&[(p, q)]);
+    // Miller loop / final exponentiation / pairing: the lazy-reduction
+    // production path next to its eager-reduction twin (identical formulas,
+    // one reduction per Fp mul instead of per output coefficient) — and the
+    // final exponentiation also next to the pre-Karabina Granger–Scott
+    // reference. All twins share operands within one run.
     timings.push(time("miller_loop", 50, || multi_miller_loop(&[(p, q)])));
-    // final exponentiation: Karabina compressed x-chains vs the retained
-    // Granger–Scott reference pipeline, same Miller output, same run.
+    timings
+        .push(time("miller_loop_eager", 50, || vchain_pairing::multi_miller_loop_eager(&[(p, q)])));
     timings.push(time("final_exp", 50, || final_exponentiation(&f)));
+    timings.push(time("final_exp_eager", 50, || vchain_pairing::final_exponentiation_eager(&f)));
     timings.push(time("final_exp_gs", 50, || vchain_pairing::final_exponentiation_gs(&f)));
     timings.push(time("pairing", 50, || pairing(&p, &q)));
+    timings.push(time("pairing_eager", 50, || vchain_pairing::pairing_eager(&p, &q)));
     let pairs10: Vec<_> = (1..=10u64)
         .map(|i| {
             (

@@ -326,3 +326,457 @@ pub unsafe fn mont_mul_4(a: &[u64; 4], b: &[u64; 4], m: &[u64; 4], n0inv: u64) -
     // overflow in t3.
     ([t4, t0, t1, t2], t3)
 }
+
+/// One schoolbook round for the 6-limb *wide* (unreduced) multiplier: the
+/// `a_i·b` accumulation pass of [`cios_round_6`] with no reduction pass —
+/// the finalized low limb is stored to `out` and its register zeroed for
+/// reuse as the next round's top limb.
+macro_rules! wide_round_6 {
+    ($ai:literal, $oi:literal, $t0:literal, $t1:literal, $t2:literal, $t3:literal,
+     $t4:literal, $t5:literal, $t6:literal) => {
+        concat!(
+            "mov rdx, qword ptr [{a} + ",
+            $ai,
+            "]\n",
+            "xor eax, eax\n", // clears CF and OF
+            "mulx r15, rax, qword ptr [{b} + 0]\n",
+            "adcx ",
+            $t0,
+            ", rax\n",
+            "adox ",
+            $t1,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{b} + 8]\n",
+            "adcx ",
+            $t1,
+            ", rax\n",
+            "adox ",
+            $t2,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{b} + 16]\n",
+            "adcx ",
+            $t2,
+            ", rax\n",
+            "adox ",
+            $t3,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{b} + 24]\n",
+            "adcx ",
+            $t3,
+            ", rax\n",
+            "adox ",
+            $t4,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{b} + 32]\n",
+            "adcx ",
+            $t4,
+            ", rax\n",
+            "adox ",
+            $t5,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{b} + 40]\n",
+            "adcx ",
+            $t5,
+            ", rax\n",
+            "adox ",
+            $t6,
+            ", r15\n",
+            "mov eax, 0\n",
+            "adcx ",
+            $t6,
+            ", rax\n",
+            "adox ",
+            $t6,
+            ", rax\n",
+            // the low limb of the window is final: spill it, recycle the reg
+            "mov qword ptr [{out} + ",
+            $oi,
+            "], ",
+            $t0,
+            "\n",
+            "mov ",
+            $t0,
+            ", 0\n",
+        )
+    };
+}
+
+/// Full 12-limb schoolbook product `a·b` (no reduction) through the same
+/// `mulx`/`adcx`/`adox` dual carry chains as [`mont_mul_6`], written
+/// little-endian through `out`. Feeds the lazy-reduction tower: products
+/// are accumulated double-width and reduced once per output coefficient by
+/// [`mont_redc_6`]. Writing through the caller's pointer (a `repr(C)`
+/// `DoubleWide<6>`) instead of returning an array keeps the hot path free
+/// of 96-byte result copies.
+///
+/// # Safety
+/// Requires BMI2 and ADX (check [`supported`]); `out` must be valid for
+/// writes of 12 `u64` limbs and not alias `a` or `b`.
+pub unsafe fn mul_wide_6(a: &[u64; 6], b: &[u64; 6], out: *mut u64) {
+    asm!(
+        // zero the accumulator window
+        "xor r8d, r8d",
+        "xor r9d, r9d",
+        "xor r10d, r10d",
+        "xor r11d, r11d",
+        "xor r12d, r12d",
+        "xor r13d, r13d",
+        "xor r14d, r14d",
+        wide_round_6!("0",  "0",  "r8",  "r9",  "r10", "r11", "r12", "r13", "r14"),
+        wide_round_6!("8",  "8",  "r9",  "r10", "r11", "r12", "r13", "r14", "r8"),
+        wide_round_6!("16", "16", "r10", "r11", "r12", "r13", "r14", "r8",  "r9"),
+        wide_round_6!("24", "24", "r11", "r12", "r13", "r14", "r8",  "r9",  "r10"),
+        wide_round_6!("32", "32", "r12", "r13", "r14", "r8",  "r9",  "r10", "r11"),
+        wide_round_6!("40", "40", "r13", "r14", "r8",  "r9",  "r10", "r11", "r12"),
+        // after six rounds+rotations the surviving window r14,r8..r12 holds
+        // limbs 6..11
+        "mov qword ptr [{out} + 48], r14",
+        "mov qword ptr [{out} + 56], r8",
+        "mov qword ptr [{out} + 64], r9",
+        "mov qword ptr [{out} + 72], r10",
+        "mov qword ptr [{out} + 80], r11",
+        "mov qword ptr [{out} + 88], r12",
+        a = in(reg) a.as_ptr(),
+        b = in(reg) b.as_ptr(),
+        out = in(reg) out,
+        out("r8") _,
+        out("r9") _,
+        out("r10") _,
+        out("r11") _,
+        out("r12") _,
+        out("r13") _,
+        out("r14") _,
+        out("r15") _,
+        out("rax") _,
+        out("rdx") _,
+        options(nostack),
+    );
+}
+
+/// One round of the separated 6-limb Montgomery reduction: pull the next
+/// high limb of `t` into the freed window register (folding the running
+/// top-of-window carry `rcx`), then cancel the window's low limb with a
+/// `k·m` accumulation pass.
+macro_rules! redc_round_6 {
+    ($ti:literal, $t0:literal, $t1:literal, $t2:literal, $t3:literal, $t4:literal,
+     $t5:literal, $t6:literal) => {
+        concat!(
+            // ---- pull t[i+6] into the window, folding carry2 ----------
+            "mov ",
+            $t6,
+            ", qword ptr [{t} + ",
+            $ti,
+            "]\n",
+            "add ",
+            $t6,
+            ", rcx\n",
+            "mov rcx, 0\n",
+            "adc rcx, 0\n",
+            // ---- reduction pass: window += k·m ------------------------
+            "mov rdx, ",
+            $t0,
+            "\n",
+            "imul rdx, {n0}\n",
+            "xor eax, eax\n",
+            "mulx r15, rax, qword ptr [{m} + 0]\n",
+            "adcx ",
+            $t0,
+            ", rax\n", // t0 becomes 0: recycled as next round's top limb
+            "adox ",
+            $t1,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{m} + 8]\n",
+            "adcx ",
+            $t1,
+            ", rax\n",
+            "adox ",
+            $t2,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{m} + 16]\n",
+            "adcx ",
+            $t2,
+            ", rax\n",
+            "adox ",
+            $t3,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{m} + 24]\n",
+            "adcx ",
+            $t3,
+            ", rax\n",
+            "adox ",
+            $t4,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{m} + 32]\n",
+            "adcx ",
+            $t4,
+            ", rax\n",
+            "adox ",
+            $t5,
+            ", r15\n",
+            "mulx r15, rax, qword ptr [{m} + 40]\n",
+            "adcx ",
+            $t5,
+            ", rax\n",
+            "adox ",
+            $t6,
+            ", r15\n",
+            // Pending carries: CF is the adcx chain's carry out of limb 5
+            // (weight of the top limb), OF is the adox chain's carry out of
+            // the top limb itself (weight of limb 7 — real here, unlike in
+            // the multiplication kernels where the window bound keeps it
+            // zero). Capture OF into carry2 first — the plain `adc` below
+            // would clobber it — then fold CF into the top limb, whose own
+            // possible overflow lands in carry2 too. adcx/adox each leave
+            // the other's flag untouched, so the order is sound.
+            "mov eax, 0\n",
+            "adox rcx, rax\n",
+            "adcx ",
+            $t6,
+            ", rax\n",
+            "adc rcx, 0\n",
+        )
+    };
+}
+
+/// Separated Montgomery reduction of a 12-limb value: `t·2^{-384} mod⁺ m`
+/// (result may exceed `m` by one modulus; the caller subtracts
+/// conditionally — valid whenever `t < m·2^{384}`).
+///
+/// Returns the six result limbs and the overflow word.
+///
+/// # Safety
+/// Same contract as [`mont_mul_6`]; additionally `t` must be valid for
+/// reads of 12 `u64` limbs (little-endian — in practice a `repr(C)`
+/// `DoubleWide<6>` handed over in place, uncopied).
+pub unsafe fn mont_redc_6(t: *const u64, m: &[u64; 6], n0inv: u64) -> ([u64; 6], u64) {
+    let (mut o0, mut o1, mut o2, mut o3, mut o4, mut o5, mut hi): (
+        u64,
+        u64,
+        u64,
+        u64,
+        u64,
+        u64,
+        u64,
+    );
+    asm!(
+        // window ← t[0..6], carry2 (rcx) ← 0
+        "mov r8,  qword ptr [{t} + 0]",
+        "mov r9,  qword ptr [{t} + 8]",
+        "mov r10, qword ptr [{t} + 16]",
+        "mov r11, qword ptr [{t} + 24]",
+        "mov r12, qword ptr [{t} + 32]",
+        "mov r13, qword ptr [{t} + 40]",
+        "xor ecx, ecx",
+        redc_round_6!("48", "r8",  "r9",  "r10", "r11", "r12", "r13", "r14"),
+        redc_round_6!("56", "r9",  "r10", "r11", "r12", "r13", "r14", "r8"),
+        redc_round_6!("64", "r10", "r11", "r12", "r13", "r14", "r8",  "r9"),
+        redc_round_6!("72", "r11", "r12", "r13", "r14", "r8",  "r9",  "r10"),
+        redc_round_6!("80", "r12", "r13", "r14", "r8",  "r9",  "r10", "r11"),
+        redc_round_6!("88", "r13", "r14", "r8",  "r9",  "r10", "r11", "r12"),
+        t = in(reg) t,
+        m = in(reg) m.as_ptr(),
+        n0 = in(reg) n0inv,
+        // after six rotations the surviving window r14,r8..r12 holds the
+        // result limbs; rcx holds the accumulated overflow
+        out("r8") o1,
+        out("r9") o2,
+        out("r10") o3,
+        out("r11") o4,
+        out("r12") o5,
+        out("r13") _,
+        out("r14") o0,
+        out("r15") _,
+        out("rax") _,
+        out("rcx") hi,
+        out("rdx") _,
+        options(pure, readonly, nostack),
+    );
+    ([o0, o1, o2, o3, o4, o5], hi)
+}
+
+/// 12-limb addition modulo `m·2^{384}`: `out ← x + y`, minus `m·2^{384}`
+/// when the sum would leave `[0, m·2^{384})`. One straight `adc` chain
+/// over the seam; the fixup (which touches only the high six limbs,
+/// because `m·2^{384}` is `m` shifted up six limbs) is a `sub`/`sbb`
+/// chain selected back by `cmovc` — branch-free, because the fixup
+/// condition is coin-flip noise on the tower hot path. The compiler's
+/// lowering of the same logic spills the compare/select through
+/// `setb`-style flag materialization at roughly 2–3× the cost.
+///
+/// # Safety
+/// Requires `x` and `y` to be valid for reads of 12 limbs, both `< m·2^{384}`
+/// (so the full sum cannot carry out of 12 limbs — guaranteed by the
+/// `DoubleWide` invariant with `m < 2^{383}`), `out` valid for writes of 12
+/// limbs and not aliasing `x`, `y`, or `m`.
+pub unsafe fn wide_add_mod_6(x: *const u64, y: *const u64, m: &[u64; 6], out: *mut u64) {
+    asm!(
+        // low half: streamed through rax (stores don't disturb the chain)
+        "mov rax, qword ptr [{x} + 0]",
+        "add rax, qword ptr [{y} + 0]",
+        "mov qword ptr [{out} + 0], rax",
+        "mov rax, qword ptr [{x} + 8]",
+        "adc rax, qword ptr [{y} + 8]",
+        "mov qword ptr [{out} + 8], rax",
+        "mov rax, qword ptr [{x} + 16]",
+        "adc rax, qword ptr [{y} + 16]",
+        "mov qword ptr [{out} + 16], rax",
+        "mov rax, qword ptr [{x} + 24]",
+        "adc rax, qword ptr [{y} + 24]",
+        "mov qword ptr [{out} + 24], rax",
+        "mov rax, qword ptr [{x} + 32]",
+        "adc rax, qword ptr [{y} + 32]",
+        "mov qword ptr [{out} + 32], rax",
+        "mov rax, qword ptr [{x} + 40]",
+        "adc rax, qword ptr [{y} + 40]",
+        "mov qword ptr [{out} + 40], rax",
+        // high half: kept in registers for the fixup
+        "mov r8, qword ptr [{x} + 48]",
+        "adc r8, qword ptr [{y} + 48]",
+        "mov r9, qword ptr [{x} + 56]",
+        "adc r9, qword ptr [{y} + 56]",
+        "mov r10, qword ptr [{x} + 64]",
+        "adc r10, qword ptr [{y} + 64]",
+        "mov r11, qword ptr [{x} + 72]",
+        "adc r11, qword ptr [{y} + 72]",
+        "mov r12, qword ptr [{x} + 80]",
+        "adc r12, qword ptr [{y} + 80]",
+        "mov r13, qword ptr [{x} + 88]",
+        "adc r13, qword ptr [{y} + 88]",
+        // candidate hi − m in spare registers ({x}/{y} are dead after the
+        // loads above — re-used so nothing round-trips through memory and
+        // pays a store-forwarding stall)
+        "mov r14, r8",
+        "mov r15, r9",
+        "mov rcx, r10",
+        "mov rdx, r11",
+        "mov {x}, r12",
+        "mov {y}, r13",
+        "sub r14, qword ptr [{m} + 0]",
+        "sbb r15, qword ptr [{m} + 8]",
+        "sbb rcx, qword ptr [{m} + 16]",
+        "sbb rdx, qword ptr [{m} + 24]",
+        "sbb {x}, qword ptr [{m} + 32]",
+        "sbb {y}, qword ptr [{m} + 40]",
+        // no borrow ⟺ hi ≥ m ⟺ the subtracted candidate is the result
+        "cmovnc r8, r14",
+        "cmovnc r9, r15",
+        "cmovnc r10, rcx",
+        "cmovnc r11, rdx",
+        "cmovnc r12, {x}",
+        "cmovnc r13, {y}",
+        "mov qword ptr [{out} + 48], r8",
+        "mov qword ptr [{out} + 56], r9",
+        "mov qword ptr [{out} + 64], r10",
+        "mov qword ptr [{out} + 72], r11",
+        "mov qword ptr [{out} + 80], r12",
+        "mov qword ptr [{out} + 88], r13",
+        x = inout(reg) x => _,
+        y = inout(reg) y => _,
+        m = in(reg) m.as_ptr(),
+        out = in(reg) out,
+        out("rax") _,
+        out("rcx") _,
+        out("rdx") _,
+        out("r8") _,
+        out("r9") _,
+        out("r10") _,
+        out("r11") _,
+        out("r12") _,
+        out("r13") _,
+        out("r14") _,
+        out("r15") _,
+        options(nostack),
+    );
+}
+
+/// 12-limb subtraction modulo `m·2^{384}`: `out ← x − y`, plus `m·2^{384}`
+/// on borrow (the discarded carry-out of the fixup cancels the
+/// two's-complement wrap exactly). Same structure and rationale as
+/// [`wide_add_mod_6`]: one `sbb` chain, an unconditional `+m` candidate on
+/// the high half, and a `cmovz` select on the saved borrow.
+///
+/// # Safety
+/// Same contract as [`wide_add_mod_6`].
+pub unsafe fn wide_sub_mod_6(x: *const u64, y: *const u64, m: &[u64; 6], out: *mut u64) {
+    asm!(
+        // low half
+        "mov rax, qword ptr [{x} + 0]",
+        "sub rax, qword ptr [{y} + 0]",
+        "mov qword ptr [{out} + 0], rax",
+        "mov rax, qword ptr [{x} + 8]",
+        "sbb rax, qword ptr [{y} + 8]",
+        "mov qword ptr [{out} + 8], rax",
+        "mov rax, qword ptr [{x} + 16]",
+        "sbb rax, qword ptr [{y} + 16]",
+        "mov qword ptr [{out} + 16], rax",
+        "mov rax, qword ptr [{x} + 24]",
+        "sbb rax, qword ptr [{y} + 24]",
+        "mov qword ptr [{out} + 24], rax",
+        "mov rax, qword ptr [{x} + 32]",
+        "sbb rax, qword ptr [{y} + 32]",
+        "mov qword ptr [{out} + 32], rax",
+        "mov rax, qword ptr [{x} + 40]",
+        "sbb rax, qword ptr [{y} + 40]",
+        "mov qword ptr [{out} + 40], rax",
+        // high half in registers
+        "mov r8, qword ptr [{x} + 48]",
+        "sbb r8, qword ptr [{y} + 48]",
+        "mov r9, qword ptr [{x} + 56]",
+        "sbb r9, qword ptr [{y} + 56]",
+        "mov r10, qword ptr [{x} + 64]",
+        "sbb r10, qword ptr [{y} + 64]",
+        "mov r11, qword ptr [{x} + 72]",
+        "sbb r11, qword ptr [{y} + 72]",
+        "mov r12, qword ptr [{x} + 80]",
+        "sbb r12, qword ptr [{y} + 80]",
+        "mov r13, qword ptr [{x} + 88]",
+        "sbb r13, qword ptr [{y} + 88]",
+        // rax ← −borrow (flag capture must precede the candidate add,
+        // whose carries clobber CF)
+        "sbb rax, rax",
+        // candidate hi + m in spare registers ({x}/{y} dead after loads;
+        // plain `mov`s leave flags alone)
+        "mov r14, r8",
+        "mov r15, r9",
+        "mov rcx, r10",
+        "mov rdx, r11",
+        "mov {x}, r12",
+        "mov {y}, r13",
+        "add r14, qword ptr [{m} + 0]",
+        "adc r15, qword ptr [{m} + 8]",
+        "adc rcx, qword ptr [{m} + 16]",
+        "adc rdx, qword ptr [{m} + 24]",
+        "adc {x}, qword ptr [{m} + 32]",
+        "adc {y}, qword ptr [{m} + 40]",
+        // borrowed ⟺ rax ≠ 0 ⟺ the +m candidate is the result
+        "test rax, rax",
+        "cmovnz r8, r14",
+        "cmovnz r9, r15",
+        "cmovnz r10, rcx",
+        "cmovnz r11, rdx",
+        "cmovnz r12, {x}",
+        "cmovnz r13, {y}",
+        "mov qword ptr [{out} + 48], r8",
+        "mov qword ptr [{out} + 56], r9",
+        "mov qword ptr [{out} + 64], r10",
+        "mov qword ptr [{out} + 72], r11",
+        "mov qword ptr [{out} + 80], r12",
+        "mov qword ptr [{out} + 88], r13",
+        x = inout(reg) x => _,
+        y = inout(reg) y => _,
+        m = in(reg) m.as_ptr(),
+        out = in(reg) out,
+        out("rax") _,
+        out("rcx") _,
+        out("rdx") _,
+        out("r8") _,
+        out("r9") _,
+        out("r10") _,
+        out("r11") _,
+        out("r12") _,
+        out("r13") _,
+        out("r14") _,
+        out("r15") _,
+        options(nostack),
+    );
+}

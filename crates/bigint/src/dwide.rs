@@ -1,0 +1,569 @@
+//! Double-width accumulators for lazy Montgomery reduction.
+//!
+//! A Montgomery multiplication interleaves two passes of equal cost: the
+//! schoolbook product `a·b` and the reduction by `m`. The field towers
+//! built on top of this crate (`vchain-pairing`) sum many products per
+//! *output coefficient* — `c1 = a0·b1 + a1·b0`, Karatsuba cross terms,
+//! line-evaluation folds — and an eager `mont_mul` pays the reduction pass
+//! for every summand. [`DoubleWide`] keeps the *unreduced* `2N`-limb
+//! product so the sums happen in double-width form and a single
+//! [`MontParams::montgomery_reduce`] closes each output coefficient
+//! (Aranha et al.'s lazy-reduction technique).
+//!
+//! ## The `m·R` discipline
+//!
+//! Every stored value is a residue modulo `m·R` (`R = 2^{64N}`), kept in
+//! `[0, m·R)`. This single invariant makes the whole scheme composable:
+//!
+//! * `montgomery_reduce(X) ≡ X·R⁻¹ (mod m)` holds for *any* `X`, and
+//!   `X < m·R` bounds the raw result below `2m`, so one conditional
+//!   subtraction canonicalizes — adding or subtracting `m·R` never changes
+//!   the reduced value.
+//! * `m < 2^{64N−1}` (asserted at [`MontParams::new`]) gives
+//!   `m·R < 2^{128N−1}`, so the sum of two in-range values fits `2N`
+//!   limbs with a bit to spare and *one* conditional subtraction of `m·R`
+//!   restores the invariant. Subtraction symmetrically adds back one
+//!   `m·R` on borrow. Both fixups touch only the high `N` limbs, because
+//!   `m·R` is `m` shifted by `N` limbs.
+//! * a product of two reduced operands (`< m`) is `< m² < m·R`, so
+//!   [`MontParams::mul_wide`] establishes the invariant for free.
+//!
+//! How many products may accumulate *without* per-add fixups before the
+//! invariant breaks is the headroom quotient `⌊m·R / m²⌋ = ⌊R/m⌋` — the
+//! towers encode it as a compile-time constant and pin it by property
+//! test; see [`MontParams::wide_headroom`] and the `vchain-pairing`
+//! `lazy` module. The checked ops below never rely on it.
+
+use crate::mont::MontParams;
+use crate::uint::Uint;
+
+/// An unreduced double-width value: `lo + hi·2^{64N}`, i.e. `2N` limbs
+/// split into two [`Uint`] halves (little-endian: `lo` first).
+///
+/// Values produced and consumed by the [`MontParams`] wide ops maintain
+/// the invariant `hi < m` (equivalently: the value is below `m·R`), which
+/// is exactly the precondition of [`MontParams::montgomery_reduce`]. The
+/// raw carrying ops on the type itself ([`DoubleWide::adc`],
+/// [`DoubleWide::sbb`]) track overflow explicitly and leave the invariant
+/// to the caller.
+/// `repr(C)` (with `Uint` being `repr(transparent)` over `[u64; N]`):
+/// the struct is layout-identical to `[u64; 2N]` little-endian, so the
+/// assembly kernels read and write it through a single pointer with no
+/// copying into scratch buffers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[repr(C)]
+pub struct DoubleWide<const N: usize> {
+    /// The low `N` limbs.
+    pub lo: Uint<N>,
+    /// The high `N` limbs.
+    pub hi: Uint<N>,
+}
+
+impl<const N: usize> DoubleWide<N> {
+    /// The value 0.
+    pub const ZERO: Self = Self { lo: Uint::ZERO, hi: Uint::ZERO };
+
+    /// Is this the value 0?
+    pub fn is_zero(&self) -> bool {
+        self.lo.is_zero() && self.hi.is_zero()
+    }
+
+    /// Assemble from a `2N`-limb little-endian slice.
+    pub fn from_limbs(limbs: &[u64]) -> Self {
+        assert_eq!(limbs.len(), 2 * N, "DoubleWide<{N}> needs exactly {} limbs", 2 * N);
+        let mut lo = [0u64; N];
+        let mut hi = [0u64; N];
+        lo.copy_from_slice(&limbs[..N]);
+        hi.copy_from_slice(&limbs[N..]);
+        Self { lo: Uint(lo), hi: Uint(hi) }
+    }
+
+    /// The `2N` limbs, little-endian.
+    pub fn to_limbs(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(2 * N);
+        out.extend_from_slice(&self.lo.0);
+        out.extend_from_slice(&self.hi.0);
+        out
+    }
+
+    /// Carrying addition across all `2N` limbs; returns the sum and the
+    /// carry-out bit. Does **not** re-establish the `< m·R` invariant —
+    /// use [`MontParams::wide_add`] for that.
+    ///
+    /// One straight-line carry chain over the seam (no branch on the
+    /// lo-half carry — that carry is data-dependent and a conditional
+    /// second pass mispredicts half the time on the hot tower path).
+    #[inline]
+    pub fn adc(&self, rhs: &Self) -> (Self, bool) {
+        let mut lo = [0u64; N];
+        let mut hi = [0u64; N];
+        let mut carry = 0u64;
+        for (i, l) in lo.iter_mut().enumerate() {
+            let s = self.lo.0[i] as u128 + rhs.lo.0[i] as u128 + carry as u128;
+            *l = s as u64;
+            carry = (s >> 64) as u64;
+        }
+        for (i, h) in hi.iter_mut().enumerate() {
+            let s = self.hi.0[i] as u128 + rhs.hi.0[i] as u128 + carry as u128;
+            *h = s as u64;
+            carry = (s >> 64) as u64;
+        }
+        (Self { lo: Uint(lo), hi: Uint(hi) }, carry != 0)
+    }
+
+    /// Borrowing subtraction across all `2N` limbs; returns the difference
+    /// (two's-complement on underflow) and whether a borrow occurred.
+    /// Branch-free for the same reason as [`DoubleWide::adc`].
+    #[inline]
+    pub fn sbb(&self, rhs: &Self) -> (Self, bool) {
+        let mut lo = [0u64; N];
+        let mut hi = [0u64; N];
+        let mut borrow = 0u64;
+        for (i, l) in lo.iter_mut().enumerate() {
+            let d = (self.lo.0[i] as u128).wrapping_sub(rhs.lo.0[i] as u128 + borrow as u128);
+            *l = d as u64;
+            borrow = ((d >> 64) as u64) & 1;
+        }
+        for (i, h) in hi.iter_mut().enumerate() {
+            let d = (self.hi.0[i] as u128).wrapping_sub(rhs.hi.0[i] as u128 + borrow as u128);
+            *h = d as u64;
+            borrow = ((d >> 64) as u64) & 1;
+        }
+        (Self { lo: Uint(lo), hi: Uint(hi) }, borrow != 0)
+    }
+}
+
+impl<const N: usize> MontParams<N> {
+    /// Full double-width product of two *reduced* operands, without any
+    /// Montgomery reduction. The result is `< m² < m·R`, so the
+    /// [`DoubleWide`] invariant holds by construction.
+    ///
+    /// Dispatches to the BMI2+ADX kernel on supporting x86_64 CPUs; the
+    /// portable path is [`MontParams::mul_wide_portable`], the reference
+    /// the kernels are property-tested against.
+    #[inline]
+    pub fn mul_wide(&self, a: &Uint<N>, b: &Uint<N>) -> DoubleWide<N> {
+        debug_assert!(a < &self.modulus && b < &self.modulus, "mul_wide operands must be reduced");
+        #[cfg(target_arch = "x86_64")]
+        if self.use_asm && N == 6 {
+            // DoubleWide is repr(C) = [u64; 12]; the kernel writes every
+            // limb, so MaybeUninit avoids a dead 96-byte zero-fill.
+            let mut out = core::mem::MaybeUninit::<DoubleWide<N>>::uninit();
+            return unsafe {
+                crate::asm::mul_wide_6(
+                    a.0[..].try_into().expect("N == 6"),
+                    b.0[..].try_into().expect("N == 6"),
+                    out.as_mut_ptr().cast::<u64>(),
+                );
+                out.assume_init()
+            };
+        }
+        self.mul_wide_portable(a, b)
+    }
+
+    /// Portable schoolbook double-width product (see [`MontParams::mul_wide`]).
+    pub fn mul_wide_portable(&self, a: &Uint<N>, b: &Uint<N>) -> DoubleWide<N> {
+        let mut out = [[0u64; N]; 2];
+        for i in 0..N {
+            let mut carry = 0u128;
+            for j in 0..N {
+                let (oi, oj) = ((i + j) / N, (i + j) % N);
+                let cur = out[oi][oj] as u128 + (a.0[i] as u128) * (b.0[j] as u128) + carry;
+                out[oi][oj] = cur as u64;
+                carry = cur >> 64;
+            }
+            out[(i + N) / N][i % N] = carry as u64;
+        }
+        DoubleWide { lo: Uint(out[0]), hi: Uint(out[1]) }
+    }
+
+    /// Double-width addition modulo `m·R`: the sum, minus one `m·R` when it
+    /// would leave `[0, m·R)`. Preserves the [`DoubleWide`] invariant.
+    #[inline]
+    pub fn wide_add(&self, x: &DoubleWide<N>, y: &DoubleWide<N>) -> DoubleWide<N> {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_asm && N == 6 {
+            let mut out = core::mem::MaybeUninit::<DoubleWide<N>>::uninit();
+            return unsafe {
+                crate::asm::wide_add_mod_6(
+                    (x as *const DoubleWide<N>).cast::<u64>(),
+                    (y as *const DoubleWide<N>).cast::<u64>(),
+                    self.modulus.0[..].try_into().expect("N == 6"),
+                    out.as_mut_ptr().cast::<u64>(),
+                );
+                out.assume_init()
+            };
+        }
+        self.wide_add_portable(x, y)
+    }
+
+    /// Portable fallback and property-test reference for
+    /// [`MontParams::wide_add`].
+    pub fn wide_add_portable(&self, x: &DoubleWide<N>, y: &DoubleWide<N>) -> DoubleWide<N> {
+        // x + y < 2mR < 2^{128N}: the full add cannot carry out.
+        let (sum, carry) = x.adc(y);
+        debug_assert!(!carry, "wide_add inputs violated the m·R invariant");
+        // sum ≥ m·R ⟺ hi ≥ m (m·R is m shifted into the high half).
+        // Branchless: always compute hi − m, keep it unless it borrowed.
+        // The fixup condition is data-dependent coin-flip noise on the hot
+        // tower path, so a branch here would mispredict constantly.
+        let (cand, borrow) = sum.hi.sbb(&self.modulus);
+        let keep_sum = (borrow as u64).wrapping_neg();
+        let mut hi = [0u64; N];
+        for (i, h) in hi.iter_mut().enumerate() {
+            *h = cand.0[i] ^ ((cand.0[i] ^ sum.hi.0[i]) & keep_sum);
+        }
+        DoubleWide { lo: sum.lo, hi: Uint(hi) }
+    }
+
+    /// Double-width subtraction modulo `m·R`: `x − y`, plus one `m·R` on
+    /// borrow. Preserves the [`DoubleWide`] invariant.
+    #[inline]
+    pub fn wide_sub(&self, x: &DoubleWide<N>, y: &DoubleWide<N>) -> DoubleWide<N> {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_asm && N == 6 {
+            let mut out = core::mem::MaybeUninit::<DoubleWide<N>>::uninit();
+            return unsafe {
+                crate::asm::wide_sub_mod_6(
+                    (x as *const DoubleWide<N>).cast::<u64>(),
+                    (y as *const DoubleWide<N>).cast::<u64>(),
+                    self.modulus.0[..].try_into().expect("N == 6"),
+                    out.as_mut_ptr().cast::<u64>(),
+                );
+                out.assume_init()
+            };
+        }
+        self.wide_sub_portable(x, y)
+    }
+
+    /// Portable fallback and property-test reference for
+    /// [`MontParams::wide_sub`].
+    pub fn wide_sub_portable(&self, x: &DoubleWide<N>, y: &DoubleWide<N>) -> DoubleWide<N> {
+        // On borrow the diff wrapped by 2^{128N}; adding m to the high half
+        // adds m·R, and the discarded carry-out cancels the wrap exactly
+        // (x − y + m·R ∈ [0, m·R) because |x − y| < m·R). Branchless:
+        // unconditionally add m masked by the borrow.
+        let (diff, borrow) = x.sbb(y);
+        let mask = (borrow as u64).wrapping_neg();
+        let mut hi = [0u64; N];
+        let mut carry = 0u64;
+        for (i, h) in hi.iter_mut().enumerate() {
+            let s = diff.hi.0[i] as u128 + (self.modulus.0[i] & mask) as u128 + carry as u128;
+            *h = s as u64;
+            carry = (s >> 64) as u64;
+        }
+        DoubleWide { lo: diff.lo, hi: Uint(hi) }
+    }
+
+    /// `2x` modulo `m·R`.
+    #[inline]
+    pub fn wide_double(&self, x: &DoubleWide<N>) -> DoubleWide<N> {
+        self.wide_add(x, x)
+    }
+
+    /// How many *exact* double-width products (each `< m²`) can be summed
+    /// with plain carrying adds before the total can reach `m·R`:
+    /// `⌊R/m⌋`. Callers that skip the per-add fixup of
+    /// [`MontParams::wide_add`] must stay at or below this bound (the
+    /// lazy tower encodes its per-op term counts as compile-time
+    /// constants and asserts them against this at start-up).
+    pub fn wide_headroom(&self) -> u64 {
+        // The quotient is tiny for any cryptographic modulus (its top limb
+        // is nonzero), so count it by repeated addition: the largest q with
+        // q·m ≤ R−1. Start-up-only, never on a hot path.
+        let mut q = 0u64;
+        let mut acc = Uint::<N>::ZERO; // running q·m
+        loop {
+            let (next, carry) = acc.adc(&self.modulus);
+            if carry {
+                return q;
+            }
+            acc = next;
+            q += 1;
+            assert!(q < 1 << 16, "modulus implausibly small");
+        }
+    }
+
+    /// Montgomery reduction of a double-width value: `x·R⁻¹ mod m`,
+    /// canonical. Requires the [`DoubleWide`] invariant `x < m·R` (debug-
+    /// asserted), which bounds the raw reduction below `2m`.
+    ///
+    /// Dispatches to the BMI2+ADX kernel on supporting x86_64 CPUs; the
+    /// portable path is [`MontParams::montgomery_reduce_portable`].
+    #[inline]
+    pub fn montgomery_reduce(&self, x: &DoubleWide<N>) -> Uint<N> {
+        debug_assert!(x.hi < self.modulus, "montgomery_reduce input must be < m·R");
+        #[cfg(target_arch = "x86_64")]
+        if self.use_asm && N == 6 {
+            // DoubleWide is repr(C) = [u64; 12]: hand the kernel the value
+            // in place instead of copying it into a scratch buffer.
+            let (out, hi) = unsafe {
+                crate::asm::mont_redc_6(
+                    (x as *const DoubleWide<N>).cast::<u64>(),
+                    self.modulus.0[..].try_into().expect("N == 6"),
+                    self.n0inv,
+                )
+            };
+            let mut r = [0u64; N];
+            r.copy_from_slice(&out);
+            return self.reduce_once(Uint(r), hi);
+        }
+        self.montgomery_reduce_portable(x)
+    }
+
+    /// Portable Montgomery reduction of a double-width value (the
+    /// dispatch fallback and the kernel's property-test reference).
+    ///
+    /// Classic limb-by-limb REDC: each of the `N` rounds cancels the
+    /// current lowest limb with one `k·m` accumulation; the running
+    /// overflow of the high half is carried in `carry2` (at most one bit
+    /// per round, because each round adds `< 2^{64}·m < 2^{64(N+1)−1}`).
+    pub fn montgomery_reduce_portable(&self, x: &DoubleWide<N>) -> Uint<N> {
+        let m = &self.modulus.0;
+        // `[[u64; N]; 2]` instead of a flat `[u64; 2N]` (which stable const
+        // generics cannot express) — the split-index arithmetic folds into
+        // constants at monomorphization, and nothing heap-allocates.
+        let mut t = [x.lo.0, x.hi.0];
+        let mut carry2 = 0u64;
+        for i in 0..N {
+            let k = t[0][i].wrapping_mul(self.n0inv);
+            let mut carry = 0u64;
+            for (j, &mj) in m.iter().enumerate() {
+                let (ti, tj) = ((i + j) / N, (i + j) % N);
+                let cur = t[ti][tj] as u128 + (k as u128) * (mj as u128) + carry as u128;
+                t[ti][tj] = cur as u64;
+                carry = (cur >> 64) as u64;
+            }
+            debug_assert_eq!(t[0][i], 0, "round {i} must cancel its low limb");
+            let cur = t[1][i] as u128 + carry as u128 + carry2 as u128;
+            t[1][i] = cur as u64;
+            carry2 = (cur >> 64) as u64;
+        }
+        self.reduce_once(Uint(t[1]), carry2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{U256, U384};
+
+    fn fp_params() -> MontParams<6> {
+        MontParams::new(U384::from_hex(
+            "1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab",
+        ))
+    }
+
+    fn fr_params() -> MontParams<4> {
+        MontParams::new(U256::from_hex(
+            "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001",
+        ))
+    }
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_reduced<const N: usize>(p: &MontParams<N>, state: &mut u64) -> Uint<N> {
+        loop {
+            let mut limbs = [0u64; N];
+            for l in &mut limbs {
+                *l = xorshift(state);
+            }
+            let v = Uint(limbs);
+            if v < p.modulus {
+                return v;
+            }
+        }
+    }
+
+    #[test]
+    fn mul_wide_matches_uint_mul_wide() {
+        let p = fp_params();
+        let mut state = 0xdead_beef_cafe_f00du64;
+        for _ in 0..500 {
+            let a = random_reduced(&p, &mut state);
+            let b = random_reduced(&p, &mut state);
+            let w = p.mul_wide(&a, &b);
+            assert_eq!(w.to_limbs(), a.mul_wide(&b));
+            assert_eq!(w, p.mul_wide_portable(&a, &b));
+            assert!(w.hi < p.modulus, "product must satisfy the m·R invariant");
+        }
+        // boundary operands exercise the kernels' carry chains
+        let (m1, _) = p.modulus.sbb(&Uint::one());
+        for a in [Uint::ZERO, Uint::one(), m1] {
+            for b in [Uint::ZERO, Uint::one(), m1] {
+                assert_eq!(p.mul_wide(&a, &b).to_limbs(), a.mul_wide(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn montgomery_reduce_matches_mont_mul() {
+        // reduce(mul_wide(a, b)) must equal mont_mul(a, b) for both widths.
+        let fp = fp_params();
+        let fr = fr_params();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..500 {
+            let a = random_reduced(&fp, &mut state);
+            let b = random_reduced(&fp, &mut state);
+            let w = fp.mul_wide(&a, &b);
+            assert_eq!(fp.montgomery_reduce(&w), fp.mont_mul(&a, &b));
+            assert_eq!(fp.montgomery_reduce_portable(&w), fp.mont_mul(&a, &b));
+            let a = random_reduced(&fr, &mut state);
+            let b = random_reduced(&fr, &mut state);
+            let w = fr.mul_wide(&a, &b);
+            assert_eq!(fr.montgomery_reduce(&w), fr.mont_mul(&a, &b));
+        }
+    }
+
+    #[test]
+    fn lazy_sum_of_products_matches_eager() {
+        // reduce(Σ aᵢ·bᵢ) == Σ mont_mul(aᵢ, bᵢ) (mod m) — the whole point.
+        let p = fp_params();
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for terms in [2usize, 3, 5, 8, 12] {
+            let mut acc = DoubleWide::ZERO;
+            let mut eager = Uint::<6>::ZERO;
+            for _ in 0..terms {
+                let a = random_reduced(&p, &mut state);
+                let b = random_reduced(&p, &mut state);
+                acc = p.wide_add(&acc, &p.mul_wide(&a, &b));
+                eager = {
+                    let prod = p.mont_mul(&a, &b);
+                    let (s, c) = eager.adc(&prod);
+                    let (r, borrow) = s.sbb(&p.modulus);
+                    if c || !borrow {
+                        r
+                    } else {
+                        s
+                    }
+                };
+            }
+            assert_eq!(p.montgomery_reduce(&acc), eager, "{terms} terms");
+        }
+    }
+
+    #[test]
+    fn wide_add_sub_kernels_match_portable() {
+        // The asm wide add/sub kernels (when dispatched) must agree with
+        // the portable mod-m·R reference on random values and on the
+        // boundary values that flip the fixup path.
+        let p = fp_params();
+        let mut state = 0xfeed_face_dead_beefu64;
+        let (m1, _) = p.modulus.sbb(&Uint::one());
+        let max_wide = DoubleWide { lo: Uint([u64::MAX; 6]), hi: m1 };
+        for _ in 0..500 {
+            let a = random_reduced(&p, &mut state);
+            let b = random_reduced(&p, &mut state);
+            let c = random_reduced(&p, &mut state);
+            let d = random_reduced(&p, &mut state);
+            let x = p.mul_wide(&a, &b);
+            let y = p.mul_wide(&c, &d);
+            for (u, v) in [
+                (&x, &y),
+                (&y, &x),
+                (&x, &x),
+                (&max_wide, &x),
+                (&x, &max_wide),
+                (&max_wide, &max_wide),
+            ] {
+                assert_eq!(p.wide_add(u, v), p.wide_add_portable(u, v));
+                assert_eq!(p.wide_sub(u, v), p.wide_sub_portable(u, v));
+                assert!(p.wide_add(u, v).hi < p.modulus);
+                assert!(p.wide_sub(u, v).hi < p.modulus);
+            }
+        }
+        // zero and the largest in-range value in every combination
+        for (u, v) in [(&DoubleWide::ZERO, &max_wide), (&max_wide, &DoubleWide::ZERO)] {
+            assert_eq!(p.wide_add(u, v), p.wide_add_portable(u, v));
+            assert_eq!(p.wide_sub(u, v), p.wide_sub_portable(u, v));
+        }
+    }
+
+    #[test]
+    fn wide_sub_round_trips() {
+        let p = fp_params();
+        let mut state = 7u64;
+        for _ in 0..200 {
+            let a = random_reduced(&p, &mut state);
+            let b = random_reduced(&p, &mut state);
+            let x = p.mul_wide(&a, &b);
+            let c = random_reduced(&p, &mut state);
+            let d = random_reduced(&p, &mut state);
+            let y = p.mul_wide(&c, &d);
+            // (x − y) + y ≡ x and both stay in range
+            let diff = p.wide_sub(&x, &y);
+            assert!(diff.hi < p.modulus);
+            let back = p.wide_add(&diff, &y);
+            assert_eq!(p.montgomery_reduce(&back), p.montgomery_reduce(&x));
+            // x − x = 0
+            assert!(p.wide_sub(&x, &x).is_zero());
+        }
+    }
+
+    #[test]
+    fn adc_sbb_limb_boundaries() {
+        // carries must ripple across the lo/hi seam and the top limb
+        type D = DoubleWide<4>;
+        let ones = |n: usize| {
+            let mut l = [0u64; 8];
+            for li in l.iter_mut().take(n) {
+                *li = u64::MAX;
+            }
+            D::from_limbs(&l)
+        };
+        let one = D::from_limbs(&[1, 0, 0, 0, 0, 0, 0, 0]);
+        // (2^{256} − 1) + 1 ripples through the seam into hi
+        let (sum, carry) = ones(4).adc(&one);
+        assert!(!carry);
+        assert_eq!(sum.to_limbs(), [0, 0, 0, 0, 1, 0, 0, 0]);
+        // (2^{512} − 1) + 1 overflows entirely
+        let (sum, carry) = ones(8).adc(&one);
+        assert!(carry);
+        assert!(sum.is_zero());
+        // and subtraction borrows symmetrically
+        let (diff, borrow) = sum.sbb(&one);
+        assert!(borrow);
+        assert_eq!(diff.to_limbs(), ones(8).to_limbs());
+        let (diff, borrow) = D::from_limbs(&[0, 0, 0, 0, 1, 0, 0, 0]).sbb(&one);
+        assert!(!borrow);
+        assert_eq!(diff.to_limbs(), ones(4).to_limbs());
+    }
+
+    #[test]
+    fn limb_round_trip() {
+        let p = fr_params();
+        let mut state = 3u64;
+        let a = random_reduced(&p, &mut state);
+        let b = random_reduced(&p, &mut state);
+        let w = p.mul_wide(&a, &b);
+        assert_eq!(DoubleWide::<4>::from_limbs(&w.to_limbs()), w);
+    }
+
+    #[test]
+    fn headroom_matches_field_expectations() {
+        // BLS12-381: p has 381 bits in a 384-bit register → ⌊R/p⌋ = 9.
+        assert_eq!(fp_params().wide_headroom(), 9);
+        // r has 255 bits in 256 → ⌊R/r⌋ = 2 (not enough for deep laziness,
+        // which is why the tower only lazifies Fp).
+        assert_eq!(fr_params().wide_headroom(), 2);
+    }
+
+    #[test]
+    fn reduce_of_mr_minus_one_stays_canonical() {
+        // the largest in-range value: hi = m−1, lo = R−1
+        let p = fr_params();
+        let (m1, _) = p.modulus.sbb(&Uint::one());
+        let x = DoubleWide { lo: Uint([u64::MAX; 4]), hi: m1 };
+        let r = p.montgomery_reduce(&x);
+        assert!(r < p.modulus);
+        // cross-check against the schoolbook reduce_wide of the same value
+        // times R⁻¹: reduce_wide(x) == montgomery_reduce(x)·R … i.e.
+        // to_mont(montgomery_reduce(x)) == reduce_wide(x).
+        assert_eq!(p.to_mont(&r), p.reduce_wide(&x.to_limbs()));
+    }
+}

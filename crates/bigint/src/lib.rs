@@ -13,14 +13,23 @@
 //! * [`ApInt`] — a small heap-allocated unsigned integer used once at
 //!   start-up to derive pairing constants (e.g. `(p⁴ − p² + 1)/r`) instead of
 //!   hard-coding them; see `vchain-pairing::params`.
+//!
+//! On top of the reduced-operand layer, [`DoubleWide`] keeps *unreduced*
+//! `2N`-limb products so that sums of products can share a single
+//! Montgomery reduction (lazy reduction; see [`dwide`]) — the substrate of
+//! the `vchain-pairing` tower's per-output-coefficient reduction scheme.
 
 pub mod apint;
 #[cfg(target_arch = "x86_64")]
 pub mod asm;
+#[cfg(target_arch = "aarch64")]
+pub mod asm_aarch64;
+pub mod dwide;
 pub mod mont;
 pub mod uint;
 
 pub use apint::ApInt;
+pub use dwide::DoubleWide;
 pub use mont::MontParams;
 pub use uint::Uint;
 

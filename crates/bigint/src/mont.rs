@@ -17,11 +17,11 @@ pub struct MontParams<const N: usize> {
     pub r1: Uint<N>,
     /// `R² mod m` — used to convert into Montgomery form.
     pub r2: Uint<N>,
-    /// Whether the hand-scheduled BMI2+ADX multiplication kernels
-    /// ([`crate::asm`]) may be used for this width (CPUID-probed once at
-    /// construction; always `false` off x86_64 or for widths without a
-    /// kernel).
-    use_asm: bool,
+    /// Whether the hand-scheduled multiplication kernels ([`crate::asm`]
+    /// on x86_64, [`crate::asm_aarch64`] on aarch64) may be used for this
+    /// width (CPUID-probed once at construction; always `false` on other
+    /// architectures or for widths without a kernel).
+    pub(crate) use_asm: bool,
 }
 
 impl<const N: usize> MontParams<N> {
@@ -59,7 +59,10 @@ impl<const N: usize> MontParams<N> {
         // products through the kernels.
         #[cfg(target_arch = "x86_64")]
         let use_asm = (N == 4 || N == 6) && modulus.0[N - 1] >> 63 == 0 && crate::asm::supported();
-        #[cfg(not(target_arch = "x86_64"))]
+        #[cfg(target_arch = "aarch64")]
+        let use_asm =
+            (N == 4 || N == 6) && modulus.0[N - 1] >> 63 == 0 && crate::asm_aarch64::supported();
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
         let use_asm = false;
         Self { modulus, n0inv, r1, r2, use_asm }
     }
@@ -143,19 +146,57 @@ impl<const N: usize> MontParams<N> {
                 return self.reduce_once(Uint(out), hi);
             }
         }
+        #[cfg(target_arch = "aarch64")]
+        if self.use_asm {
+            if N == 6 {
+                let (limbs, hi) = unsafe {
+                    crate::asm_aarch64::mont_mul_6(
+                        a.0[..].try_into().expect("N == 6"),
+                        b.0[..].try_into().expect("N == 6"),
+                        self.modulus.0[..].try_into().expect("N == 6"),
+                        self.n0inv,
+                    )
+                };
+                let mut out = [0u64; N];
+                out.copy_from_slice(&limbs);
+                return self.reduce_once(Uint(out), hi);
+            }
+            if N == 4 {
+                let (limbs, hi) = unsafe {
+                    crate::asm_aarch64::mont_mul_4(
+                        a.0[..].try_into().expect("N == 4"),
+                        b.0[..].try_into().expect("N == 4"),
+                        self.modulus.0[..].try_into().expect("N == 4"),
+                        self.n0inv,
+                    )
+                };
+                let mut out = [0u64; N];
+                out.copy_from_slice(&limbs);
+                return self.reduce_once(Uint(out), hi);
+            }
+        }
         self.mont_mul_portable(a, b)
     }
 
     /// Final CIOS correction: the raw product is `< 2m`, so at most one
     /// subtraction of the modulus canonicalizes it.
+    ///
+    /// Branchless: this sits at the tail of *every* Montgomery reduction,
+    /// and whether the subtraction triggers is data-dependent coin-flip
+    /// noise, so a compare-and-branch mispredicts about half the time. The
+    /// wrap is exact in the `hi != 0` case too: the true value is
+    /// `2^{64N} + out < 2m`, and the wrapping `out − m` equals it minus `m`.
     #[inline]
-    fn reduce_once(&self, out: Uint<N>, hi: u64) -> Uint<N> {
-        if hi != 0 || out >= self.modulus {
-            let (r, _) = out.sbb(&self.modulus);
-            r
-        } else {
-            out
+    pub(crate) fn reduce_once(&self, out: Uint<N>, hi: u64) -> Uint<N> {
+        let (cand, borrow) = out.sbb(&self.modulus);
+        // take the subtracted candidate when hi ≠ 0 or out ≥ m (no borrow)
+        let keep_out = ((hi == 0) & borrow) as u64;
+        let mask = keep_out.wrapping_neg();
+        let mut r = [0u64; N];
+        for (i, ri) in r.iter_mut().enumerate() {
+            *ri = cand.0[i] ^ ((cand.0[i] ^ out.0[i]) & mask);
         }
+        Uint(r)
     }
 
     /// Portable fused-CIOS Montgomery multiplication (`a * b * R^{-1} mod

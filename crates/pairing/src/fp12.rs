@@ -87,13 +87,41 @@ impl Fp12 {
     }
 
     /// Sparse product with a Miller-loop line `l0 + l2·w² + l3·w³`
-    /// (13 `Fp2` muls instead of a dense 18).
+    /// (13 unreduced `Fp2` muls, 12 Montgomery reductions; eager: 39).
     pub fn mul_by_line(&self, l0: &Fp2, l2: &Fp2, l3: &Fp2) -> Self {
+        use crate::lazy::Fp6Wide;
         // line = L0 + L1·w with L0 = l0 + l2·v, L1 = l3·v  (w³ = v·w).
-        let t0 = self.c0.mul_by_01(l0, l2);
-        let t1 = self.c1.mul_by_1(l3);
-        let c1 = Field::add(&self.c0, &self.c1).mul_by_01(l0, &(*l2 + *l3)) - t0 - t1;
+        let t0 = Fp6Wide::mul_by_01(&self.c0, l0, l2);
+        let t1 = Fp6Wide::mul_by_1(&self.c1, l3);
+        let c1 =
+            Fp6Wide::mul_by_01(&Field::add(&self.c0, &self.c1), l0, &(*l2 + *l3)).sub(&t0).sub(&t1);
+        Self { c0: t0.add(&t1.mul_by_v()).reduce(), c1: c1.reduce() }
+    }
+
+    /// Eager-reduction reference for [`Fp12::mul_by_line`] (39 reductions
+    /// via the `Fp6` eager sparse ops).
+    pub fn mul_by_line_eager(&self, l0: &Fp2, l2: &Fp2, l3: &Fp2) -> Self {
+        let t0 = self.c0.mul_by_01_eager(l0, l2);
+        let t1 = self.c1.mul_by_1_eager(l3);
+        let c1 = Field::add(&self.c0, &self.c1).mul_by_01_eager(l0, &(*l2 + *l3)) - t0 - t1;
         Self { c0: t0 + t1.mul_by_v(), c1 }
+    }
+
+    /// Eager-reduction reference multiplication (54 reductions via
+    /// [`Fp6::mul_eager`]); oracle for the lazy production [`Field::mul`].
+    pub fn mul_eager(&self, rhs: &Self) -> Self {
+        let aa = self.c0.mul_eager(&rhs.c0);
+        let bb = self.c1.mul_eager(&rhs.c1);
+        let sum = (self.c0 + self.c1).mul_eager(&(rhs.c0 + rhs.c1));
+        Self { c0: aa + bb.mul_by_v(), c1: sum - aa - bb }
+    }
+
+    /// Eager-reduction reference squaring (36 reductions); oracle for the
+    /// lazy production [`Field::square`].
+    pub fn square_eager(&self) -> Self {
+        let m = self.c0.mul_eager(&self.c1);
+        let t = (self.c0 + self.c1).mul_eager(&(self.c0 + self.c1.mul_by_v()));
+        Self { c0: t - m - m.mul_by_v(), c1: m.double() }
     }
 
     /// The conjugation over `Fp6` (negates the odd flat coefficients). This
@@ -133,18 +161,39 @@ impl Fp12 {
     pub fn cyclotomic_square(&self) -> Self {
         // Decompose over Fp4 = Fp2[s]/(s² − ξ) with s = w³:
         // z = A + B·w + C·w², A = (a0, a3), B = (a1, a4), C = (a2, a5).
+        // Each Fp4 squaring closes lazily: 4 reductions (12 total, vs 18
+        // for the eager form).
         let a = self.coeffs();
-        let sq = |x: &Fp2, y: &Fp2| -> (Fp2, Fp2) {
-            // (x + y·s)² = (x² + ξ·y²) + ((x+y)² − x² − y²)·s
-            let x2 = x.square();
-            let y2 = y.square();
-            ((x2 + y2.mul_by_xi()), ((*x + *y).square() - x2 - y2))
-        };
+        let sq = crate::lazy::fp4_square;
         let (t00, t01) = sq(&a[0], &a[3]); // A²
         let (t10, t11) = sq(&a[1], &a[4]); // B²
         let (t20, t21) = sq(&a[2], &a[5]); // C²
         let three = |t: &Fp2| t.double() + *t;
         // A' = 3A² − 2Ā ; B' = 3s·C² + 2B̄ ; C' = 3B² − 2C̄
+        let out = [
+            three(&t00) - a[0].double(),
+            three(&t21.mul_by_xi()) + a[1].double(),
+            three(&t10) - a[2].double(),
+            three(&t01) + a[3].double(),
+            three(&t20) - a[4].double(),
+            three(&t11) + a[5].double(),
+        ];
+        Self::from_coeffs(out)
+    }
+
+    /// Eager-reduction reference for [`Fp12::cyclotomic_square`] (18
+    /// reductions: three eager `Fp4` squarings of 6 each).
+    pub fn cyclotomic_square_eager(&self) -> Self {
+        let a = self.coeffs();
+        let sq = |x: &Fp2, y: &Fp2| -> (Fp2, Fp2) {
+            let x2 = x.square_eager();
+            let y2 = y.square_eager();
+            ((x2 + y2.mul_by_xi()), ((*x + *y).square_eager() - x2 - y2))
+        };
+        let (t00, t01) = sq(&a[0], &a[3]);
+        let (t10, t11) = sq(&a[1], &a[4]);
+        let (t20, t21) = sq(&a[2], &a[5]);
+        let three = |t: &Fp2| t.double() + *t;
         let out = [
             three(&t00) - a[0].double(),
             three(&t21.mul_by_xi()) + a[1].double(),
@@ -209,6 +258,43 @@ impl Fp12 {
         let mut res = parts[0];
         for p in &parts[1..] {
             res = Field::mul(&res, p);
+        }
+        res.conjugate()
+    }
+
+    /// Eager-reduction twin of [`Fp12::cyclotomic_pow_x_compressed`]: the
+    /// same Karabina chain and shared batch decompression, but every
+    /// squaring and product runs through the eager-reference tower ops, so
+    /// benchmark/differential comparisons isolate exactly the lazy-vs-eager
+    /// reduction scheme.
+    pub fn cyclotomic_pow_x_compressed_eager(&self) -> Self {
+        const { assert!(params::BLS_X_IS_NEGATIVE) };
+        let x = params::BLS_X;
+        let mut bits = [0u32; 6];
+        let mut n = 0usize;
+        for i in 0..64 {
+            if (x >> i) & 1 == 1 {
+                bits[n] = i;
+                n += 1;
+            }
+        }
+        debug_assert_eq!(n, 6);
+        let mut c = self.compress_cyclotomic();
+        let mut snaps = [c; 6];
+        let mut next = 0usize;
+        for i in 1..=bits[5] {
+            c = c.square_eager();
+            if i == bits[next] {
+                snaps[next] = c;
+                next += 1;
+            }
+        }
+        let Some(parts) = CompressedCyclo::batch_decompress(&snaps) else {
+            return self.cyclotomic_pow_x();
+        };
+        let mut res = parts[0];
+        for p in &parts[1..] {
+            res = res.mul_eager(p);
         }
         res.conjugate()
     }
@@ -304,19 +390,34 @@ pub struct CompressedCyclo {
 
 impl CompressedCyclo {
     /// Compressed cyclotomic squaring: the `B`/`C` half of the
-    /// Granger–Scott formulas, 6 `Fp2` squarings (vs 9 for the full form).
+    /// Granger–Scott formulas, two lazy `Fp4` squarings (8 Montgomery
+    /// reductions; eager: 12).
     pub fn square(&self) -> Self {
-        // (x + y·s)² = (x² + ξ·y²) + ((x+y)² − x² − y²)·s in Fp4
-        let sq = |x: &Fp2, y: &Fp2| -> (Fp2, Fp2) {
-            let x2 = x.square();
-            let y2 = y.square();
-            ((x2 + y2.mul_by_xi()), ((*x + *y).square() - x2 - y2))
-        };
+        let sq = crate::lazy::fp4_square;
         let (t10, t11) = sq(&self.a1, &self.a4); // B²
         let (t20, t21) = sq(&self.a2, &self.a5); // C²
         let three = |t: &Fp2| t.double() + *t;
         // B' = 3s·C² + 2B̄ ; C' = 3B² − 2C̄  (exactly out[1,4,2,5] of the
         // Granger–Scott chain in Fp12::cyclotomic_square)
+        Self {
+            a1: three(&t21.mul_by_xi()) + self.a1.double(),
+            a4: three(&t20) - self.a4.double(),
+            a2: three(&t10) - self.a2.double(),
+            a5: three(&t11) + self.a5.double(),
+        }
+    }
+
+    /// Eager-reduction reference for [`CompressedCyclo::square`] (12
+    /// reductions via [`Fp2::square_eager`]).
+    pub fn square_eager(&self) -> Self {
+        let sq = |x: &Fp2, y: &Fp2| -> (Fp2, Fp2) {
+            let x2 = x.square_eager();
+            let y2 = y.square_eager();
+            ((x2 + y2.mul_by_xi()), ((*x + *y).square_eager() - x2 - y2))
+        };
+        let (t10, t11) = sq(&self.a1, &self.a4);
+        let (t20, t21) = sq(&self.a2, &self.a5);
+        let three = |t: &Fp2| t.double() + *t;
         Self {
             a1: three(&t21.mul_by_xi()) + self.a1.double(),
             a4: three(&t20) - self.a4.double(),
@@ -396,18 +497,23 @@ impl Field for Fp12 {
     }
 
     fn mul(&self, rhs: &Self) -> Self {
-        // Karatsuba over Fp6 with w² = v.
-        let aa = Field::mul(&self.c0, &rhs.c0);
-        let bb = Field::mul(&self.c1, &rhs.c1);
-        let sum = Field::mul(&(self.c0 + self.c1), &(rhs.c0 + rhs.c1));
-        Self { c0: aa + bb.mul_by_v(), c1: sum - aa - bb }
+        // Lazy Karatsuba over Fp6 with w² = v: all cross terms accumulate
+        // double-width, one Montgomery reduction per output coefficient —
+        // 12 instead of the eager 54.
+        use crate::lazy::Fp6Wide;
+        let aa = Fp6Wide::mul(&self.c0, &rhs.c0);
+        let bb = Fp6Wide::mul(&self.c1, &rhs.c1);
+        let sum = Fp6Wide::mul(&(self.c0 + self.c1), &(rhs.c0 + rhs.c1));
+        Self { c0: aa.add(&bb.mul_by_v()).reduce(), c1: sum.sub(&aa).sub(&bb).reduce() }
     }
 
     fn square(&self) -> Self {
-        // Complex squaring: (c0 + c1·w)² with w² = v, 2 Fp6 muls.
-        let m = Field::mul(&self.c0, &self.c1);
-        let t = Field::mul(&(self.c0 + self.c1), &(self.c0 + self.c1.mul_by_v()));
-        Self { c0: t - m - m.mul_by_v(), c1: m.double() }
+        // Lazy complex squaring: (c0 + c1·w)² with w² = v, 2 unreduced Fp6
+        // muls, 12 Montgomery reductions (eager: 36).
+        use crate::lazy::Fp6Wide;
+        let m = Fp6Wide::mul(&self.c0, &self.c1);
+        let t = Fp6Wide::mul(&(self.c0 + self.c1), &(self.c0 + self.c1.mul_by_v()));
+        Self { c0: t.sub(&m).sub(&m.mul_by_v()).reduce(), c1: m.double().reduce() }
     }
 
     fn inverse(&self) -> Option<Self> {

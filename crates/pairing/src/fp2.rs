@@ -67,6 +67,26 @@ impl Fp2 {
         Self { c0: Fp::random(rng), c1: Fp::random(rng) }
     }
 
+    /// Eager-reduction reference multiplication: Karatsuba over reduced
+    /// `Fp` values, 3 Montgomery reductions. Kept alongside the lazy
+    /// production path ([`Field::mul`]) as the byte-equality oracle for
+    /// the property tests and the `*_eager` benchmark twins.
+    pub fn mul_eager(&self, rhs: &Self) -> Self {
+        crate::stats::count_eager_reductions(3);
+        let v0 = Field::mul(&self.c0, &rhs.c0);
+        let v1 = Field::mul(&self.c1, &rhs.c1);
+        let s = Field::mul(&(self.c0 + self.c1), &(rhs.c0 + rhs.c1));
+        Self { c0: v0 - v1, c1: s - v0 - v1 }
+    }
+
+    /// Eager-reduction reference squaring (2 Montgomery reductions); see
+    /// [`Fp2::mul_eager`].
+    pub fn square_eager(&self) -> Self {
+        crate::stats::count_eager_reductions(2);
+        let ab = Field::mul(&self.c0, &self.c1);
+        Self { c0: Field::mul(&(self.c0 + self.c1), &(self.c0 - self.c1)), c1: ab.double() }
+    }
+
     /// Canonical little-endian bytes (`c0 || c1`).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = self.c0.to_bytes();
@@ -105,15 +125,18 @@ impl Field for Fp2 {
 
     #[inline]
     fn mul(&self, rhs: &Self) -> Self {
-        // Karatsuba: (a0 + a1 u)(b0 + b1 u) = (a0b0 - a1b1) + ((a0+a1)(b0+b1) - a0b0 - a1b1) u
-        let v0 = Field::mul(&self.c0, &rhs.c0);
-        let v1 = Field::mul(&self.c1, &rhs.c1);
-        let s = Field::mul(&(self.c0 + self.c1), &(rhs.c0 + rhs.c1));
-        Self { c0: v0 - v1, c1: s - v0 - v1 }
+        // Lazy Karatsuba: cross terms accumulate double-width, one
+        // Montgomery reduction per output coefficient (2 instead of 3).
+        crate::lazy::Fp2Wide::mul(self, rhs).reduce()
     }
 
     fn square(&self) -> Self {
-        // (a + bu)^2 = (a+b)(a-b) + 2ab u
+        // (a + bu)² = (a+b)(a−b) + 2ab·u via two *fused* Montgomery
+        // multiplications. Squaring is the one Fp2 op where the lazy path
+        // saves no reductions (2 → 2), so the split mul_wide + reduce form
+        // only adds glue; the standalone op stays fused and the wide variant
+        // ([`crate::lazy::Fp2Wide::square`]) is reserved for Fp6/Fp4
+        // interiors where its unreduced output feeds further accumulation.
         let ab = Field::mul(&self.c0, &self.c1);
         Self { c0: Field::mul(&(self.c0 + self.c1), &(self.c0 - self.c1)), c1: ab.double() }
     }

@@ -55,24 +55,61 @@ impl Fp6 {
         }
     }
 
-    /// Sparse product with `b0 + b1·v` (both `Fp2`); 5 `Fp2` muls.
+    /// Sparse product with `b0 + b1·v` (both `Fp2`); 5 unreduced `Fp2`
+    /// muls, 6 Montgomery reductions (eager: 15).
     pub fn mul_by_01(&self, b0: &Fp2, b1: &Fp2) -> Self {
-        let t0 = Field::mul(&self.c0, b0);
-        let t1 = Field::mul(&self.c1, b1);
+        crate::lazy::Fp6Wide::mul_by_01(self, b0, b1).reduce()
+    }
+
+    /// Sparse product with `b1·v` alone; 3 unreduced `Fp2` muls, 6
+    /// Montgomery reductions (eager: 9).
+    pub fn mul_by_1(&self, b1: &Fp2) -> Self {
+        crate::lazy::Fp6Wide::mul_by_1(self, b1).reduce()
+    }
+
+    /// Eager-reduction reference for [`Fp6::mul_by_01`] (15 reductions via
+    /// [`Fp2::mul_eager`]).
+    pub fn mul_by_01_eager(&self, b0: &Fp2, b1: &Fp2) -> Self {
+        let t0 = self.c0.mul_eager(b0);
+        let t1 = self.c1.mul_eager(b1);
         Self {
-            c0: t0 + Field::mul(&self.c2, b1).mul_by_xi(),
-            c1: Field::mul(&(self.c0 + self.c1), &(*b0 + *b1)) - t0 - t1,
-            c2: Field::mul(&self.c2, b0) + t1,
+            c0: t0 + self.c2.mul_eager(b1).mul_by_xi(),
+            c1: (self.c0 + self.c1).mul_eager(&(*b0 + *b1)) - t0 - t1,
+            c2: self.c2.mul_eager(b0) + t1,
         }
     }
 
-    /// Sparse product with `b1·v` alone; 3 `Fp2` muls.
-    pub fn mul_by_1(&self, b1: &Fp2) -> Self {
+    /// Eager-reduction reference for [`Fp6::mul_by_1`] (9 reductions via
+    /// [`Fp2::mul_eager`]).
+    pub fn mul_by_1_eager(&self, b1: &Fp2) -> Self {
         Self {
-            c0: Field::mul(&self.c2, b1).mul_by_xi(),
-            c1: Field::mul(&self.c0, b1),
-            c2: Field::mul(&self.c1, b1),
+            c0: self.c2.mul_eager(b1).mul_by_xi(),
+            c1: self.c0.mul_eager(b1),
+            c2: self.c1.mul_eager(b1),
         }
+    }
+
+    /// Eager-reduction reference multiplication (18 reductions via
+    /// [`Fp2::mul_eager`]); oracle for the lazy production [`Field::mul`].
+    pub fn mul_eager(&self, rhs: &Self) -> Self {
+        let v0 = self.c0.mul_eager(&rhs.c0);
+        let v1 = self.c1.mul_eager(&rhs.c1);
+        let v2 = self.c2.mul_eager(&rhs.c2);
+        let m12 = (self.c1 + self.c2).mul_eager(&(rhs.c1 + rhs.c2)) - v1 - v2;
+        let m01 = (self.c0 + self.c1).mul_eager(&(rhs.c0 + rhs.c1)) - v0 - v1;
+        let m02 = (self.c0 + self.c2).mul_eager(&(rhs.c0 + rhs.c2)) - v0 - v2;
+        Self { c0: v0 + m12.mul_by_xi(), c1: m01 + v2.mul_by_xi(), c2: m02 + v1 }
+    }
+
+    /// Eager-reduction reference squaring (13 reductions); oracle for the
+    /// lazy production [`Field::square`].
+    pub fn square_eager(&self) -> Self {
+        let s0 = self.c0.square_eager();
+        let s1 = self.c0.mul_eager(&self.c1).double();
+        let s2 = (self.c0 - self.c1 + self.c2).square_eager();
+        let s3 = self.c1.mul_eager(&self.c2).double();
+        let s4 = self.c2.square_eager();
+        Self { c0: s0 + s3.mul_by_xi(), c1: s1 + s4.mul_by_xi(), c2: s1 + s2 + s3 - s0 - s4 }
     }
 
     /// Coefficient-wise Galois conjugation (the `p`-power Frobenius on each
@@ -116,28 +153,14 @@ impl Field for Fp6 {
     }
 
     fn mul(&self, rhs: &Self) -> Self {
-        // Karatsuba/Toom interpolation: 6 Fp2 muls.
-        let v0 = Field::mul(&self.c0, &rhs.c0);
-        let v1 = Field::mul(&self.c1, &rhs.c1);
-        let v2 = Field::mul(&self.c2, &rhs.c2);
-        // (a1 + a2)(b1 + b2) − v1 − v2 = a1b2 + a2b1
-        let m12 = Field::mul(&(self.c1 + self.c2), &(rhs.c1 + rhs.c2)) - v1 - v2;
-        // (a0 + a1)(b0 + b1) − v0 − v1 = a0b1 + a1b0
-        let m01 = Field::mul(&(self.c0 + self.c1), &(rhs.c0 + rhs.c1)) - v0 - v1;
-        // (a0 + a2)(b0 + b2) − v0 − v2 = a0b2 + a2b0
-        let m02 = Field::mul(&(self.c0 + self.c2), &(rhs.c0 + rhs.c2)) - v0 - v2;
-        Self { c0: v0 + m12.mul_by_xi(), c1: m01 + v2.mul_by_xi(), c2: m02 + v1 }
+        // Lazy Karatsuba/Toom: 6 unreduced Fp2 muls combined double-width,
+        // 6 Montgomery reductions (eager: 18).
+        crate::lazy::Fp6Wide::mul(self, rhs).reduce()
     }
 
     fn square(&self) -> Self {
-        // CH-SQR2: s0 = a0², s1 = 2a0a1, s2 = (a0 − a1 + a2)², s3 = 2a1a2,
-        // s4 = a2².
-        let s0 = self.c0.square();
-        let s1 = Field::mul(&self.c0, &self.c1).double();
-        let s2 = (self.c0 - self.c1 + self.c2).square();
-        let s3 = Field::mul(&self.c1, &self.c2).double();
-        let s4 = self.c2.square();
-        Self { c0: s0 + s3.mul_by_xi(), c1: s1 + s4.mul_by_xi(), c2: s1 + s2 + s3 - s0 - s4 }
+        // Lazy CH-SQR2: 6 Montgomery reductions (eager: 13).
+        crate::lazy::Fp6Wide::square(self).reduce()
     }
 
     fn inverse(&self) -> Option<Self> {

@@ -1,0 +1,308 @@
+//! Lazy-reduction accumulators for the tower: double-width `Fp`, `Fp2`
+//! and `Fp6` values that defer the Montgomery reduction until a tower
+//! *output coefficient* is closed (Aranha et al.).
+//!
+//! An eager Karatsuba tower pays one Montgomery reduction per base-field
+//! product — 54 for an `Fp12` multiplication. But every tower formula
+//! only ever *sums* products before anything multiplies them again, so
+//! the sums can run on unreduced `2N`-limb values
+//! ([`vchain_bigint::DoubleWide`]) and each of the 12 output coefficients
+//! can be reduced exactly once:
+//!
+//! | op                       | eager reductions | lazy reductions |
+//! |--------------------------|------------------|-----------------|
+//! | `Fp2` mul                | 3                | 2               |
+//! | `Fp2` square             | 2                | 2               |
+//! | `Fp6` mul                | 18               | 6               |
+//! | `Fp6` square             | 13               | 6               |
+//! | `Fp6` mul_by_01          | 15               | 6               |
+//! | `Fp6` mul_by_1           | 9                | 6               |
+//! | `Fp12` mul               | 54               | 12              |
+//! | `Fp12` square            | 36               | 12              |
+//! | `Fp12` mul_by_line       | 39               | 12              |
+//! | `Fp4` square pair        | 6                | 4               |
+//! | cyclotomic square        | 18               | 12              |
+//! | compressed (Karabina) sq | 12               | 8               |
+//!
+//! ## Bound discipline
+//!
+//! Two invariants make every formula below overflow-safe without any
+//! per-formula analysis:
+//!
+//! 1. **Operands are always canonical.** Karatsuba operand sums
+//!    (`a0 + a1`, …) are ordinary modular additions of *reduced* values,
+//!    so every [`FpWide::mul`] input is `< p` and every product `< p²`.
+//! 2. **Accumulators live modulo `p·R`.** Wide adds/subs renormalize into
+//!    `[0, p·R)` (a high-half compare plus a rare 6-limb fixup — see
+//!    `vchain_bigint::dwide`), under which `montgomery_reduce` is valid
+//!    for any value and one conditional subtraction canonicalizes.
+//!
+//! The headroom quotient `⌊R/p⌋` says how many `< p²` products could be
+//! summed with *raw* carrying adds before reaching `p·R`; for BLS12-381 it
+//! is [`crate::params::FP_WIDE_HEADROOM`] = 9 (pinned against the
+//! runtime-derived value at start-up). The deepest accumulation in the
+//! tower (an `Fp12` Karatsuba `c1` built from `Fp6` cross terms) sums up
+//! to [`MAX_WIDE_TERMS`] = 12 product magnitudes, which is *more* than
+//! the headroom — hence the checked mod-`p·R` ops everywhere instead of
+//! raw adds. The max-operand property tests (`lazy_tower_props`) drive
+//! `p−1` coefficients through every op to pin exactly this.
+
+use vchain_bigint::DoubleWide;
+
+use crate::fp::Fp;
+use crate::fp2::Fp2;
+use crate::fp6::Fp6;
+use crate::params::fp_params;
+use crate::stats;
+
+/// The deepest unreduced accumulation any tower output coefficient sees,
+/// in units of `< p²` product magnitudes: the `Fp12` Karatsuba `c1`
+/// coefficient `sum − aa − bb`, whose `Fp6`-level cross terms are
+/// themselves three-product accumulations. Exceeds
+/// [`crate::params::FP_WIDE_HEADROOM`], which is why the wide ops
+/// renormalize modulo `p·R` on every add instead of relying on raw-add
+/// headroom.
+pub const MAX_WIDE_TERMS: u64 = 12;
+
+/// An unreduced base-field value: a [`DoubleWide`] accumulator in
+/// `[0, p·R)` whose reduction yields a canonical Montgomery-form [`Fp`].
+#[derive(Clone, Copy)]
+pub(crate) struct FpWide(DoubleWide<6>);
+
+impl FpWide {
+    /// Full-width product of two reduced elements, no reduction.
+    #[inline]
+    pub(crate) fn mul(a: &Fp, b: &Fp) -> Self {
+        Self(fp_params().mul_wide(&a.0, &b.0))
+    }
+
+    /// Wide addition modulo `p·R`.
+    #[inline]
+    pub(crate) fn add(&self, rhs: &Self) -> Self {
+        Self(fp_params().wide_add(&self.0, &rhs.0))
+    }
+
+    /// Wide subtraction modulo `p·R`.
+    #[inline]
+    pub(crate) fn sub(&self, rhs: &Self) -> Self {
+        Self(fp_params().wide_sub(&self.0, &rhs.0))
+    }
+
+    /// Wide doubling modulo `p·R`.
+    #[inline]
+    pub(crate) fn double(&self) -> Self {
+        Self(fp_params().wide_double(&self.0))
+    }
+
+    /// Close the accumulator: one Montgomery reduction to a canonical
+    /// Montgomery-form element. This is the *only* place the lazy path
+    /// reduces, so the per-thread counter lives here.
+    #[inline]
+    pub(crate) fn reduce(&self) -> Fp {
+        stats::MONTGOMERY_REDUCTIONS.with(|c| c.set(c.get() + 1));
+        Fp(fp_params().montgomery_reduce(&self.0))
+    }
+}
+
+/// An unreduced `Fp2` value (componentwise [`FpWide`]).
+#[derive(Clone, Copy)]
+pub(crate) struct Fp2Wide {
+    pub(crate) c0: FpWide,
+    pub(crate) c1: FpWide,
+}
+
+impl Fp2Wide {
+    /// Unreduced Karatsuba product: 3 wide base-field muls, 0 reductions.
+    #[inline]
+    pub(crate) fn mul(a: &Fp2, b: &Fp2) -> Self {
+        let v0 = FpWide::mul(&a.c0, &b.c0);
+        let v1 = FpWide::mul(&a.c1, &b.c1);
+        let s = FpWide::mul(&(a.c0 + a.c1), &(b.c0 + b.c1));
+        // (a0 + a1 u)(b0 + b1 u) = (v0 − v1) + (s − v0 − v1) u
+        Self { c0: v0.sub(&v1), c1: s.sub(&v0).sub(&v1) }
+    }
+
+    /// Unreduced squaring: `(a+b)(a−b) + 2ab·u`, 2 wide muls.
+    #[inline]
+    pub(crate) fn square(a: &Fp2) -> Self {
+        let ab = FpWide::mul(&a.c0, &a.c1);
+        Self { c0: FpWide::mul(&(a.c0 + a.c1), &(a.c0 - a.c1)), c1: ab.double() }
+    }
+
+    /// Multiply by the sextic non-residue `ξ = 1 + u` (adds only).
+    #[inline]
+    pub(crate) fn mul_by_xi(&self) -> Self {
+        Self { c0: self.c0.sub(&self.c1), c1: self.c0.add(&self.c1) }
+    }
+
+    /// Componentwise wide addition.
+    #[inline]
+    pub(crate) fn add(&self, rhs: &Self) -> Self {
+        Self { c0: self.c0.add(&rhs.c0), c1: self.c1.add(&rhs.c1) }
+    }
+
+    /// Componentwise wide subtraction.
+    #[inline]
+    pub(crate) fn sub(&self, rhs: &Self) -> Self {
+        Self { c0: self.c0.sub(&rhs.c0), c1: self.c1.sub(&rhs.c1) }
+    }
+
+    /// Componentwise wide doubling.
+    #[inline]
+    pub(crate) fn double(&self) -> Self {
+        Self { c0: self.c0.double(), c1: self.c1.double() }
+    }
+
+    /// Close both coefficients: 2 reductions.
+    #[inline]
+    pub(crate) fn reduce(&self) -> Fp2 {
+        Fp2::new(self.c0.reduce(), self.c1.reduce())
+    }
+}
+
+/// The shared `Fp4 = Fp2[s]/(s² − ξ)` squaring pair of the Granger–Scott
+/// and Karabina cyclotomic squarings: `(x + y·s)² = (x² + ξy²) +
+/// ((x+y)² − x² − y²)·s`, closed with 4 reductions instead of the eager 6.
+#[inline]
+pub(crate) fn fp4_square(x: &Fp2, y: &Fp2) -> (Fp2, Fp2) {
+    let x2 = Fp2Wide::square(x);
+    let y2 = Fp2Wide::square(y);
+    let s = Fp2Wide::square(&(*x + *y));
+    (x2.add(&y2.mul_by_xi()).reduce(), s.sub(&x2).sub(&y2).reduce())
+}
+
+/// An unreduced `Fp6` value (componentwise [`Fp2Wide`]).
+#[derive(Clone, Copy)]
+pub(crate) struct Fp6Wide {
+    pub(crate) c0: Fp2Wide,
+    pub(crate) c1: Fp2Wide,
+    pub(crate) c2: Fp2Wide,
+}
+
+impl Fp6Wide {
+    /// Unreduced Karatsuba/Toom product: 6 unreduced `Fp2` muls combined
+    /// entirely double-width, 0 reductions.
+    pub(crate) fn mul(a: &Fp6, b: &Fp6) -> Self {
+        let v0 = Fp2Wide::mul(&a.c0, &b.c0);
+        let v1 = Fp2Wide::mul(&a.c1, &b.c1);
+        let v2 = Fp2Wide::mul(&a.c2, &b.c2);
+        let m12 = Fp2Wide::mul(&(a.c1 + a.c2), &(b.c1 + b.c2)).sub(&v1).sub(&v2);
+        let m01 = Fp2Wide::mul(&(a.c0 + a.c1), &(b.c0 + b.c1)).sub(&v0).sub(&v1);
+        let m02 = Fp2Wide::mul(&(a.c0 + a.c2), &(b.c0 + b.c2)).sub(&v0).sub(&v2);
+        Self { c0: v0.add(&m12.mul_by_xi()), c1: m01.add(&v2.mul_by_xi()), c2: m02.add(&v1) }
+    }
+
+    /// Unreduced CH-SQR2 squaring: 2 unreduced muls + 3 unreduced squares.
+    pub(crate) fn square(a: &Fp6) -> Self {
+        let s0 = Fp2Wide::square(&a.c0);
+        let s1 = Fp2Wide::mul(&a.c0, &a.c1).double();
+        let s2 = Fp2Wide::square(&(a.c0 - a.c1 + a.c2));
+        let s3 = Fp2Wide::mul(&a.c1, &a.c2).double();
+        let s4 = Fp2Wide::square(&a.c2);
+        Self {
+            c0: s0.add(&s3.mul_by_xi()),
+            c1: s1.add(&s4.mul_by_xi()),
+            c2: s1.add(&s2).add(&s3).sub(&s0).sub(&s4),
+        }
+    }
+
+    /// Unreduced sparse product with `b0 + b1·v`: 5 unreduced `Fp2` muls.
+    pub(crate) fn mul_by_01(a: &Fp6, b0: &Fp2, b1: &Fp2) -> Self {
+        let t0 = Fp2Wide::mul(&a.c0, b0);
+        let t1 = Fp2Wide::mul(&a.c1, b1);
+        Self {
+            c0: t0.add(&Fp2Wide::mul(&a.c2, b1).mul_by_xi()),
+            c1: Fp2Wide::mul(&(a.c0 + a.c1), &(*b0 + *b1)).sub(&t0).sub(&t1),
+            c2: Fp2Wide::mul(&a.c2, b0).add(&t1),
+        }
+    }
+
+    /// Unreduced sparse product with `b1·v` alone: 3 unreduced `Fp2` muls.
+    pub(crate) fn mul_by_1(a: &Fp6, b1: &Fp2) -> Self {
+        Self {
+            c0: Fp2Wide::mul(&a.c2, b1).mul_by_xi(),
+            c1: Fp2Wide::mul(&a.c0, b1),
+            c2: Fp2Wide::mul(&a.c1, b1),
+        }
+    }
+
+    /// Multiply by `v` (cyclic shift with `v³ = ξ`; adds only).
+    #[inline]
+    pub(crate) fn mul_by_v(&self) -> Self {
+        Self { c0: self.c2.mul_by_xi(), c1: self.c0, c2: self.c1 }
+    }
+
+    /// Componentwise wide addition.
+    #[inline]
+    pub(crate) fn add(&self, rhs: &Self) -> Self {
+        Self { c0: self.c0.add(&rhs.c0), c1: self.c1.add(&rhs.c1), c2: self.c2.add(&rhs.c2) }
+    }
+
+    /// Componentwise wide subtraction.
+    #[inline]
+    pub(crate) fn sub(&self, rhs: &Self) -> Self {
+        Self { c0: self.c0.sub(&rhs.c0), c1: self.c1.sub(&rhs.c1), c2: self.c2.sub(&rhs.c2) }
+    }
+
+    /// Componentwise wide doubling.
+    #[inline]
+    pub(crate) fn double(&self) -> Self {
+        Self { c0: self.c0.double(), c1: self.c1.double(), c2: self.c2.double() }
+    }
+
+    /// Close all six coefficients: 6 reductions.
+    #[inline]
+    pub(crate) fn reduce(&self) -> Fp6 {
+        Fp6::new(self.c0.reduce(), self.c1.reduce(), self.c2.reduce())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Field;
+    use crate::params;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn headroom_constants_match_derivation() {
+        assert_eq!(fp_params().wide_headroom(), params::FP_WIDE_HEADROOM);
+        // the tower's deepest accumulation really does exceed the raw-add
+        // headroom — the mod-p·R fixups are load-bearing, not paranoia
+        // (compared against the runtime derivation, not the constant, so
+        // the assertion can actually fail if the modulus ever changes)
+        assert!(MAX_WIDE_TERMS > fp_params().wide_headroom());
+    }
+
+    #[test]
+    fn wide_ops_match_reduced_ops() {
+        let mut r = StdRng::seed_from_u64(17);
+        for _ in 0..50 {
+            let a = Fp::random(&mut r);
+            let b = Fp::random(&mut r);
+            let c = Fp::random(&mut r);
+            let d = Fp::random(&mut r);
+            let ab = FpWide::mul(&a, &b);
+            let cd = FpWide::mul(&c, &d);
+            assert_eq!(ab.reduce(), a * b);
+            assert_eq!(ab.add(&cd).reduce(), a * b + c * d);
+            assert_eq!(ab.sub(&cd).reduce(), a * b - c * d);
+            assert_eq!(ab.double().reduce(), (a * b).double());
+        }
+    }
+
+    #[test]
+    fn fp4_square_matches_formula() {
+        let mut r = StdRng::seed_from_u64(18);
+        for _ in 0..20 {
+            let x = Fp2::random(&mut r);
+            let y = Fp2::random(&mut r);
+            let (c0, c1) = fp4_square(&x, &y);
+            let x2 = x.square();
+            let y2 = y.square();
+            assert_eq!(c0, x2 + y2.mul_by_xi());
+            assert_eq!(c1, (x + y).square() - x2 - y2);
+        }
+    }
+}

@@ -37,6 +37,7 @@ pub mod fp;
 pub mod fp12;
 pub mod fp2;
 pub mod fp6;
+pub mod lazy;
 pub mod pairing_impl;
 pub mod params;
 pub mod stats;
@@ -52,5 +53,6 @@ pub use fp12::{CompressedCyclo, Fp12};
 pub use fp2::Fp2;
 pub use fp6::Fp6;
 pub use pairing_impl::{
-    final_exponentiation, final_exponentiation_gs, multi_miller_loop, multi_pairing, pairing, Gt,
+    final_exponentiation, final_exponentiation_eager, final_exponentiation_gs, multi_miller_loop,
+    multi_miller_loop_eager, multi_pairing, pairing, pairing_eager, Gt,
 };

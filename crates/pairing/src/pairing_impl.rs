@@ -242,6 +242,52 @@ pub fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fp12 {
     multi_miller_loop(core::slice::from_ref(&pair))
 }
 
+/// Eager-reduction twin of [`multi_miller_loop`]: identical projective
+/// line steps, but the accumulator runs on the eager-reference `Fp12`
+/// ops ([`Fp12::square_eager`], [`Fp12::mul_by_line_eager`]) — one
+/// Montgomery reduction per base-field multiplication instead of one per
+/// tower output coefficient. Kept for the perf ledger's same-run twin
+/// entries and the differential reduction-count tests; not counted in
+/// [`stats::miller_loops`].
+pub fn multi_miller_loop_eager(pairs: &[(G1Affine, G2Affine)]) -> Fp12 {
+    let mut states: Vec<MillerState> = pairs
+        .iter()
+        .filter(|(p, q)| !p.is_identity() && !q.is_identity())
+        .map(|(p, q)| {
+            let q0 = TwistAffine { x: q.x, y: q.y };
+            MillerState {
+                xp: p.x,
+                yp: p.y,
+                q0,
+                t: TwistProjective { x: q.x, y: q.y, z: Fp2::one() },
+            }
+        })
+        .collect();
+    if states.is_empty() {
+        return Fp12::one();
+    }
+
+    let mut f = Fp12::one();
+    let x = params::BLS_X;
+    let top = 63 - x.leading_zeros();
+    for i in (0..top).rev() {
+        f = f.square_eager();
+        for s in states.iter_mut() {
+            let (l0, l2, l3) = projective_double_step(&mut s.t, &s.xp, &s.yp);
+            f = f.mul_by_line_eager(&l0, &l2, &l3);
+        }
+        if (x >> i) & 1 == 1 {
+            for s in states.iter_mut() {
+                let q0 = s.q0;
+                let (l0, l2, l3) = projective_add_step(&mut s.t, &q0, &s.xp, &s.yp);
+                f = f.mul_by_line_eager(&l0, &l2, &l3);
+            }
+        }
+    }
+    const { assert!(params::BLS_X_IS_NEGATIVE) };
+    f.conjugate()
+}
+
 /// The retired affine Miller loop, kept as an independently-derived
 /// reference implementation: property tests assert that the projective
 /// loop above agrees with it on random inputs (after final exponentiation
@@ -394,9 +440,38 @@ pub fn final_exponentiation_gs(f: &Fp12) -> Gt {
     Gt(Field::mul(&t3, &Field::mul(&m.cyclotomic_square(), &m)))
 }
 
+/// Eager-reduction twin of [`final_exponentiation`]: the same Karabina
+/// addition chain (including the shared batched decompression), but every
+/// multiplication and squaring runs on the eager-reference tower ops.
+/// Perf-ledger twin and differential-test oracle; not counted in
+/// [`stats::final_exps`].
+pub fn final_exponentiation_eager(f: &Fp12) -> Gt {
+    assert!(!f.is_zero(), "final exponentiation of zero");
+    let t = f.conjugate().mul_eager(&f.inverse().expect("nonzero"));
+    let m = t.frobenius2().mul_eager(&t);
+    let t0 = m.cyclotomic_pow_x_compressed_eager().mul_eager(&m.conjugate());
+    let t1 = t0.cyclotomic_pow_x_compressed_eager().mul_eager(&t0.conjugate());
+    let t2 = t1.cyclotomic_pow_x_compressed_eager().mul_eager(&t1.frobenius());
+    let t3 = t2
+        .cyclotomic_pow_x_compressed_eager()
+        .cyclotomic_pow_x_compressed_eager()
+        .mul_eager(&t2.frobenius2())
+        .mul_eager(&t2.conjugate());
+    Gt(t3.mul_eager(&m.cyclotomic_square_eager().mul_eager(&m)))
+}
+
 /// The bilinear pairing `e(P, Q)`.
 pub fn pairing(p: &G1Affine, q: &G2Affine) -> Gt {
     final_exponentiation(&miller_loop(p, q))
+}
+
+/// Eager-reduction twin of [`pairing`]: eager Miller loop + eager final
+/// exponentiation. Must return bit-identical `Gt` values to [`pairing`]
+/// (the property tests pin this); exists so the perf ledger can carry a
+/// same-run eager baseline next to the lazy production numbers.
+pub fn pairing_eager(p: &G1Affine, q: &G2Affine) -> Gt {
+    let pair = (*p, *q);
+    final_exponentiation_eager(&multi_miller_loop_eager(core::slice::from_ref(&pair)))
 }
 
 /// `Π e(Pᵢ, Qᵢ)` with one shared Miller loop and one final exponentiation.
@@ -444,6 +519,61 @@ mod tests {
             let f = Fp12::random(&mut r);
             assert_eq!(final_exponentiation(&f), final_exponentiation_gs(&f));
         }
+    }
+
+    #[test]
+    fn eager_twins_agree_with_production() {
+        let mut r = StdRng::seed_from_u64(32);
+        let p = G1Projective::generator().mul_fr(&Fr::random(&mut r)).to_affine();
+        let q = G2Projective::generator().mul_fr(&Fr::random(&mut r)).to_affine();
+        let pairs = [(p, q)];
+        assert_eq!(multi_miller_loop_eager(&pairs), multi_miller_loop(&pairs));
+        let f = Fp12::random(&mut r);
+        assert_eq!(final_exponentiation_eager(&f), final_exponentiation(&f));
+        assert_eq!(pairing_eager(&p, &q), pairing(&p, &q));
+    }
+
+    /// The differential reduction-count assertion the split stats counters
+    /// exist for: over the same pairing computation, the lazy production
+    /// path must close strictly fewer Montgomery reductions than the eager
+    /// reference issues base-field multiplications.
+    #[test]
+    fn lazy_path_performs_strictly_fewer_reductions() {
+        let (g1, g2) = gens();
+        let pairs = [(g1, g2)];
+
+        // Lazy production pairing: delta of the lazy counter.
+        let lazy_before = stats::montgomery_reductions();
+        let lhs = multi_pairing(&pairs);
+        let lazy = stats::montgomery_reductions() - lazy_before;
+
+        // Eager twin of the same computation: delta of the eager counter.
+        let eager_before = stats::montgomery_reductions_eager();
+        let rhs = final_exponentiation_eager(&multi_miller_loop_eager(&pairs));
+        let eager = stats::montgomery_reductions_eager() - eager_before;
+
+        assert_eq!(lhs, rhs, "twin paths must agree before counts mean anything");
+        assert!(lazy > 0, "the lazy counter must actually be wired up");
+        assert!(eager > 0, "the eager counter must actually be wired up");
+        assert!(
+            lazy < eager,
+            "lazy path must reduce strictly less often: lazy={lazy} eager={eager}"
+        );
+
+        // Per-op sanity at the bottom of the tower: an Fp12 mul closes 12
+        // accumulators lazily but pays 54 reductions eagerly.
+        let mut r = StdRng::seed_from_u64(33);
+        let a = Fp12::random(&mut r);
+        let b = Fp12::random(&mut r);
+        let l0 = stats::montgomery_reductions();
+        let x = Field::mul(&a, &b);
+        let dl = stats::montgomery_reductions() - l0;
+        let e0 = stats::montgomery_reductions_eager();
+        let y = a.mul_eager(&b);
+        let de = stats::montgomery_reductions_eager() - e0;
+        assert_eq!(x, y);
+        assert_eq!(dl, 12, "lazy Fp12 mul closes one reduction per coefficient");
+        assert_eq!(de, 54, "eager Fp12 mul pays one reduction per Fp mul");
     }
 
     #[test]

@@ -21,6 +21,17 @@ pub const P_HEX: &str = "1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a
 /// The scalar-field modulus `r` (255 bits).
 pub const R_HEX: &str = "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001";
 
+/// Lazy-reduction headroom for `Fp`: `⌊R/p⌋` with `R = 2^384`, i.e. how
+/// many `< p²` products a double-width accumulator could absorb with raw
+/// carrying adds before overflowing `p·R`. Pinned at start-up against the
+/// runtime derivation ([`vchain_bigint::MontParams::wide_headroom`]); the
+/// tower's `lazy` module documents why its accumulation depth (up to 12
+/// terms) forces checked mod-`p·R` adds rather than relying on this.
+///
+/// `Fr` has headroom `⌊2^256/r⌋ = 2`, too small for any lazy scheme —
+/// which is why only the `Fp` tower is lazified.
+pub const FP_WIDE_HEADROOM: u64 = 9;
+
 static FP_PARAMS: OnceLock<MontParams<6>> = OnceLock::new();
 static FR_PARAMS: OnceLock<MontParams<4>> = OnceLock::new();
 static DERIVED: OnceLock<Derived> = OnceLock::new();
@@ -30,7 +41,13 @@ pub fn fp_params() -> &'static MontParams<6> {
     FP_PARAMS.get_or_init(|| {
         let p = U384::from_hex(P_HEX);
         verify_moduli_against_x();
-        MontParams::new(p)
+        let params = MontParams::new(p);
+        assert_eq!(
+            params.wide_headroom(),
+            FP_WIDE_HEADROOM,
+            "FP_WIDE_HEADROOM constant out of sync with ⌊R/p⌋"
+        );
+        params
     })
 }
 

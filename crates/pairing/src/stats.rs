@@ -14,6 +14,15 @@ thread_local! {
     pub(crate) static FINAL_EXPS: Cell<u64> = const { Cell::new(0) };
     pub(crate) static MILLER_LOOPS: Cell<u64> = const { Cell::new(0) };
     pub(crate) static FIELD_INVERSIONS: Cell<u64> = const { Cell::new(0) };
+    pub(crate) static MONTGOMERY_REDUCTIONS: Cell<u64> = const { Cell::new(0) };
+    pub(crate) static MONTGOMERY_REDUCTIONS_EAGER: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Bump the eager-reference reduction counter by `n` (one per base-field
+/// Montgomery multiplication performed by an `*_eager` tower op).
+#[inline]
+pub(crate) fn count_eager_reductions(n: u64) {
+    MONTGOMERY_REDUCTIONS_EAGER.with(|c| c.set(c.get() + n));
 }
 
 /// Final exponentiations performed by the current thread.
@@ -32,4 +41,25 @@ pub fn miller_loops() -> u64 {
 /// region proves the region is inversion-free.
 pub fn field_inversions() -> u64 {
     FIELD_INVERSIONS.with(Cell::get)
+}
+
+/// Montgomery reductions performed by the current thread on the *lazy*
+/// (production) tower path — one per double-width accumulator closed by
+/// `FpWide::reduce`, i.e. one per tower output coefficient. Raw `Fp`
+/// multiplications outside the tower ops are deliberately not counted (a
+/// thread-local bump on the single hottest primitive would be measurable),
+/// so deltas of this counter are comparable with
+/// [`montgomery_reductions_eager`] deltas over the *same* tower operation,
+/// not absolute totals.
+pub fn montgomery_reductions() -> u64 {
+    MONTGOMERY_REDUCTIONS.with(Cell::get)
+}
+
+/// Montgomery reductions performed by the current thread inside the
+/// `*_eager` reference tower ops (one per base-field multiplication they
+/// issue). Split from [`montgomery_reductions`] so differential tests can
+/// assert the lazy path performs strictly fewer reductions than the eager
+/// reference for the same operation.
+pub fn montgomery_reductions_eager() -> u64 {
+    MONTGOMERY_REDUCTIONS_EAGER.with(Cell::get)
 }

@@ -1,0 +1,162 @@
+//! Property tests pinning the lazy-reduction tower against the retained
+//! eager reference ops, to the strongest possible standard: **byte
+//! equality** of canonical serializations, not just field equality.
+//!
+//! Two operand regimes:
+//!
+//! * **max-operand** — every `Fp` coefficient is `p − 1`, the largest
+//!   canonical value. This drives every double-width accumulator through
+//!   its worst case (products of maximal operands, deepest Karatsuba
+//!   sums), pinning the compile-time bound analysis of `pairing::lazy`
+//!   (the mod-`p·R` renormalization really is exercised: the tower's
+//!   accumulation depth exceeds the raw-add headroom `⌊R/p⌋ = 9`).
+//! * **random** — seeded random elements, mixed signs and magnitudes.
+//!
+//! Also covers structured near-boundary operands (coefficients in
+//! `{0, 1, p−1}` chosen per-seed) so carries at limb seams are hit, and
+//! the pairing-level twins (`multi_miller_loop_eager`,
+//! `final_exponentiation_eager`, `pairing_eager`).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vchain_pairing::{
+    final_exponentiation, final_exponentiation_eager, pairing, pairing_eager, Field, Fp, Fp12, Fp2,
+    Fp6, Fr, G1Projective, G2Projective,
+};
+
+/// The largest canonical base-field element, `p − 1`.
+fn fp_max() -> Fp {
+    Field::neg(&Fp::one())
+}
+
+/// Pick a "nasty" coefficient from `{0, 1, p−1, random}` by selector.
+fn nasty_fp(sel: u8, rng: &mut StdRng) -> Fp {
+    match sel % 4 {
+        0 => Fp::zero(),
+        1 => Fp::one(),
+        2 => fp_max(),
+        _ => Fp::random(rng),
+    }
+}
+
+fn nasty_fp2(seed: u64) -> Fp2 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Fp2::new(nasty_fp(seed as u8, &mut rng), nasty_fp((seed >> 8) as u8, &mut rng))
+}
+
+fn nasty_fp6(seed: u64) -> Fp6 {
+    Fp6::new(nasty_fp2(seed), nasty_fp2(seed ^ 0xa5a5), nasty_fp2(seed ^ 0x5a5a))
+}
+
+fn nasty_fp12(seed: u64) -> Fp12 {
+    Fp12::new(nasty_fp6(seed), nasty_fp6(seed.rotate_left(17)))
+}
+
+fn max_fp2() -> Fp2 {
+    Fp2::new(fp_max(), fp_max())
+}
+
+fn max_fp6() -> Fp6 {
+    Fp6::new(max_fp2(), max_fp2(), max_fp2())
+}
+
+fn max_fp12() -> Fp12 {
+    Fp12::new(max_fp6(), max_fp6())
+}
+
+/// Byte-level equality through the canonical serialization.
+macro_rules! assert_bytes_eq {
+    ($lazy:expr, $eager:expr, $what:literal) => {
+        assert_eq!(
+            $lazy.to_canonical_bytes(),
+            $eager.to_canonical_bytes(),
+            concat!($what, ": lazy and eager disagree at the byte level")
+        )
+    };
+}
+
+/// Every lazy-vs-eager pair at all three tower levels for one operand set.
+fn check_all_ops(a2: Fp2, b2: Fp2, a6: Fp6, b6: Fp6, a12: Fp12, b12: Fp12) {
+    assert_bytes_eq!(Field::mul(&a2, &b2), a2.mul_eager(&b2), "Fp2 mul");
+    assert_bytes_eq!(a2.square(), a2.square_eager(), "Fp2 square");
+
+    assert_bytes_eq!(Field::mul(&a6, &b6), a6.mul_eager(&b6), "Fp6 mul");
+    assert_bytes_eq!(a6.square(), a6.square_eager(), "Fp6 square");
+    assert_bytes_eq!(a6.mul_by_01(&a2, &b2), a6.mul_by_01_eager(&a2, &b2), "Fp6 mul_by_01");
+    assert_bytes_eq!(a6.mul_by_1(&b2), a6.mul_by_1_eager(&b2), "Fp6 mul_by_1");
+
+    assert_bytes_eq!(Field::mul(&a12, &b12), a12.mul_eager(&b12), "Fp12 mul");
+    assert_bytes_eq!(a12.square(), a12.square_eager(), "Fp12 square");
+    let l2 = b2.mul_by_xi();
+    assert_bytes_eq!(
+        a12.mul_by_line(&a2, &b2, &l2),
+        a12.mul_by_line_eager(&a2, &b2, &l2),
+        "Fp12 mul_by_line"
+    );
+}
+
+#[test]
+fn max_operands_byte_equal_through_every_op() {
+    // All coefficients p−1: the deepest double-width accumulations at
+    // their largest possible magnitudes.
+    check_all_ops(max_fp2(), max_fp2(), max_fp6(), max_fp6(), max_fp12(), max_fp12());
+}
+
+#[test]
+fn cyclotomic_ops_byte_equal_in_subgroup() {
+    // Cyclotomic ops have a subgroup precondition, so max-operand inputs
+    // are out of domain; project random elements through the easy part.
+    for seed in 0..4u64 {
+        let f = Fp12::random(&mut StdRng::seed_from_u64(seed));
+        let t = Field::mul(&f.conjugate(), &f.inverse().unwrap());
+        let z = Field::mul(&t.frobenius2(), &t);
+        assert_bytes_eq!(z.cyclotomic_square(), z.cyclotomic_square_eager(), "cyclotomic square");
+        assert_bytes_eq!(
+            z.cyclotomic_pow_x_compressed(),
+            z.cyclotomic_pow_x_compressed_eager(),
+            "Karabina pow_x chain"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn nasty_operands_byte_equal_through_every_op(seed in 0u64..u64::MAX) {
+        // Coefficients drawn from {0, 1, p−1, random}: limb-seam carries,
+        // vanishing Karatsuba terms, and maximal products mixed freely.
+        let a2 = nasty_fp2(seed);
+        let b2 = nasty_fp2(seed ^ 0xdead_beef);
+        let a6 = nasty_fp6(seed.wrapping_mul(3));
+        let b6 = nasty_fp6(seed.wrapping_mul(5) ^ 0xfeed);
+        let a12 = nasty_fp12(seed.wrapping_mul(7));
+        let b12 = nasty_fp12(seed.wrapping_mul(11) ^ 0xbead);
+        check_all_ops(a2, b2, a6, b6, a12, b12);
+    }
+
+    #[test]
+    fn random_operands_byte_equal_through_every_op(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a2, b2) = (Fp2::random(&mut rng), Fp2::random(&mut rng));
+        let (a6, b6) = (Fp6::random(&mut rng), Fp6::random(&mut rng));
+        let (a12, b12) = (Fp12::random(&mut rng), Fp12::random(&mut rng));
+        check_all_ops(a2, b2, a6, b6, a12, b12);
+    }
+}
+
+proptest! {
+    // full pairings are ~ms each — keep the case count low
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn pairing_twins_agree(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = G1Projective::generator().mul_fr(&Fr::random(&mut rng)).to_affine();
+        let q = G2Projective::generator().mul_fr(&Fr::random(&mut rng)).to_affine();
+        prop_assert_eq!(pairing_eager(&p, &q), pairing(&p, &q));
+        let f = Fp12::random(&mut rng);
+        prop_assert_eq!(final_exponentiation_eager(&f), final_exponentiation(&f));
+    }
+}
