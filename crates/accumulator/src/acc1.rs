@@ -178,7 +178,12 @@ impl Accumulator for Acc1 {
         "acc1"
     }
 
-    fn setup<E: AccElem>(&self, x: &MultiSet<E>) -> Acc1Value {
+    fn try_setup<E: AccElem>(&self, x: &MultiSet<E>) -> Result<Acc1Value, AccError> {
+        let needed = x.total_count() as usize; // char-poly degree
+        let capacity = self.pk.capacity();
+        if needed > capacity {
+            return Err(AccError::CapacityExceeded { needed, capacity });
+        }
         if self.fast_setup {
             if let Some(s) = &self.sk {
                 // P_X(s) evaluated directly with the trapdoor: O(|X|).
@@ -187,13 +192,11 @@ impl Accumulator for Acc1 {
                     let term = e.to_fr() + *s;
                     acc = Field::mul(&acc, &term.pow_limbs(&[c]));
                 }
-                return G1Projective::generator().mul_fr(&acc).to_affine();
+                return Ok(G1Projective::generator().mul_fr(&acc).to_affine());
             }
         }
         let p = Self::char_poly(x);
-        self.commit_g1(&p)
-            .expect("multiset exceeds acc1 capacity; raise keygen capacity")
-            .to_affine()
+        Ok(self.commit_g1(&p)?.to_affine())
     }
 
     fn prove_disjoint<E: AccElem>(
@@ -284,6 +287,30 @@ impl Accumulator for Acc1 {
 
     fn proof_size(&self) -> usize {
         2 * G2Spec::COMPRESSED_BYTES // two compressed G2 points
+    }
+
+    fn value_from_bytes(&self, bytes: &[u8]) -> Result<Acc1Value, crate::DecodeError> {
+        if bytes.len() != self.value_size() {
+            return Err(crate::DecodeError::Length {
+                expected: self.value_size(),
+                got: bytes.len(),
+            });
+        }
+        crate::decode_slot::<G1Spec>(bytes, 0)
+    }
+
+    fn proof_from_bytes(&self, bytes: &[u8]) -> Result<Acc1Proof, crate::DecodeError> {
+        if bytes.len() != self.proof_size() {
+            return Err(crate::DecodeError::Length {
+                expected: self.proof_size(),
+                got: bytes.len(),
+            });
+        }
+        let n = G2Spec::COMPRESSED_BYTES;
+        Ok(Acc1Proof {
+            f1: crate::decode_slot::<G2Spec>(&bytes[..n], 0)?,
+            f2: crate::decode_slot::<G2Spec>(&bytes[n..], 1)?,
+        })
     }
 }
 
@@ -479,6 +506,53 @@ mod tests {
         swapped[0].2 = swapped[1].2.clone();
         swapped[1].2 = p0;
         assert!(!a.batch_verify_disjoint(&swapped));
+    }
+
+    #[test]
+    fn try_setup_errors_instead_of_panicking() {
+        let small = Acc1::keygen(2, &mut StdRng::seed_from_u64(3));
+        assert!(matches!(
+            small.try_setup(&ms(&[1, 2, 3, 4, 5])),
+            Err(AccError::CapacityExceeded { needed: 5, capacity: 2 })
+        ));
+        // multiplicity counts toward the degree bound
+        assert!(small.try_setup(&ms(&[1, 1, 1])).is_err());
+        assert_eq!(small.try_setup(&ms(&[1, 2])).unwrap(), small.setup(&ms(&[1, 2])));
+        // the fast-setup path enforces the same bound as the honest commit
+        let fast = small.with_fast_setup(true);
+        assert!(fast.try_setup(&ms(&[1, 2, 3])).is_err());
+    }
+
+    #[test]
+    fn wire_decode_round_trips_and_rejects_corruption() {
+        let a = acc();
+        let x1 = ms(&[1, 2]);
+        let x2 = ms(&[3]);
+        let v = a.setup(&x1);
+        let proof = a.prove_disjoint(&x1, &x2).unwrap();
+
+        let vb = Acc1::value_bytes(&v);
+        assert_eq!(a.value_from_bytes(&vb).unwrap(), v);
+        let pb = Acc1::proof_bytes(&proof);
+        assert_eq!(a.proof_from_bytes(&pb).unwrap(), proof);
+
+        // truncation / extension
+        assert!(matches!(
+            a.value_from_bytes(&vb[..vb.len() - 1]),
+            Err(crate::DecodeError::Length { .. })
+        ));
+        let mut long = pb.clone();
+        long.push(0);
+        assert!(matches!(a.proof_from_bytes(&long), Err(crate::DecodeError::Length { .. })));
+
+        // corrupting the second proof point attributes to slot 1
+        let mut bad = pb.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40; // top coordinate byte → non-canonical or off-curve
+        match a.proof_from_bytes(&bad) {
+            Err(crate::DecodeError::Point { slot: 1, .. }) => {}
+            other => panic!("expected slot-1 point error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -228,8 +228,8 @@ impl Accumulator for Acc2 {
         "acc2"
     }
 
-    fn setup<E: AccElem>(&self, x: &MultiSet<E>) -> Acc2Value {
-        self.check_universe(x).expect("element index outside acc2 universe; raise keygen q");
+    fn try_setup<E: AccElem>(&self, x: &MultiSet<E>) -> Result<Acc2Value, AccError> {
+        self.check_universe(x)?;
         let q = self.pk.q;
         if self.fast_setup {
             if let Some(s) = &self.sk {
@@ -241,10 +241,10 @@ impl Accumulator for Acc2 {
                     a += Field::mul(&cf, &s.pow_limbs(&[idx]));
                     b += Field::mul(&cf, &s.pow_limbs(&[q - idx]));
                 }
-                return Acc2Value {
+                return Ok(Acc2Value {
                     da: G1Projective::generator().mul_fr(&a).to_affine(),
                     db: G2Projective::generator().mul_fr(&b).to_affine(),
-                };
+                });
             }
         }
         // d_A = Π (g1^{s^x})^{c_x} ; d_B = Π (g2^{s^{q-x}})^{c_x}.
@@ -266,7 +266,7 @@ impl Accumulator for Acc2 {
         }
         da = da.add(&sum_affine(&da_units));
         db = db.add(&sum_affine(&db_units));
-        Acc2Value { da: da.to_affine(), db: db.to_affine() }
+        Ok(Acc2Value { da: da.to_affine(), db: db.to_affine() })
     }
 
     fn prove_disjoint<E: AccElem>(
@@ -343,6 +343,30 @@ impl Accumulator for Acc2 {
 
     fn proof_size(&self) -> usize {
         G1Spec::COMPRESSED_BYTES // one compressed G1 point
+    }
+
+    fn value_from_bytes(&self, bytes: &[u8]) -> Result<Acc2Value, crate::DecodeError> {
+        if bytes.len() != self.value_size() {
+            return Err(crate::DecodeError::Length {
+                expected: self.value_size(),
+                got: bytes.len(),
+            });
+        }
+        let n = G1Spec::COMPRESSED_BYTES;
+        Ok(Acc2Value {
+            da: crate::decode_slot::<G1Spec>(&bytes[..n], 0)?,
+            db: crate::decode_slot::<G2Spec>(&bytes[n..], 1)?,
+        })
+    }
+
+    fn proof_from_bytes(&self, bytes: &[u8]) -> Result<Acc2Proof, crate::DecodeError> {
+        if bytes.len() != self.proof_size() {
+            return Err(crate::DecodeError::Length {
+                expected: self.proof_size(),
+                got: bytes.len(),
+            });
+        }
+        Ok(Acc2Proof { pi: crate::decode_slot::<G1Spec>(bytes, 0)? })
     }
 
     fn supports_aggregation(&self) -> bool {
@@ -584,6 +608,41 @@ mod tests {
         assert_eq!(batch_coefficients::<Acc2>(&items), batch_coefficients::<Acc2>(&items));
         let swapped = vec![items[1], items[0]];
         assert_ne!(batch_coefficients::<Acc2>(&items), batch_coefficients::<Acc2>(&swapped));
+    }
+
+    #[test]
+    fn try_setup_errors_instead_of_panicking() {
+        let a = acc();
+        assert!(matches!(
+            a.try_setup(&ms(&[64])), // q = 64 ⇒ max index 63
+            Err(AccError::CapacityExceeded { needed: 64, capacity: 63 })
+        ));
+        assert_eq!(a.try_setup(&ms(&[1, 2])).unwrap(), a.setup(&ms(&[1, 2])));
+    }
+
+    #[test]
+    fn wire_decode_round_trips_and_rejects_corruption() {
+        let a = acc();
+        let x1 = ms(&[1, 2]);
+        let x2 = ms(&[10]);
+        let v = a.setup(&x1);
+        let proof = a.prove_disjoint(&x1, &x2).unwrap();
+
+        let vb = Acc2::value_bytes(&v);
+        assert_eq!(a.value_from_bytes(&vb).unwrap(), v);
+        let pb = Acc2::proof_bytes(&proof);
+        assert_eq!(a.proof_from_bytes(&pb).unwrap(), proof);
+
+        assert!(matches!(a.value_from_bytes(&[]), Err(crate::DecodeError::Length { .. })));
+        assert!(matches!(a.proof_from_bytes(&pb[1..]), Err(crate::DecodeError::Length { .. })));
+
+        // corrupting the db half attributes to slot 1 (da is slot 0)
+        let mut bad = vb.clone();
+        bad[G1Spec::COMPRESSED_BYTES] ^= 0b100; // db's flag byte → invalid flags
+        match a.value_from_bytes(&bad) {
+            Err(crate::DecodeError::Point { slot: 1, .. }) => {}
+            other => panic!("expected slot-1 point error, got {other:?}"),
+        }
     }
 
     #[test]

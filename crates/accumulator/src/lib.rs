@@ -30,7 +30,7 @@ pub use poly::Poly;
 use core::fmt;
 use core::hash::Hash;
 
-use vchain_pairing::Fr;
+use vchain_pairing::{Affine, CurveSpec, Fr, PointDecodeError};
 
 /// An element that can be accumulated.
 ///
@@ -95,6 +95,53 @@ impl fmt::Display for AccError {
 
 impl std::error::Error for AccError {}
 
+/// Why untrusted wire bytes failed to decode into an accumulator value or
+/// proof. Produced by [`Accumulator::value_from_bytes`] /
+/// [`Accumulator::proof_from_bytes`], the inverse of the `*_bytes`
+/// serializers and the *only* path by which SP-supplied bytes become group
+/// elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The byte string is not exactly `value_size()` / `proof_size()` long.
+    Length {
+        /// The construction's fixed wire size.
+        expected: usize,
+        /// What arrived.
+        got: usize,
+    },
+    /// A component point failed the checked decode
+    /// ([`vchain_pairing::Affine::try_from_bytes`]).
+    Point {
+        /// Which fixed-size point slot (0-based, in serialization order).
+        slot: usize,
+        /// The underlying curve-level failure.
+        error: PointDecodeError,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Length { expected, got } => {
+                write!(f, "accumulator wire object must be {expected} bytes, got {got}")
+            }
+            DecodeError::Point { slot, error } => write!(f, "point slot {slot}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decode one fixed-size compressed point out of a concatenated wire object,
+/// attributing failures to its `slot` index. The caller has already checked
+/// the total length, so the slice here is exactly one point wide.
+pub(crate) fn decode_slot<S: CurveSpec>(
+    bytes: &[u8],
+    slot: usize,
+) -> Result<Affine<S>, DecodeError> {
+    Affine::<S>::try_from_bytes(bytes).map_err(|error| DecodeError::Point { slot, error })
+}
+
 /// Derive `n` random-linear-combination coefficients from a batch
 /// transcript, Fiat–Shamir style: the verifier hashes every value and proof
 /// in the batch, so the coefficients are fixed only *after* the prover has
@@ -154,8 +201,25 @@ pub trait Accumulator: Clone + Send + Sync + 'static {
     /// Short scheme name for experiment output ("acc1" / "acc2").
     fn name(&self) -> &'static str;
 
-    /// `Setup(X, pk) → acc(X)` — publicly computable.
-    fn setup<E: AccElem>(&self, x: &MultiSet<E>) -> Self::Value;
+    /// `Setup(X, pk) → acc(X)` — publicly computable. Convenience wrapper
+    /// over [`Accumulator::try_setup`] for *trusted* multisets (the miner /
+    /// SP side, and the verifier's own query clauses): panics when the
+    /// multiset exceeds the bound fixed at key generation. Code touching
+    /// attacker-influenced sets must call `try_setup` instead.
+    fn setup<E: AccElem>(&self, x: &MultiSet<E>) -> Self::Value {
+        match self.try_setup(x) {
+            Ok(v) => v,
+            Err(e) => panic!("accumulator setup exceeded key bounds: {e}"),
+        }
+    }
+
+    /// Fallible `Setup(X, pk) → acc(X)`: `Err(AccError::CapacityExceeded)`
+    /// when the multiset exceeds the degree / universe bound fixed at key
+    /// generation, instead of panicking. This is the form the verifier uses
+    /// on sets an adversary can influence — a decoded `ClauseRef` can intern
+    /// element encodings the honest key never covered, and that must be an
+    /// attributable rejection, not a crash.
+    fn try_setup<E: AccElem>(&self, x: &MultiSet<E>) -> Result<Self::Value, AccError>;
 
     /// `ProveDisjoint(X₁, X₂, pk) → π`, defined only when `X₁ ∩ X₂ = ∅`.
     fn prove_disjoint<E: AccElem>(
@@ -273,6 +337,19 @@ pub trait Accumulator: Clone + Send + Sync + 'static {
     /// Wire size of a proof in bytes. Must equal
     /// `Self::proof_bytes(p).len()` for every proof.
     fn proof_size(&self) -> usize;
+
+    /// Decode a value from untrusted wire bytes — the checked inverse of
+    /// [`Accumulator::value_bytes`]. Every component point passes the full
+    /// curve decode ladder (length, canonical coordinates, on-curve,
+    /// subgroup membership), so an `Ok` value is safe to feed to
+    /// [`Accumulator::verify_disjoint`] and the GLS scalar-multiplication
+    /// paths. Accepted bytes re-encode identically.
+    fn value_from_bytes(&self, bytes: &[u8]) -> Result<Self::Value, DecodeError>;
+
+    /// Decode a proof from untrusted wire bytes — the checked inverse of
+    /// [`Accumulator::proof_bytes`]; same guarantees as
+    /// [`Accumulator::value_from_bytes`].
+    fn proof_from_bytes(&self, bytes: &[u8]) -> Result<Self::Proof, DecodeError>;
 
     /// Whether `Sum`/`ProofSum` are available (Construction 2 only).
     fn supports_aggregation(&self) -> bool {

@@ -23,8 +23,8 @@ use vchain_core::intra::IntraTree;
 use vchain_core::miner::IndexScheme;
 use vchain_datagen::{Dataset, WorkloadSpec};
 use vchain_pairing::{
-    final_exponentiation, multi_miller_loop, multi_pairing, pairing, Field, Fp, Fp12, Fr,
-    G1Projective, G2Projective,
+    final_exponentiation, g1_subgroup_check, g2_subgroup_check, multi_miller_loop, multi_pairing,
+    pairing, Field, Fp, Fp12, Fr, G1Affine, G1Projective, G2Affine, G2Projective,
 };
 
 struct Timing {
@@ -106,6 +106,25 @@ fn main() {
         })
         .collect();
     timings.push(time("multi_pairing_10", 10, || multi_pairing(&pairs10)));
+
+    // --- untrusted decode boundary ---------------------------------------
+    // Wire-decode cost of checked point deserialization: subgroup membership
+    // alone, and the full ladder (length/canonical/on-curve/subgroup) from
+    // bytes. The acceptance bar is one pairing (~940 µs): a checked G2
+    // decode must stay below it so the decode boundary never dominates
+    // verification.
+    let p_aff = g1.mul_fr(&k).to_affine();
+    let q_aff = g2.mul_fr(&k).to_affine();
+    timings.push(time("g1_subgroup_check", 100, || g1_subgroup_check(&p_aff)));
+    timings.push(time("g2_subgroup_check", 100, || g2_subgroup_check(&q_aff)));
+    let p_bytes = p_aff.to_bytes();
+    let q_bytes = q_aff.to_bytes();
+    timings.push(time("g1_decode_checked", 100, || {
+        G1Affine::try_from_bytes(&p_bytes).expect("round-trip")
+    }));
+    timings.push(time("g2_decode_checked", 100, || {
+        G2Affine::try_from_bytes(&q_bytes).expect("round-trip")
+    }));
 
     // --- accumulator layer ----------------------------------------------
     let acc1 = shared_acc1();
@@ -302,6 +321,19 @@ fn main() {
     timings.push(scan_cold);
     let scan_warm = time("multi_window_scan_warm", 3, || sp.time_window_queries(&windows));
     timings.push(scan_warm);
+
+    // --- checked VO wire decode ------------------------------------------
+    // A full window response through the untrusted byte boundary: structural
+    // parse plus a checked deserialization of every accumulator value and
+    // proof in the VO (the price a light client pays before verification
+    // proper begins).
+    let resp = sp.time_window_query(&windows[0]);
+    let encoded = vchain_core::wire::encode_response(&resp);
+    let sp_acc = sp.acc.clone();
+    eprintln!("[bench-smoke] vo_decode_checked input: {} bytes", encoded.len());
+    timings.push(time("vo_decode_checked", 5, || {
+        vchain_core::wire::decode_response(&sp_acc, &encoded).expect("honest VO decodes")
+    }));
 
     // --- JSON output -----------------------------------------------------
     let mut json = String::from("{\n  \"schema\": \"vchain-bench-smoke/v1\",\n  \"timings\": [\n");

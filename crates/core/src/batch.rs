@@ -10,6 +10,9 @@
 //! (the `batch` flag) and checked in [`crate::verify`]; this module holds
 //! the cross-block aggregation used by the lazy subscription path (§7.2).
 
+// Aggregation feeds verifier-side checks; keep it panic-free.
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::unreachable)]
+
 use vchain_acc::{AccError, Accumulator, MultiSet};
 
 use crate::element::ElementId;

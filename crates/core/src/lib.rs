@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod batch;
 pub mod cache;
 pub mod element;
@@ -41,7 +42,9 @@ pub mod subscribe;
 pub mod trans;
 pub mod verify;
 pub mod vo;
+pub mod wire;
 
+pub use adversary::Adversary;
 pub use cache::{CacheStats, ProofCache};
 pub use element::{Element, ElementId};
 pub use inter::{SkipEntry, SkipList};
@@ -49,6 +52,10 @@ pub use intra::{IntraNodeKind, IntraTree};
 pub use miner::{IndexScheme, Miner, MinerConfig};
 pub use query::{Clause, Cnf, CompiledQuery, Query, RangeSpec};
 pub use sp::ServiceProvider;
+pub use subscribe::verify_encoded_subscription_update;
 pub use subscribe::{SubscriptionEngine, SubscriptionMode, SubscriptionUpdate};
-pub use verify::{verify_response, VerifyError};
+pub use verify::{verify_encoded_response, verify_response, VerifyError};
 pub use vo::{BlockCoverage, ClauseRef, QueryResponse, VoNode, VoSize};
+pub use wire::{
+    decode_response, decode_update, encode_response, encode_update, WireError, MAX_VO_DEPTH,
+};

@@ -71,8 +71,33 @@ pub fn verify_subscription_update<A: Accumulator>(
     cfg: &MinerConfig,
     acc: &A,
 ) -> Result<Vec<Object>, VerifyError> {
+    // The interval is an untrusted claim: anchor it to the user's own
+    // headers *before* materializing it, or a wire value like
+    // `[0, u64::MAX]` turns the collect below into an allocation bomb.
+    if update.from_height > update.to_height
+        || light.header(update.from_height).is_none()
+        || light.header(update.to_height).is_none()
+    {
+        return Err(VerifyError::InvalidUpdateInterval {
+            from: update.from_height,
+            to: update.to_height,
+        });
+    }
     let expected = (update.from_height..=update.to_height).collect();
     verify_with_expected(q, &update.response(), light, cfg, acc, expected)
+}
+
+/// Verify a subscription update straight from untrusted wire bytes:
+/// structural decode ([`crate::wire`]) then full verification.
+pub fn verify_encoded_subscription_update<A: Accumulator>(
+    q: &CompiledQuery,
+    bytes: &[u8],
+    light: &LightClient,
+    cfg: &MinerConfig,
+    acc: &A,
+) -> Result<Vec<Object>, VerifyError> {
+    let update = crate::wire::decode_update(acc, bytes).map_err(VerifyError::Malformed)?;
+    verify_subscription_update(q, &update, light, cfg, acc)
 }
 
 /// Per-query lazy-mode state: buffered whole-block mismatches, all sharing

@@ -11,6 +11,11 @@
 //!   roots, so no leaf can be hidden; every in-window block is covered
 //!   exactly once; skips verify against the committed skip-list roots.
 
+// This module sits on the Byzantine-SP boundary: every function here runs
+// on attacker-shaped input, so panicking constructs are denied outright
+// (audited again by the `panic_audit` integration test).
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::unreachable)]
+
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use vchain_acc::{Accumulator, MultiSet};
@@ -89,6 +94,20 @@ pub enum VerifyError {
     },
     /// Batch groups require an aggregating accumulator.
     AggregationUnsupported,
+    /// Time-window verification was invoked on a query compiled without a
+    /// window (a subscription query fed to the wrong entry point).
+    MissingWindow,
+    /// A subscription update claims an invalid or unanchored height
+    /// interval (`from > to`, or endpoints beyond the known chain).
+    InvalidUpdateInterval {
+        /// Claimed first covered height.
+        from: u64,
+        /// Claimed last covered height.
+        to: u64,
+    },
+    /// The response bytes failed structural decoding before any
+    /// cryptographic check ran.
+    Malformed(crate::wire::WireError),
 }
 
 impl core::fmt::Display for VerifyError {
@@ -99,6 +118,20 @@ impl core::fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+/// Verify a time-window query response straight from untrusted wire bytes:
+/// structural decode ([`crate::wire`]) then full verification. This is the
+/// light client's network-facing entry point — no input can panic it.
+pub fn verify_encoded_response<A: Accumulator>(
+    q: &CompiledQuery,
+    bytes: &[u8],
+    light: &LightClient,
+    cfg: &MinerConfig,
+    acc: &A,
+) -> Result<Vec<Object>, VerifyError> {
+    let response = crate::wire::decode_response(acc, bytes).map_err(VerifyError::Malformed)?;
+    verify_response(q, &response, light, cfg, acc)
+}
+
 /// Verify a time-window query response against the light client's headers.
 /// On success returns the verified result objects (newest block first).
 pub fn verify_response<A: Accumulator>(
@@ -108,7 +141,7 @@ pub fn verify_response<A: Accumulator>(
     cfg: &MinerConfig,
     acc: &A,
 ) -> Result<Vec<Object>, VerifyError> {
-    let (ts, te) = q.time_window.expect("time-window verification requires a window");
+    let (ts, te) = q.time_window.ok_or(VerifyError::MissingWindow)?;
 
     // Expected coverage: every known block whose timestamp is in-window.
     let expected: BTreeSet<u64> = light
@@ -311,7 +344,9 @@ pub fn resolve_clause<A: Accumulator>(
         return Some(v.clone());
     }
     let ms = clause.resolve(q).ok()?;
-    let v = acc.setup(&ms);
+    // The reference decoded from the VO can name element sets the key was
+    // never sized for — that is the SP's problem, not a verifier panic.
+    let v = acc.try_setup(&ms).ok()?;
     cache.0.insert(key, v.clone());
     Some(v)
 }

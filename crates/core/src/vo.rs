@@ -6,6 +6,9 @@
 //! subtrees carry a disjointness proof, matched leaves point into the result
 //! set. Inter-block skips and §6.3 batch-verification groups ride alongside.
 
+// Decoded VOs are attacker-shaped; resolution paths must not panic.
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::unreachable)]
+
 use vchain_acc::{AccError, Accumulator, MultiSet};
 use vchain_chain::Object;
 use vchain_hash::Digest;
@@ -46,6 +49,17 @@ pub enum ClauseError {
     },
     /// The cell lists no prefixes.
     EmptyCell,
+    /// A cell prefix is malformed: zero length, length beyond the query's
+    /// domain width, or bits wider than the stated length. (A decoded VO can
+    /// carry any `(len, bits)` pair; unchecked, these would trip the
+    /// precondition assert in [`crate::trans::prefix_interval`].)
+    InvalidPrefix {
+        /// The offending prefix length.
+        len: u8,
+    },
+    /// The resolved element set exceeds the accumulator's key bound, so no
+    /// honest proof against it can exist.
+    Unaccumulatable,
 }
 
 impl ClauseRef {
@@ -60,12 +74,21 @@ impl ClauseRef {
                 if prefixes.is_empty() {
                     return Err(ClauseError::EmptyCell);
                 }
+                // `len`/`bits` arrive from the wire; reject anything outside
+                // the domain the query was compiled against *before* doing
+                // interval arithmetic on it.
+                if *len == 0 || *len > q.domain_bits || q.domain_bits > 64 {
+                    return Err(ClauseError::InvalidPrefix { len: *len });
+                }
                 // Disjoint(W, cell-prefixes) proves every covered object
                 // lies outside each dimension's slab, hence outside the
                 // cell. That implies a query mismatch only when the query's
                 // own range box is contained in the cell — checked per dim.
                 let mut out = MultiSet::new();
                 for (dim, bits) in prefixes {
+                    if (*len as u32) < 64 && (*bits >> *len) != 0 {
+                        return Err(ClauseError::InvalidPrefix { len: *len });
+                    }
                     let r = q
                         .ranges
                         .iter()
@@ -280,13 +303,16 @@ impl<A: Accumulator> QueryResponse<A> {
 }
 
 /// Convenience: the accumulator value of a resolved clause (verifier side).
+/// The clause reference comes from the untrusted VO, so accumulation is
+/// fallible: a set the key cannot cover is [`ClauseError::Unaccumulatable`],
+/// never a panic.
 pub fn clause_acc_value<A: Accumulator>(
     acc: &A,
     q: &CompiledQuery,
     clause: &ClauseRef,
 ) -> Result<(MultiSet<ElementId>, A::Value), ClauseError> {
     let ms = clause.resolve(q)?;
-    let v = acc.setup(&ms);
+    let v = acc.try_setup(&ms).map_err(|_| ClauseError::Unaccumulatable)?;
     Ok((ms, v))
 }
 

@@ -1,0 +1,627 @@
+//! The untrusted wire boundary: byte codecs for SP-supplied responses.
+//!
+//! Everything the service provider ships to the light client —
+//! [`QueryResponse`] for time-window queries, [`SubscriptionUpdate`] for
+//! subscriptions — crosses the network as bytes an adversary controls
+//! end-to-end. This module is the *only* place those bytes become typed
+//! values, and it holds the line the threat model (paper §3, §8) requires:
+//!
+//! * **Total decoding** — every decode path returns [`WireError`]; no input,
+//!   however malformed, panics, overflows, or aborts.
+//! * **No attacker-sized allocation** — claimed collection counts are
+//!   checked against the bytes actually present (each element consumes at
+//!   least its minimum wire size) before a single element is read, and
+//!   buffers are never pre-reserved from a claimed length.
+//! * **Bounded recursion** — a [`VoNode`] tree deeper than
+//!   [`MAX_VO_DEPTH`] is rejected, so a crafted VO cannot blow the stack.
+//! * **Checked points** — accumulator values and proofs decode through
+//!   [`Accumulator::value_from_bytes`] / [`Accumulator::proof_from_bytes`],
+//!   which run the full curve ladder (canonical coordinate, on-curve,
+//!   subgroup membership) on every compressed point.
+//! * **Canonical form** — trailing bytes are rejected, and every accepted
+//!   input re-encodes byte-identically (there is exactly one encoding per
+//!   value), so byte strings can be hashed or compared in place of values.
+//!
+//! The encoders are infallible: they serialize honestly-constructed values
+//! (the SP side). The decoders are the adversarial surface.
+
+#![deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable,
+    clippy::indexing_slicing
+)]
+
+use vchain_acc::Accumulator;
+use vchain_chain::Object;
+use vchain_hash::Digest;
+
+use crate::subscribe::SubscriptionUpdate;
+use crate::vo::{
+    BlockCoverage, BlockVo, ClauseRef, GroupProof, MismatchProof, QueryResponse, VoNode,
+};
+
+/// Wire-format version byte; the first byte of every encoded response.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Maximum accepted [`VoNode`] nesting depth. An honest VO mirrors the
+/// intra-block index, whose depth is `⌈log₂(objects per block)⌉`, so 64
+/// levels is beyond any realizable block while keeping decoder stack use
+/// trivially bounded.
+pub const MAX_VO_DEPTH: usize = 64;
+
+/// Why untrusted response bytes failed structural decoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before a field it promised.
+    Truncated {
+        /// Bytes the next field needed.
+        needed: usize,
+        /// Bytes actually left.
+        remaining: usize,
+    },
+    /// The leading version byte is not [`WIRE_VERSION`].
+    UnsupportedVersion(u8),
+    /// An enum tag byte has no corresponding variant.
+    BadTag {
+        /// Which enum was being decoded.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A claimed collection count exceeds what the remaining bytes could
+    /// possibly hold — rejected before any allocation.
+    Oversized {
+        /// Which collection was being decoded.
+        what: &'static str,
+        /// The claimed element count.
+        count: u64,
+        /// Bytes actually left.
+        remaining: usize,
+    },
+    /// A [`VoNode`] tree nests deeper than [`MAX_VO_DEPTH`].
+    DepthExceeded {
+        /// The enforced bound.
+        max: usize,
+    },
+    /// A keyword string is not valid UTF-8.
+    BadUtf8,
+    /// An accumulator value or proof failed the checked point decode.
+    Accumulator(vchain_acc::DecodeError),
+    /// Bytes remained after the top-level value was fully decoded.
+    TrailingBytes {
+        /// How many bytes were left over.
+        count: usize,
+    },
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated { needed, remaining } => {
+                write!(f, "input truncated: needed {needed} bytes, {remaining} left")
+            }
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadTag { what, tag } => write!(f, "invalid tag {tag} for {what}"),
+            WireError::Oversized { what, count, remaining } => {
+                write!(f, "{what} claims {count} elements but only {remaining} bytes remain")
+            }
+            WireError::DepthExceeded { max } => write!(f, "VO tree deeper than {max} levels"),
+            WireError::BadUtf8 => write!(f, "keyword is not valid UTF-8"),
+            WireError::Accumulator(e) => write!(f, "accumulator object: {e}"),
+            WireError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after the encoded value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Collection counts are `u32` on the wire; honest collections are far
+    /// below `u32::MAX`, and saturating keeps the encoder total.
+    fn count(&mut self, n: usize) {
+        self.u32(u32::try_from(n).unwrap_or(u32::MAX));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(WireError::Truncated { needed: n, remaining: self.remaining() })?;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(WireError::Truncated { needed: n, remaining: self.remaining() })?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        self.take(1).map(|s| s.first().copied().unwrap_or(0))
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        self.take(2).map(|s| le_bytes(s) as u16)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        self.take(4).map(|s| le_bytes(s) as u32)
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        self.take(8).map(le_bytes)
+    }
+
+    fn digest(&mut self) -> Result<Digest, WireError> {
+        let s = self.take(Digest::LEN)?;
+        let mut d = [0u8; Digest::LEN];
+        for (dst, src) in d.iter_mut().zip(s) {
+            *dst = *src;
+        }
+        Ok(Digest(d))
+    }
+
+    /// Read a collection count and reject it up-front unless the remaining
+    /// bytes could hold `count` elements of at least `min_item` bytes each.
+    /// Decoders then grow their vectors element by element, so memory use
+    /// is bounded by the input length regardless of the claimed count.
+    fn count(&mut self, what: &'static str, min_item: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        let need = n.checked_mul(min_item.max(1)).ok_or(WireError::Oversized {
+            what,
+            count: n as u64,
+            remaining: self.remaining(),
+        })?;
+        if need > self.remaining() {
+            return Err(WireError::Oversized {
+                what,
+                count: n as u64,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            count => Err(WireError::TrailingBytes { count }),
+        }
+    }
+}
+
+/// Little-endian integer from at most 8 bytes (panic-free by construction).
+fn le_bytes(s: &[u8]) -> u64 {
+    s.iter().rev().fold(0u64, |acc, &b| (acc << 8) | u64::from(b))
+}
+
+// ---------------------------------------------------------------------------
+// Leaf codecs
+// ---------------------------------------------------------------------------
+
+fn put_value<A: Accumulator>(w: &mut Writer, v: &A::Value) {
+    w.bytes(&A::value_bytes(v));
+}
+
+fn get_value<A: Accumulator>(r: &mut Reader<'_>, acc: &A) -> Result<A::Value, WireError> {
+    let bytes = r.take(acc.value_size())?;
+    acc.value_from_bytes(bytes).map_err(WireError::Accumulator)
+}
+
+fn put_proof<A: Accumulator>(w: &mut Writer, p: &A::Proof) {
+    w.bytes(&A::proof_bytes(p));
+}
+
+fn get_proof<A: Accumulator>(r: &mut Reader<'_>, acc: &A) -> Result<A::Proof, WireError> {
+    let bytes = r.take(acc.proof_size())?;
+    acc.proof_from_bytes(bytes).map_err(WireError::Accumulator)
+}
+
+fn put_string(w: &mut Writer, s: &str) {
+    w.count(s.len());
+    w.bytes(s.as_bytes());
+}
+
+fn get_string(r: &mut Reader<'_>) -> Result<String, WireError> {
+    let len = r.count("string", 1)?;
+    let bytes = r.take(len)?;
+    core::str::from_utf8(bytes).map(str::to_owned).map_err(|_| WireError::BadUtf8)
+}
+
+fn put_object(w: &mut Writer, o: &Object) {
+    w.u64(o.id);
+    w.u64(o.timestamp);
+    w.count(o.numeric.len());
+    for v in &o.numeric {
+        w.u64(*v);
+    }
+    w.count(o.keywords.len());
+    for k in &o.keywords {
+        put_string(w, k);
+    }
+}
+
+fn get_object(r: &mut Reader<'_>) -> Result<Object, WireError> {
+    let id = r.u64()?;
+    let timestamp = r.u64()?;
+    let n_numeric = r.count("object numeric vector", 8)?;
+    let mut numeric = Vec::new();
+    for _ in 0..n_numeric {
+        numeric.push(r.u64()?);
+    }
+    let n_kw = r.count("object keywords", 4)?;
+    let mut keywords = Vec::new();
+    for _ in 0..n_kw {
+        keywords.push(get_string(r)?);
+    }
+    Ok(Object { id, timestamp, numeric, keywords })
+}
+
+fn put_clause(w: &mut Writer, c: &ClauseRef) {
+    match c {
+        ClauseRef::Index(i) => {
+            w.u8(0);
+            w.u16(*i);
+        }
+        ClauseRef::Cell { len, prefixes } => {
+            w.u8(1);
+            w.u8(*len);
+            w.count(prefixes.len());
+            for (dim, bits) in prefixes {
+                w.u8(*dim);
+                w.u64(*bits);
+            }
+        }
+    }
+}
+
+fn get_clause(r: &mut Reader<'_>) -> Result<ClauseRef, WireError> {
+    match r.u8()? {
+        0 => Ok(ClauseRef::Index(r.u16()?)),
+        1 => {
+            let len = r.u8()?;
+            let n = r.count("cell prefixes", 9)?;
+            let mut prefixes = Vec::new();
+            for _ in 0..n {
+                let dim = r.u8()?;
+                let bits = r.u64()?;
+                prefixes.push((dim, bits));
+            }
+            Ok(ClauseRef::Cell { len, prefixes })
+        }
+        tag => Err(WireError::BadTag { what: "ClauseRef", tag }),
+    }
+}
+
+fn put_mismatch<A: Accumulator>(w: &mut Writer, m: &MismatchProof<A>) {
+    match m {
+        MismatchProof::Inline { proof, clause } => {
+            w.u8(0);
+            put_proof::<A>(w, proof);
+            put_clause(w, clause);
+        }
+        MismatchProof::Group(gid) => {
+            w.u8(1);
+            w.u16(*gid);
+        }
+    }
+}
+
+fn get_mismatch<A: Accumulator>(
+    r: &mut Reader<'_>,
+    acc: &A,
+) -> Result<MismatchProof<A>, WireError> {
+    match r.u8()? {
+        0 => {
+            let proof = get_proof(r, acc)?;
+            let clause = get_clause(r)?;
+            Ok(MismatchProof::Inline { proof, clause })
+        }
+        1 => Ok(MismatchProof::Group(r.u16()?)),
+        tag => Err(WireError::BadTag { what: "MismatchProof", tag }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VO tree
+// ---------------------------------------------------------------------------
+
+fn put_node<A: Accumulator>(w: &mut Writer, node: &VoNode<A>) {
+    match node {
+        VoNode::Internal { att, left, right } => {
+            w.u8(0);
+            match att {
+                Some(a) => {
+                    w.u8(1);
+                    put_value::<A>(w, a);
+                }
+                None => w.u8(0),
+            }
+            put_node(w, left);
+            put_node(w, right);
+        }
+        VoNode::InternalMismatch { child_hash, att, proof } => {
+            w.u8(1);
+            w.bytes(child_hash.as_bytes());
+            put_value::<A>(w, att);
+            put_mismatch(w, proof);
+        }
+        VoNode::LeafMatch { att, result_idx } => {
+            w.u8(2);
+            put_value::<A>(w, att);
+            w.u32(*result_idx);
+        }
+        VoNode::LeafMismatch { obj_hash, att, proof } => {
+            w.u8(3);
+            w.bytes(obj_hash.as_bytes());
+            put_value::<A>(w, att);
+            put_mismatch(w, proof);
+        }
+    }
+}
+
+fn get_node<A: Accumulator>(
+    r: &mut Reader<'_>,
+    acc: &A,
+    depth: usize,
+) -> Result<VoNode<A>, WireError> {
+    if depth >= MAX_VO_DEPTH {
+        return Err(WireError::DepthExceeded { max: MAX_VO_DEPTH });
+    }
+    match r.u8()? {
+        0 => {
+            let att = match r.u8()? {
+                0 => None,
+                1 => Some(get_value(r, acc)?),
+                tag => return Err(WireError::BadTag { what: "optional AttDigest", tag }),
+            };
+            let left = Box::new(get_node(r, acc, depth + 1)?);
+            let right = Box::new(get_node(r, acc, depth + 1)?);
+            Ok(VoNode::Internal { att, left, right })
+        }
+        1 => {
+            let child_hash = r.digest()?;
+            let att = get_value(r, acc)?;
+            let proof = get_mismatch(r, acc)?;
+            Ok(VoNode::InternalMismatch { child_hash, att, proof })
+        }
+        2 => {
+            let att = get_value(r, acc)?;
+            let result_idx = r.u32()?;
+            Ok(VoNode::LeafMatch { att, result_idx })
+        }
+        3 => {
+            let obj_hash = r.digest()?;
+            let att = get_value(r, acc)?;
+            let proof = get_mismatch(r, acc)?;
+            Ok(VoNode::LeafMismatch { obj_hash, att, proof })
+        }
+        tag => Err(WireError::BadTag { what: "VoNode", tag }),
+    }
+}
+
+fn put_block_vo<A: Accumulator>(w: &mut Writer, vo: &BlockVo<A>) {
+    put_node(w, &vo.root);
+    w.count(vo.groups.len());
+    for g in &vo.groups {
+        put_clause(w, &g.clause);
+        put_proof::<A>(w, &g.proof);
+    }
+}
+
+fn get_block_vo<A: Accumulator>(r: &mut Reader<'_>, acc: &A) -> Result<BlockVo<A>, WireError> {
+    let root = get_node(r, acc, 0)?;
+    let n = r.count("batch groups", acc.proof_size().saturating_add(1))?;
+    let mut groups = Vec::new();
+    for _ in 0..n {
+        let clause = get_clause(r)?;
+        let proof = get_proof(r, acc)?;
+        groups.push(GroupProof { clause, proof });
+    }
+    Ok(BlockVo { root, groups })
+}
+
+fn put_coverage<A: Accumulator>(w: &mut Writer, cov: &BlockCoverage<A>) {
+    match cov {
+        BlockCoverage::Block { height, vo } => {
+            w.u8(0);
+            w.u64(*height);
+            put_block_vo(w, vo);
+        }
+        BlockCoverage::Skip { height, distance, att, proof, clause, siblings } => {
+            w.u8(1);
+            w.u64(*height);
+            w.u64(*distance);
+            put_value::<A>(w, att);
+            put_proof::<A>(w, proof);
+            put_clause(w, clause);
+            w.count(siblings.len());
+            for (d, h) in siblings {
+                w.u64(*d);
+                w.bytes(h.as_bytes());
+            }
+        }
+    }
+}
+
+fn get_coverage<A: Accumulator>(
+    r: &mut Reader<'_>,
+    acc: &A,
+) -> Result<BlockCoverage<A>, WireError> {
+    match r.u8()? {
+        0 => {
+            let height = r.u64()?;
+            let vo = get_block_vo(r, acc)?;
+            Ok(BlockCoverage::Block { height, vo })
+        }
+        1 => {
+            let height = r.u64()?;
+            let distance = r.u64()?;
+            let att = get_value(r, acc)?;
+            let proof = get_proof(r, acc)?;
+            let clause = get_clause(r)?;
+            let n = r.count("skip siblings", 8 + Digest::LEN)?;
+            let mut siblings = Vec::new();
+            for _ in 0..n {
+                let d = r.u64()?;
+                let h = r.digest()?;
+                siblings.push((d, h));
+            }
+            Ok(BlockCoverage::Skip { height, distance, att, proof, clause, siblings })
+        }
+        tag => Err(WireError::BadTag { what: "BlockCoverage", tag }),
+    }
+}
+
+fn put_results(w: &mut Writer, results: &[(u64, Vec<Object>)]) {
+    w.count(results.len());
+    for (height, objs) in results {
+        w.u64(*height);
+        w.count(objs.len());
+        for o in objs {
+            put_object(w, o);
+        }
+    }
+}
+
+fn get_results(r: &mut Reader<'_>) -> Result<Vec<(u64, Vec<Object>)>, WireError> {
+    let n_blocks = r.count("result blocks", 12)?;
+    let mut results = Vec::new();
+    for _ in 0..n_blocks {
+        let height = r.u64()?;
+        let n_objs = r.count("result objects", 24)?;
+        let mut objs = Vec::new();
+        for _ in 0..n_objs {
+            objs.push(get_object(r)?);
+        }
+        results.push((height, objs));
+    }
+    Ok(results)
+}
+
+// ---------------------------------------------------------------------------
+// Top-level entry points
+// ---------------------------------------------------------------------------
+
+/// Serialize a time-window query response (SP side, infallible).
+pub fn encode_response<A: Accumulator>(response: &QueryResponse<A>) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.u8(WIRE_VERSION);
+    put_results(&mut w, &response.results);
+    w.count(response.coverage.len());
+    for cov in &response.coverage {
+        put_coverage(&mut w, cov);
+    }
+    w.buf
+}
+
+/// Decode a time-window query response from untrusted bytes. `Ok` means
+/// the structure is well-formed and every point passed the curve ladder —
+/// the *cryptographic* checks still run in [`crate::verify`].
+pub fn decode_response<A: Accumulator>(
+    acc: &A,
+    bytes: &[u8],
+) -> Result<QueryResponse<A>, WireError> {
+    let mut r = Reader::new(bytes);
+    match r.u8()? {
+        WIRE_VERSION => {}
+        v => return Err(WireError::UnsupportedVersion(v)),
+    }
+    let results = get_results(&mut r)?;
+    let n_cov = r.count("coverage entries", 9)?;
+    let mut coverage = Vec::new();
+    for _ in 0..n_cov {
+        coverage.push(get_coverage(&mut r, acc)?);
+    }
+    r.finish()?;
+    Ok(QueryResponse { results, coverage })
+}
+
+/// Serialize a subscription update (SP side, infallible).
+pub fn encode_update<A: Accumulator>(update: &SubscriptionUpdate<A>) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.u8(WIRE_VERSION);
+    w.u32(update.query_id);
+    w.u64(update.from_height);
+    w.u64(update.to_height);
+    put_results(&mut w, &update.results);
+    w.count(update.coverage.len());
+    for cov in &update.coverage {
+        put_coverage(&mut w, cov);
+    }
+    w.buf
+}
+
+/// Decode a subscription update from untrusted bytes.
+pub fn decode_update<A: Accumulator>(
+    acc: &A,
+    bytes: &[u8],
+) -> Result<SubscriptionUpdate<A>, WireError> {
+    let mut r = Reader::new(bytes);
+    match r.u8()? {
+        WIRE_VERSION => {}
+        v => return Err(WireError::UnsupportedVersion(v)),
+    }
+    let query_id = r.u32()?;
+    let from_height = r.u64()?;
+    let to_height = r.u64()?;
+    let results = get_results(&mut r)?;
+    let n_cov = r.count("coverage entries", 9)?;
+    let mut coverage = Vec::new();
+    for _ in 0..n_cov {
+        coverage.push(get_coverage(&mut r, acc)?);
+    }
+    r.finish()?;
+    Ok(SubscriptionUpdate { query_id, from_height, to_height, results, coverage })
+}

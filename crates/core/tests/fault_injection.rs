@@ -1,0 +1,454 @@
+//! Adversarial fault-injection suite: the Byzantine-SP experiment of
+//! paper §8, run mechanically at scale.
+//!
+//! A seeded [`Adversary`] derives thousands of corrupted variants of an
+//! honestly produced response — byte-level (bit flips, truncation,
+//! splices, chunk swaps, extensions, wrong-subgroup point substitution)
+//! and structure-level (AttDigest swaps, witness replay across blocks,
+//! dropped results, dropped coverage, forged results, redirected leaves) —
+//! and drives every one through the wire decoder and full verification.
+//!
+//! Invariants asserted for *every* mutation, across both accumulator
+//! constructions:
+//!
+//! 1. **zero panics** — each drive runs under `catch_unwind`;
+//! 2. **100% rejection** — a mutant that still decodes must fail
+//!    verification (mutations that round-trip to the original bytes are
+//!    detected and skipped as no-ops);
+//! 3. **classified errors** — every rejection maps to a named
+//!    [`VerifyError`] variant (decode failures surface as
+//!    `VerifyError::Malformed`).
+//!
+//! Iteration count per construction comes from `VCHAIN_FUZZ_ITERS`
+//! (default 500, giving ≥1000 mutations across Acc1 + Acc2); the seed is
+//! fixed, so any failure replays from its printed `(seed, iteration)`.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vchain_acc::{Acc1, Acc2, Accumulator};
+use vchain_chain::{Difficulty, LightClient, Object};
+use vchain_core::adversary::{for_each_value, Adversary};
+use vchain_core::miner::{IndexScheme, Miner, MinerConfig};
+use vchain_core::query::{Query, RangeSpec};
+use vchain_core::subscribe::{
+    verify_subscription_update, SubscriptionEngine, SubscriptionMode, SubscriptionUpdate,
+};
+use vchain_core::verify::{verify_encoded_response, verify_response, VerifyError};
+use vchain_core::vo::ClauseRef;
+use vchain_core::wire::{decode_response, encode_response, encode_update};
+use vchain_pairing::{g1_subgroup_check, Field, Fp, G1Affine};
+
+const DOMAIN_BITS: u8 = 6;
+
+fn fuzz_iters() -> usize {
+    std::env::var("VCHAIN_FUZZ_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(500)
+}
+
+fn cfg(scheme: IndexScheme) -> MinerConfig {
+    MinerConfig { scheme, skip_levels: 3, domain_bits: DOMAIN_BITS, difficulty: Difficulty(2) }
+}
+
+/// Small deterministic workload: enough blocks for skips, small enough to
+/// keep a thousand verifications fast.
+fn workload(seed: u64, blocks: usize, per_block: usize) -> Vec<Vec<Object>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kinds = ["Sedan", "Van", "Truck"];
+    let brands = ["Benz", "BMW", "Audi"];
+    let mut id = 0;
+    (0..blocks)
+        .map(|b| {
+            (0..per_block)
+                .map(|_| {
+                    id += 1;
+                    Object::new(
+                        id,
+                        (b as u64 + 1) * 10,
+                        vec![rng.gen_range(0..64), rng.gen_range(0..64)],
+                        vec![
+                            kinds[rng.gen_range(0..kinds.len())].to_string(),
+                            brands[rng.gen_range(0..brands.len())].to_string(),
+                        ],
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn build_chain<A: Accumulator>(scheme: IndexScheme, acc: A) -> (Miner<A>, LightClient) {
+    let c = cfg(scheme);
+    let mut miner = Miner::new(c, acc);
+    let mut light = LightClient::new(c.difficulty);
+    for (i, objs) in workload(7, 8, 3).into_iter().enumerate() {
+        miner.mine_block((i as u64 + 1) * 10, objs);
+    }
+    for h in miner.headers() {
+        light.sync_header(h).expect("headers validate");
+    }
+    (miner, light)
+}
+
+fn sample_query() -> Query {
+    Query {
+        time_window: Some((20, 70)),
+        ranges: vec![RangeSpec { dim: 0, lo: 5, hi: 40 }],
+        keywords: vec![vec!["Sedan".into(), "Van".into()], vec!["Benz".into(), "BMW".into()]],
+    }
+}
+
+/// Every rejection must map onto a named taxonomy variant; this is the
+/// "classified error" half of the acceptance criterion.
+fn classify(e: &VerifyError) -> &'static str {
+    match e {
+        VerifyError::RootMismatch { .. } => "RootMismatch",
+        VerifyError::BadProof { .. } => "BadProof",
+        VerifyError::BadClause { .. } => "BadClause",
+        VerifyError::ResultNotMatching { .. } => "ResultNotMatching",
+        VerifyError::ResultIndexing { .. } => "ResultIndexing",
+        VerifyError::MissingCoverage { .. } => "MissingCoverage",
+        VerifyError::DuplicateCoverage { .. } => "DuplicateCoverage",
+        VerifyError::SkipHashMismatch { .. } => "SkipHashMismatch",
+        VerifyError::SkipRootMismatch { .. } => "SkipRootMismatch",
+        VerifyError::SchemeViolation => "SchemeViolation",
+        VerifyError::UnknownBlock { .. } => "UnknownBlock",
+        VerifyError::BadGroup { .. } => "BadGroup",
+        VerifyError::AggregationUnsupported => "AggregationUnsupported",
+        VerifyError::MissingWindow => "MissingWindow",
+        VerifyError::InvalidUpdateInterval { .. } => "InvalidUpdateInterval",
+        VerifyError::Malformed(_) => "Malformed",
+    }
+}
+
+/// A compressed G1 encoding that is on-curve but *outside* the
+/// prime-order subgroup (the cofactor is ≈2¹²⁵, so a random curve point
+/// is essentially never in G1). Both constructions lead with a G1 slot in
+/// their value encoding, so this splices into either.
+fn wrong_subgroup_g1_bytes() -> Vec<u8> {
+    for ctr in 0u64.. {
+        let x = Fp::hash_to_field(&ctr.to_le_bytes());
+        let mut bytes = vec![0u8];
+        bytes.extend_from_slice(&x.to_canonical_bytes());
+        if let Ok(p) = G1Affine::try_from_bytes_on_curve(&bytes) {
+            if !g1_subgroup_check(&p) {
+                return bytes;
+            }
+        }
+    }
+    unreachable!("half of all x coordinates are on-curve");
+}
+
+struct Tally {
+    rejected: BTreeMap<&'static str, usize>,
+    noops: usize,
+    driven: usize,
+}
+
+fn run_fault_injection<A: Accumulator>(scheme: IndexScheme, acc: A, seed: u64, iters: usize) {
+    let (miner, light) = build_chain(scheme, acc);
+    let q = sample_query().compile(DOMAIN_BITS);
+    let sp = miner.into_service_provider();
+    let honest = sp.time_window_query(&q);
+    let cfg = sp.cfg;
+    let acc = &sp.acc;
+
+    // Honest baseline: verifies, and the encoding round-trips byte-identically.
+    verify_response(&q, &honest, &light, &cfg, acc).expect("honest response verifies");
+    let encoded = encode_response(&honest);
+    let decoded = decode_response(acc, &encoded).expect("honest encoding decodes");
+    assert_eq!(encode_response(&decoded), encoded, "decode∘encode must be the identity");
+    verify_encoded_response(&q, &encoded, &light, &cfg, acc)
+        .expect("honest encoding verifies end-to-end");
+
+    // Wrong-subgroup substitution target: the first AttDigest slot's G1
+    // component, located in the encoding by its honest bytes.
+    let mut first_value = None;
+    let mut cov = honest.coverage.clone();
+    for_each_value::<A>(&mut cov, &mut |v| {
+        if first_value.is_none() {
+            first_value = Some(v.clone());
+        }
+    });
+    let victim_bytes = A::value_bytes(&first_value.expect("response has at least one value"));
+    let bad_g1 = wrong_subgroup_g1_bytes();
+    let mut replacement = victim_bytes.clone();
+    replacement[..bad_g1.len()].copy_from_slice(&bad_g1);
+
+    let mut adv = Adversary::new(seed);
+    let mut tally = Tally { rejected: BTreeMap::new(), noops: 0, driven: 0 };
+
+    for iter in 0..iters {
+        let class = adv.rng().gen_range(0..12u32);
+        let (mutant, label): (Vec<u8>, &'static str) = match class {
+            0..=4 => adv.mutate_bytes(&encoded),
+            5 => {
+                let mut m = honest.clone();
+                if !adv.swap_values(&mut m.coverage) {
+                    tally.noops += 1;
+                    continue;
+                }
+                (encode_response(&m), "swap-values")
+            }
+            6 => {
+                let mut m = honest.clone();
+                if !adv.replay_proof(&mut m.coverage) {
+                    tally.noops += 1;
+                    continue;
+                }
+                (encode_response(&m), "replay-proof")
+            }
+            7 => {
+                let mut m = honest.clone();
+                if !adv.drop_result(&mut m.results) {
+                    tally.noops += 1;
+                    continue;
+                }
+                (encode_response(&m), "drop-result")
+            }
+            8 => {
+                let mut m = honest.clone();
+                if !adv.drop_coverage(&mut m.coverage) {
+                    tally.noops += 1;
+                    continue;
+                }
+                (encode_response(&m), "drop-coverage")
+            }
+            9 => {
+                let mut m = honest.clone();
+                if !adv.forge_result(&mut m.results) {
+                    tally.noops += 1;
+                    continue;
+                }
+                (encode_response(&m), "forge-result")
+            }
+            10 => {
+                let mut m = honest.clone();
+                if !adv.redirect_leaf(&mut m.coverage) {
+                    tally.noops += 1;
+                    continue;
+                }
+                (encode_response(&m), "redirect-leaf")
+            }
+            _ => {
+                let mut m = encoded.clone();
+                assert!(
+                    Adversary::substitute_slot(&mut m, &victim_bytes, &replacement),
+                    "value slot must be locatable in the encoding"
+                );
+                (m, "wrong-subgroup-point")
+            }
+        };
+
+        // A mutation that reproduces the original bytes proves nothing —
+        // skip it rather than let it inflate the rejection count.
+        if mutant == encoded {
+            tally.noops += 1;
+            continue;
+        }
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            verify_encoded_response(&q, &mutant, &light, &cfg, acc)
+        }));
+        tally.driven += 1;
+        match outcome {
+            Err(_) => panic!(
+                "PANIC on mutation (class={label}, seed={seed:#x}, iter={iter}) — \
+                 verification must be total"
+            ),
+            Ok(Ok(accepted)) => panic!(
+                "ACCEPTED a mutated VO (class={label}, seed={seed:#x}, iter={iter}): \
+                 {} results passed",
+                accepted.len()
+            ),
+            Ok(Err(e)) => {
+                *tally.rejected.entry(classify(&e)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let rejected: usize = tally.rejected.values().sum();
+    assert_eq!(rejected, tally.driven, "every driven mutation must be rejected");
+    assert!(
+        tally.driven >= iters * 9 / 10,
+        "no-op rate too high to be meaningful: {} driven of {iters}",
+        tally.driven
+    );
+    // The corpus must actually exercise a spread of the taxonomy, not
+    // collapse into one rejection path.
+    assert!(
+        tally.rejected.len() >= 4,
+        "expected ≥4 distinct rejection classes, got {:?}",
+        tally.rejected
+    );
+    // Malformed (wire-level) and at least one cryptographic rejection both occur.
+    assert!(
+        tally.rejected.contains_key("Malformed"),
+        "no wire-level rejections: {:?}",
+        tally.rejected
+    );
+}
+
+#[test]
+fn fault_injection_acc1() {
+    run_fault_injection(
+        IndexScheme::Both,
+        Acc1::keygen(4000, &mut StdRng::seed_from_u64(21)),
+        0xACC1_0000_0000_0001,
+        fuzz_iters(),
+    );
+}
+
+#[test]
+fn fault_injection_acc2() {
+    run_fault_injection(
+        IndexScheme::Both,
+        Acc2::keygen(4096, &mut StdRng::seed_from_u64(22)),
+        0xACC2_0000_0000_0002,
+        fuzz_iters(),
+    );
+}
+
+/// Subscription-side fault injection. Updates carry their own claimed
+/// interval, so the client binding is part of the defense: an update is
+/// accepted only if its `query_id` and `from_height` match what the
+/// subscriber is waiting for, its interval anchors to known headers, and
+/// verification passes. Mutations must either be rejected by that pipeline
+/// or be *provably harmless* (a subset of the honest results over a subset
+/// of the honest interval — e.g. a bit flip that only shrinks the claimed
+/// window).
+#[test]
+fn fault_injection_subscription() {
+    let c = cfg(IndexScheme::Both);
+    let acc = Acc2::keygen(4096, &mut StdRng::seed_from_u64(23));
+    let mut miner = Miner::new(c, acc.clone());
+    let mut light = LightClient::new(c.difficulty);
+    let mut engine = SubscriptionEngine::new(c, acc.clone(), SubscriptionMode::Lazy, false);
+    let q = Query { time_window: None, ranges: vec![], keywords: vec![vec!["Sedan".into()]] };
+    let qid = engine.register(&q);
+    let cq = engine.compiled(qid).expect("registered").clone();
+
+    let mut updates: Vec<SubscriptionUpdate<Acc2>> = Vec::new();
+    for (i, objs) in workload(9, 8, 3).into_iter().enumerate() {
+        let h = miner.mine_block((i as u64 + 1) * 10, objs);
+        let block = miner.store().block(h).expect("mined").clone();
+        let indexed = miner.indexed()[h as usize].clone();
+        updates.extend(engine.process_block(&block, &indexed));
+    }
+    for h in miner.headers() {
+        light.sync_header(h).expect("headers validate");
+    }
+    let honest = updates.into_iter().find(|u| !u.results.is_empty()).expect("some update matches");
+    let honest_ids: Vec<u64> =
+        honest.results.iter().flat_map(|(_, v)| v.iter().map(|o| o.id)).collect();
+    verify_subscription_update(&cq, &honest, &light, &c, &acc).expect("honest update verifies");
+    let encoded = encode_update(&honest);
+
+    let mut adv = Adversary::new(0x5AB5_0000_0000_0003);
+    let iters = (fuzz_iters() / 4).max(100);
+    let mut rejected = 0usize;
+    let mut harmless = 0usize;
+    for iter in 0..iters {
+        let (mutant, label) = if adv.rng().gen_range(0..8u32) == 0 {
+            let mut m = honest.clone();
+            adv.inflate_claim(&mut m);
+            (encode_update(&m), "inflate-claim")
+        } else {
+            adv.mutate_bytes(&encoded)
+        };
+        if mutant == encoded {
+            continue;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<Object>, VerifyError> {
+            let update =
+                vchain_core::wire::decode_update(&acc, &mutant).map_err(VerifyError::Malformed)?;
+            // client-side dispatch binding
+            if update.query_id != qid || update.from_height != honest.from_height {
+                return Err(VerifyError::InvalidUpdateInterval {
+                    from: update.from_height,
+                    to: update.to_height,
+                });
+            }
+            let objs = verify_subscription_update(&cq, &update, &light, &c, &acc)?;
+            // anything accepted must be a sub-claim of the honest update
+            assert!(
+                update.to_height <= honest.to_height,
+                "accepted update widens the claimed interval"
+            );
+            for o in &objs {
+                assert!(honest_ids.contains(&o.id), "accepted update forged result {}", o.id);
+            }
+            Ok(objs)
+        }));
+        match outcome {
+            Err(_) => panic!("PANIC on subscription mutation (class={label}, iter={iter})"),
+            Ok(Ok(_)) => harmless += 1,
+            Ok(Err(_)) => rejected += 1,
+        }
+    }
+    assert!(rejected > 0, "corpus produced no rejections");
+    // Shrunk-window accepts are rare single-bit cases; the overwhelming
+    // majority of mutations must be hard rejections.
+    assert!(
+        harmless * 20 <= rejected,
+        "too many harmless accepts: {harmless} vs {rejected} rejections"
+    );
+}
+
+/// Satellite (a): a subscription-compiled query (no window) fed to the
+/// time-window verifier is a typed error, not a panic.
+#[test]
+fn missing_window_is_a_typed_error() {
+    let acc = Acc1::keygen(600, &mut StdRng::seed_from_u64(24));
+    let (miner, light) = build_chain(IndexScheme::Intra, acc);
+    let windowless =
+        Query { time_window: None, ranges: vec![], keywords: vec![vec!["Sedan".into()]] }
+            .compile(DOMAIN_BITS);
+    let sp = miner.into_service_provider();
+    let empty = vchain_core::vo::QueryResponse::<Acc1> { results: vec![], coverage: vec![] };
+    let e = verify_response(&windowless, &empty, &light, &sp.cfg, &sp.acc).unwrap_err();
+    assert_eq!(e, VerifyError::MissingWindow);
+}
+
+/// Decoded cell prefixes with out-of-domain lengths or oversized bits are
+/// typed [`vchain_core::vo::ClauseError`]s, not asserts.
+#[test]
+fn malformed_cell_prefixes_are_typed_errors() {
+    use vchain_core::vo::ClauseError;
+    let q = sample_query().compile(DOMAIN_BITS);
+    for (len, bits) in [(0u8, 0u64), (DOMAIN_BITS + 1, 0), (63, 0), (255, u64::MAX)] {
+        let c = ClauseRef::Cell { len, prefixes: vec![(0, bits)] };
+        assert_eq!(c.resolve(&q), Err(ClauseError::InvalidPrefix { len }), "len={len} bits={bits}");
+    }
+    // bits wider than the stated length
+    let c = ClauseRef::Cell { len: 3, prefixes: vec![(0, 0b1000)] };
+    assert_eq!(c.resolve(&q), Err(ClauseError::InvalidPrefix { len: 3 }));
+}
+
+/// A subscription update claiming an absurd interval is rejected before
+/// any allocation sized by the claim.
+#[test]
+fn inflated_interval_rejected_without_allocation() {
+    let c = cfg(IndexScheme::Both);
+    let acc = Acc2::keygen(4096, &mut StdRng::seed_from_u64(25));
+    let mut miner = Miner::new(c, acc.clone());
+    let mut light = LightClient::new(c.difficulty);
+    for (i, objs) in workload(11, 4, 2).into_iter().enumerate() {
+        miner.mine_block((i as u64 + 1) * 10, objs);
+    }
+    for h in miner.headers() {
+        light.sync_header(h).expect("headers validate");
+    }
+    let cq = Query { time_window: None, ranges: vec![], keywords: vec![vec!["Sedan".into()]] }
+        .compile(DOMAIN_BITS);
+    let update = SubscriptionUpdate::<Acc2> {
+        query_id: 0,
+        from_height: 0,
+        to_height: u64::MAX, // would be a 2⁶⁴-element set if materialized
+        results: vec![],
+        coverage: vec![],
+    };
+    let e = verify_subscription_update(&cq, &update, &light, &c, &acc).unwrap_err();
+    assert_eq!(e, VerifyError::InvalidUpdateInterval { from: 0, to: u64::MAX });
+}

@@ -1,0 +1,181 @@
+//! Wire-codec properties (the decode boundary's contract):
+//!
+//! 1. **Round-trip** — encoding any response and decoding it back is the
+//!    identity, byte-for-byte (`encode ∘ decode ∘ encode = encode`).
+//! 2. **Canonical form** — *any* byte string the decoder accepts re-encodes
+//!    to exactly those bytes: there is one encoding per value, so corrupted
+//!    inputs cannot alias a different encoding of the same response.
+//! 3. **Single-bit corruption** — exhaustively over every bit of an honest
+//!    encoding: the flipped string either fails to decode with a typed
+//!    [`WireError`], or decodes to a VO that full verification rejects.
+//!    Never a panic, never an accept.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vchain_acc::Acc1;
+use vchain_chain::{Difficulty, LightClient, Object};
+use vchain_core::adversary::Adversary;
+use vchain_core::miner::{IndexScheme, Miner, MinerConfig};
+use vchain_core::query::{CompiledQuery, Query, RangeSpec};
+use vchain_core::verify::verify_response;
+use vchain_core::vo::QueryResponse;
+use vchain_core::wire::{decode_response, encode_response};
+
+const DOMAIN_BITS: u8 = 6;
+
+struct Fixture {
+    q: CompiledQuery,
+    light: LightClient,
+    cfg: MinerConfig,
+    acc: Acc1,
+    encoded: Vec<u8>,
+}
+
+/// One small honest chain + response, built once: a 3-block window keeps
+/// the encoding in the low kilobytes so the exhaustive bit sweep stays fast.
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let cfg = MinerConfig {
+            scheme: IndexScheme::Intra,
+            skip_levels: 3,
+            domain_bits: DOMAIN_BITS,
+            difficulty: Difficulty(2),
+        };
+        let acc = Acc1::keygen(600, &mut StdRng::seed_from_u64(31));
+        let mut miner = Miner::new(cfg, acc.clone());
+        let mut light = LightClient::new(cfg.difficulty);
+        let mut rng = StdRng::seed_from_u64(32);
+        let kinds = ["Sedan", "Van"];
+        let mut id = 0u64;
+        for b in 0..3u64 {
+            let objs: Vec<Object> = (0..3)
+                .map(|_| {
+                    id += 1;
+                    Object::new(
+                        id,
+                        (b + 1) * 10,
+                        vec![rng.gen_range(0..64)],
+                        vec![kinds[rng.gen_range(0..kinds.len())].to_string()],
+                    )
+                })
+                .collect();
+            miner.mine_block((b + 1) * 10, objs);
+        }
+        for h in miner.headers() {
+            light.sync_header(h).expect("headers validate");
+        }
+        let q = Query {
+            time_window: Some((10, 30)),
+            ranges: vec![RangeSpec { dim: 0, lo: 5, hi: 40 }],
+            keywords: vec![vec!["Sedan".into()]],
+        }
+        .compile(DOMAIN_BITS);
+        let sp = miner.into_service_provider();
+        let resp = sp.time_window_query(&q);
+        verify_response(&q, &resp, &light, &sp.cfg, &sp.acc).expect("honest response verifies");
+        let encoded = encode_response(&resp);
+        Fixture { q, light, cfg: sp.cfg, acc: sp.acc, encoded }
+    })
+}
+
+/// Results-only responses (no crypto needed) with randomized shapes:
+/// empty keyword lists, empty numeric vectors, unicode keywords, many
+/// blocks — all round-trip byte-identically.
+fn random_results_response(seed: u64) -> QueryResponse<Acc1> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let blocks = rng.gen_range(0..5usize);
+    let results = (0..blocks)
+        .map(|_| {
+            let h: u64 = rng.gen();
+            let objs = (0..rng.gen_range(0..4usize))
+                .map(|_| {
+                    let numeric = (0..rng.gen_range(0..3usize)).map(|_| rng.gen()).collect();
+                    let keywords = (0..rng.gen_range(0..3usize))
+                        .map(|_| match rng.gen_range(0..3u32) {
+                            0 => String::new(),
+                            1 => format!("kw-{}", rng.gen::<u32>()),
+                            _ => "名前🚗".to_string(),
+                        })
+                        .collect();
+                    Object::new(rng.gen(), rng.gen(), numeric, keywords)
+                })
+                .collect();
+            (h, objs)
+        })
+        .collect();
+    QueryResponse { results, coverage: vec![] }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn results_round_trip_byte_identically(seed in 0u64..u64::MAX) {
+        let fix = fixture();
+        let resp = random_results_response(seed);
+        let bytes = encode_response(&resp);
+        let decoded = decode_response(&fix.acc, &bytes);
+        prop_assert!(decoded.is_ok(), "honest encoding must decode: {:?}", decoded.err());
+        let reencoded = encode_response(&decoded.expect("checked"));
+        prop_assert_eq!(reencoded, bytes);
+    }
+
+    #[test]
+    fn accepted_corruptions_reencode_canonically(seed in 0u64..u64::MAX) {
+        // Arbitrary multi-byte corruption: whenever the decoder accepts the
+        // mutant, the mutant *is* the canonical encoding of what it decoded
+        // to — corrupt bytes can never alias an honest value's encoding
+        // under a different byte string.
+        let fix = fixture();
+        let mut adv = Adversary::new(seed);
+        let (mutant, _label) = adv.mutate_bytes(&fix.encoded);
+        if let Ok(decoded) = decode_response(&fix.acc, &mutant) {
+            prop_assert_eq!(encode_response(&decoded), mutant);
+        }
+    }
+}
+
+/// The full honest encoding round-trips byte-identically (crypto slots
+/// included), and so does a full verification pass on the decoded copy.
+#[test]
+fn honest_response_round_trips_byte_identically() {
+    let fix = fixture();
+    let decoded = decode_response(&fix.acc, &fix.encoded).expect("honest encoding decodes");
+    assert_eq!(encode_response(&decoded), fix.encoded);
+    verify_response(&fix.q, &decoded, &fix.light, &fix.cfg, &fix.acc)
+        .expect("decoded copy verifies");
+}
+
+/// Exhaustive single-bit sweep over the whole honest encoding: every flip
+/// is either a typed decode failure or a decoded-but-rejected VO, and any
+/// accepted decode re-encodes to exactly the corrupted bytes.
+#[test]
+fn every_single_bit_corruption_fails_cleanly_or_is_rejected() {
+    let fix = fixture();
+    let mut decode_failures = 0usize;
+    let mut verify_rejections = 0usize;
+    for bit in 0..fix.encoded.len() * 8 {
+        let mutant = Adversary::flip_bit(&fix.encoded, bit);
+        match decode_response(&fix.acc, &mutant) {
+            Err(_) => decode_failures += 1,
+            Ok(decoded) => {
+                assert_eq!(
+                    encode_response(&decoded),
+                    mutant,
+                    "bit {bit}: accepted decode must re-encode canonically"
+                );
+                let v = verify_response(&fix.q, &decoded, &fix.light, &fix.cfg, &fix.acc);
+                assert!(v.is_err(), "bit {bit}: corrupted VO must not verify");
+                verify_rejections += 1;
+            }
+        }
+    }
+    assert_eq!(decode_failures + verify_rejections, fix.encoded.len() * 8);
+    // Both rejection layers must actually participate in the sweep.
+    assert!(decode_failures > 0, "no structural rejections in the sweep");
+    assert!(verify_rejections > 0, "no cryptographic rejections in the sweep");
+}

@@ -20,8 +20,11 @@ use crate::params;
 
 /// Static description of one of the two source groups.
 pub trait CurveSpec: Copy + Clone + Send + Sync + 'static {
-    /// The coordinate field.
-    type F: Field;
+    /// The coordinate field. The [`WireField`](crate::decode::WireField)
+    /// bound supplies canonical decoding and square roots, so the untrusted
+    /// decompressing deserializer ([`Affine::try_from_bytes`]) works
+    /// generically over both groups.
+    type F: crate::decode::WireField;
     /// The curve constant `b` in `y² = x³ + b`.
     fn b() -> Self::F;
     /// `3·b`, used by the complete formulas.
@@ -53,6 +56,16 @@ pub trait CurveSpec: Copy + Clone + Send + Sync + 'static {
     const COMPRESSED_BYTES: usize;
     /// Human-readable name for diagnostics.
     const NAME: &'static str;
+    /// Is `p` (assumed on the curve) in the order-`r` subgroup? This is the
+    /// last step of the untrusted decode ladder ([`Affine::try_from_bytes`]).
+    /// The default is the conservative full-order check `[r]·p = O` on the
+    /// reference wNAF ladder (*not* the GLS dispatch, whose eigenvalue
+    /// identity is exactly what an unchecked point could violate); `G2`
+    /// overrides it with the ~4× cheaper ψ-eigenvalue check
+    /// ([`crate::decode::g2_subgroup_check`]).
+    fn is_in_subgroup(p: &Affine<Self>) -> bool {
+        p.to_projective().mul_u256_wnaf(&params::fr_params().modulus).is_identity()
+    }
 }
 
 /// The group `E(Fp) : y² = x³ + 4`.
@@ -384,6 +397,10 @@ impl CurveSpec for G2Spec {
 
     const COMPRESSED_BYTES: usize = 97;
     const NAME: &'static str = "G2";
+
+    fn is_in_subgroup(p: &Affine<Self>) -> bool {
+        crate::decode::g2_subgroup_check(p)
+    }
 }
 
 /// An affine point (or the point at infinity).
@@ -615,10 +632,13 @@ impl<S: CurveSpec> Projective<S> {
     ///
     /// **Precondition (G2):** the point must lie in the order-`r` subgroup
     /// — `ψ` acts as `[p mod r]` only there, so the GLS identity is false
-    /// for twist points of other order. Every point this crate constructs
-    /// (generator multiples, endomorphism images, sums thereof) satisfies
-    /// it; a future untrusted-point deserializer must subgroup-check with
-    /// [`Projective::mul_u256_wnaf`] before its points reach this method.
+    /// for twist points of other order. This holds for every point in the
+    /// system: points this crate constructs (generator multiples,
+    /// endomorphism images, sums thereof) are in-subgroup by construction,
+    /// and untrusted bytes only become points through
+    /// [`Affine::try_from_bytes`], which enforces membership via
+    /// [`CurveSpec::is_in_subgroup`] (the ψ-eigenvalue check for `G2`)
+    /// before they can reach this method.
     pub fn mul_u256(&self, k: &U256) -> Self {
         if S::HAS_ENDO {
             if let Some(res) = self.mul_u256_gls(k) {

@@ -52,6 +52,30 @@ macro_rules! prime_field {
                 self.to_uint().to_le_bytes()
             }
 
+            /// Strict canonical decode: exactly [`Self::BYTES`] little-endian
+            /// bytes encoding an integer `< modulus`. `None` on any other
+            /// input — unlike [`Self::from_bytes_reduce`] nothing is wrapped,
+            /// so `decode ∘ encode` is the identity and every accepted byte
+            /// string has exactly one preimage. This is the only field decode
+            /// the untrusted wire boundary is allowed to use.
+            pub fn from_canonical_bytes(bytes: &[u8]) -> Option<Self> {
+                if bytes.len() != Self::BYTES {
+                    return None;
+                }
+                let mut limbs = [0u64; $n];
+                for (i, chunk) in bytes.chunks(8).enumerate() {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(chunk);
+                    limbs[i] = u64::from_le_bytes(b);
+                }
+                let v = Uint(limbs);
+                if v < $params().modulus {
+                    Some(Self($params().to_mont(&v)))
+                } else {
+                    None
+                }
+            }
+
             /// Reduce an arbitrary little-endian byte string into the field.
             pub fn from_bytes_reduce(bytes: &[u8]) -> Self {
                 let mut limbs = vec![0u64; bytes.len().div_ceil(8)];

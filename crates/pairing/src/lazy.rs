@@ -31,7 +31,7 @@
 //!
 //! 1. **Operands are always canonical.** Karatsuba operand sums
 //!    (`a0 + a1`, …) are ordinary modular additions of *reduced* values,
-//!    so every [`FpWide::mul`] input is `< p` and every product `< p²`.
+//!    so every `FpWide::mul` input is `< p` and every product `< p²`.
 //! 2. **Accumulators live modulo `p·R`.** Wide adds/subs renormalize into
 //!    `[0, p·R)` (a high-half compare plus a rare 6-limb fixup — see
 //!    `vchain_bigint::dwide`), under which `montgomery_reduce` is valid

@@ -32,6 +32,7 @@
 
 pub mod comb;
 pub mod curve;
+pub mod decode;
 pub mod field;
 pub mod fp;
 pub mod fp12;
@@ -47,6 +48,7 @@ pub use curve::{
     batch_to_affine, g2_endo, multiexp, sum_affine, sum_affine_groups, Affine, CurveSpec, G1Affine,
     G1Projective, G1Spec, G2Affine, G2Endo, G2Projective, G2Spec, Projective,
 };
+pub use decode::{g1_subgroup_check, g2_subgroup_check, PointDecodeError, WireField};
 pub use field::{batch_invert, Field};
 pub use fp::{Fp, Fr};
 pub use fp12::{CompressedCyclo, Fp12};

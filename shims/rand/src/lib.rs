@@ -57,6 +57,12 @@ impl Sample for u32 {
     }
 }
 
+impl Sample for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 24) as u8
+    }
+}
+
 impl Sample for bool {
     fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
         rng.next_u64() & 1 == 1
