@@ -230,6 +230,25 @@ impl Accumulator for Acc1 {
             .collect()
     }
 
+    fn prove_disjoint_each<E: AccElem>(
+        &self,
+        x1: &MultiSet<E>,
+        clauses: &[MultiSet<E>],
+    ) -> Vec<Result<Acc1Proof, AccError>> {
+        // Same shared characteristic polynomial as `prove_disjoint_many`,
+        // but an intersecting clause fails alone instead of aborting all.
+        let p1 = Self::char_poly(x1);
+        clauses
+            .iter()
+            .map(|x2| {
+                if x1.intersects(x2) {
+                    return Err(AccError::NotDisjoint);
+                }
+                self.finalize_from_poly(&p1, x2)
+            })
+            .collect()
+    }
+
     fn verify_disjoint(&self, a1: &Acc1Value, a2: &Acc1Value, proof: &Acc1Proof) -> bool {
         // e(acc(X1), F1) · e(acc(X2), F2) == e(g1, g2)
         let lhs = multi_pairing(&[(*a1, proof.f1), (*a2, proof.f2)]);

@@ -287,6 +287,20 @@ impl Accumulator for Acc2 {
         clauses.iter().map(|c| self.finalize_proof(&witness, c)).collect()
     }
 
+    fn prove_disjoint_each<E: AccElem>(
+        &self,
+        x1: &MultiSet<E>,
+        clauses: &[MultiSet<E>],
+    ) -> Vec<Result<Acc2Proof, AccError>> {
+        // One shared X₁-side witness; a clause that intersects (or whose
+        // convolution overflows the key) fails alone. If the witness itself
+        // cannot be built, every clause inherits that error.
+        match self.prove_witness(x1) {
+            Ok(witness) => clauses.iter().map(|c| self.finalize_proof(&witness, c)).collect(),
+            Err(e) => clauses.iter().map(|_| Err(e.clone())).collect(),
+        }
+    }
+
     fn verify_disjoint(&self, a1: &Acc2Value, a2: &Acc2Value, proof: &Acc2Proof) -> bool {
         // e(d_A(X1), d_B(X2)) == e(π, g2)  ⇔  e(d_A, d_B) · e(−π, g2) == 1
         let g2 = G2Projective::generator().to_affine();

@@ -263,6 +263,22 @@ pub trait Accumulator: Clone + Send + Sync + 'static {
         clauses.iter().map(|c| self.prove_disjoint(x1, c)).collect()
     }
 
+    /// [`Accumulator::prove_disjoint_many`] with per-clause error
+    /// attribution: instead of the first intersecting clause aborting the
+    /// whole call, every clause gets its own `Result`, and the X₁-side
+    /// witness is still shared across the successful ones.
+    ///
+    /// This is the recovery path for callers whose clause list comes from an
+    /// *approximate* source (e.g. a Bloom-filtered candidate classification):
+    /// one stale clause should cost one `Err`, not the whole batch.
+    fn prove_disjoint_each<E: AccElem>(
+        &self,
+        x1: &MultiSet<E>,
+        clauses: &[MultiSet<E>],
+    ) -> Vec<Result<Self::Proof, AccError>> {
+        clauses.iter().map(|c| self.prove_disjoint(x1, c)).collect()
+    }
+
     /// `VerifyDisjoint(acc(X₁), acc(X₂), π, pk) → {0, 1}`.
     fn verify_disjoint(&self, a1: &Self::Value, a2: &Self::Value, proof: &Self::Proof) -> bool;
 

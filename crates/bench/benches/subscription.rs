@@ -19,6 +19,7 @@ fn bench_publish(c: &mut Criterion) {
         skip_levels: 3,
         domain_bits: spec.domain_bits,
         difficulty: Difficulty(0),
+        bloom_bits_per_key: 10,
     };
     let mut miner = Miner::new(cfg, acc.clone());
     for (ts, objs) in &w.blocks {

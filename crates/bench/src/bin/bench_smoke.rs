@@ -20,8 +20,9 @@ use vchain_acc::{Acc2, AccElem, Accumulator, MultiSet};
 use vchain_bench::{build_chain, shared_acc1, shared_acc2};
 use vchain_core::cache::ProofCache;
 use vchain_core::intra::IntraTree;
-use vchain_core::miner::IndexScheme;
-use vchain_datagen::{Dataset, WorkloadSpec};
+use vchain_core::miner::{IndexScheme, Miner, MinerConfig};
+use vchain_core::subscribe::{SubscriptionEngine, SubscriptionMode, WalkStrategy};
+use vchain_datagen::{Dataset, SkewProfile, SubscriptionSpec, WorkloadSpec};
 use vchain_pairing::{
     final_exponentiation, g1_subgroup_check, g2_subgroup_check, multi_miller_loop, multi_pairing,
     pairing, Field, Fp, Fp12, Fr, G1Affine, G1Projective, G2Affine, G2Projective,
@@ -334,6 +335,89 @@ fn main() {
     timings.push(time("vo_decode_checked", 5, || {
         vchain_core::wire::decode_response(&sp_acc, &encoded).expect("honest VO decodes")
     }));
+
+    // --- subscription engine at 10⁵ standing queries ----------------------
+    // The inverted match path (attribute index + Bloom pre-filter + shared
+    // refutation proofs) against the retained naive per-query walk, same
+    // engine state, same block. Registration is timed once (it is a bulk
+    // index build); match is timed on an idempotent steady-state block with
+    // a warm proof cache; publish is timed over successive blocks because
+    // it advances the engine height.
+    let mut sub_workload = WorkloadSpec::paper_defaults(Dataset::FourSquare, 10);
+    sub_workload.objects_per_block = 4;
+    let sub_cfg = MinerConfig {
+        scheme: IndexScheme::Both,
+        skip_levels: 3,
+        domain_bits: sub_workload.domain_bits,
+        difficulty: vchain_chain::Difficulty(0),
+        bloom_bits_per_key: 10,
+    };
+    let sub_acc = shared_acc2().clone();
+    let sub_chain = sub_workload.generate();
+    let mut sub_miner = Miner::new(sub_cfg, sub_acc.clone());
+    for (ts, objs) in &sub_chain.blocks {
+        sub_miner.mine_block(*ts, objs.clone());
+    }
+    let sub_blocks = sub_miner.store().blocks().to_vec();
+    let sub_indexed = sub_miner.indexed().to_vec();
+
+    let mut sub_spec = SubscriptionSpec::paper_defaults(Dataset::FourSquare, SkewProfile::Zipf);
+    sub_spec.domain_bits = sub_workload.domain_bits;
+    sub_spec.range_fraction = 1.0;
+    let subs = sub_spec.generate(100_000);
+
+    timings.push(time("sub_register_100k", 1, || {
+        let mut e =
+            SubscriptionEngine::new(sub_cfg, sub_acc.clone(), SubscriptionMode::Realtime, false);
+        for q in &subs {
+            e.register(q);
+        }
+        e
+    }));
+
+    let mut sub_eng =
+        SubscriptionEngine::new(sub_cfg, sub_acc.clone(), SubscriptionMode::Realtime, false);
+    let mut sub_twin =
+        SubscriptionEngine::new(sub_cfg, sub_acc.clone(), SubscriptionMode::Realtime, false)
+            .with_strategy(WalkStrategy::Naive);
+    for q in &subs {
+        sub_eng.register(q);
+        sub_twin.register(q);
+    }
+    for h in 0..3 {
+        std::hint::black_box(sub_eng.process_block(&sub_blocks[h], &sub_indexed[h]));
+        std::hint::black_box(sub_twin.process_block(&sub_blocks[h], &sub_indexed[h]));
+    }
+    let t_indexed =
+        time("sub_match_block_100k", 5, || sub_eng.match_block(&sub_blocks[3], &sub_indexed[3]));
+    let t_naive = time("sub_match_block_100k_naive", 2, || {
+        sub_twin.match_block(&sub_blocks[3], &sub_indexed[3])
+    });
+    let speedup = t_naive.us_per_iter / t_indexed.us_per_iter;
+    eprintln!("[bench-smoke] subscription match speedup: {speedup:.1}x over the naive walk");
+    assert!(
+        speedup >= 20.0,
+        "indexed subscription match must stay >=20x faster than the naive walk (got {speedup:.1}x)"
+    );
+    timings.push(t_indexed);
+    timings.push(t_naive);
+
+    // Publish materializes 100k realtime updates per block; measured over
+    // successive blocks, timing only the publish half of each step.
+    let pub_iters = 5u32;
+    let mut pub_total = 0.0f64;
+    for (i, h) in (3..(4 + pub_iters as usize)).enumerate() {
+        let m = sub_eng.match_block(&sub_blocks[h], &sub_indexed[h]);
+        let t0 = Instant::now();
+        std::hint::black_box(sub_eng.publish(m, &sub_indexed[h]));
+        if i > 0 {
+            // step 0 is the warm-up
+            pub_total += t0.elapsed().as_secs_f64();
+        }
+    }
+    let pub_us = pub_total * 1e6 / f64::from(pub_iters);
+    eprintln!("[bench-smoke] sub_publish_100k: {pub_us:.2} µs/iter ({pub_iters} iters)");
+    timings.push(Timing { name: "sub_publish_100k", iters: pub_iters, us_per_iter: pub_us });
 
     // --- JSON output -----------------------------------------------------
     let mut json = String::from("{\n  \"schema\": \"vchain-bench-smoke/v1\",\n  \"timings\": [\n");

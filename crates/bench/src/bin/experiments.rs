@@ -129,6 +129,7 @@ fn measure_setup<A: Accumulator>(
         skip_levels: 5,
         domain_bits: w.spec.domain_bits,
         difficulty: Difficulty(0), // isolate ADS cost from PoW search
+        bloom_bits_per_key: 10,
     };
     let mut miner = Miner::new(cfg, acc);
     let (_, elapsed) = timed(|| {
@@ -264,6 +265,7 @@ fn subscription_sp_time(w: &Workload, mode: SubscriptionMode, ip: bool, n: usize
         skip_levels: 5,
         domain_bits: w.spec.domain_bits,
         difficulty: Difficulty(1),
+        bloom_bits_per_key: 10,
     };
     let mut miner = Miner::new(cfg, acc.clone());
     let mut engine = SubscriptionEngine::new(cfg, acc, mode, ip);
@@ -323,6 +325,7 @@ fn subscription_run<A: Accumulator>(
         skip_levels: 5,
         domain_bits: w.spec.domain_bits,
         difficulty: Difficulty(1),
+        bloom_bits_per_key: 10,
     };
     let mut miner = Miner::new(cfg, acc.clone());
     let mut light = LightClient::new(cfg.difficulty);

@@ -70,6 +70,7 @@ pub fn build_chain<A: Accumulator>(
         skip_levels,
         domain_bits: workload.spec.domain_bits,
         difficulty: Difficulty(1),
+        bloom_bits_per_key: 10,
     };
     let mut miner = Miner::new(cfg, acc);
     for (ts, objs) in &workload.blocks {

@@ -44,8 +44,12 @@ impl Element {
         Element::Keyword(s.into())
     }
 
-    /// Canonical bytes used to derive the scalar-field representative.
-    fn canonical_bytes(&self) -> Vec<u8> {
+    /// Canonical bytes: the injective encoding from which the scalar-field
+    /// representative is derived. Also the hashing pre-image for the
+    /// per-block attribute Bloom filters ([`crate::bloom`]), which must be
+    /// stable across processes — unlike [`ElementId`]s, whose numbering
+    /// depends on interning order.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
         match self {
             Element::Keyword(s) => {
                 let mut out = vec![0u8];

@@ -30,6 +30,7 @@
 
 pub mod adversary;
 pub mod batch;
+pub mod bloom;
 pub mod cache;
 pub mod element;
 pub mod inter;
@@ -38,6 +39,7 @@ pub mod iptree;
 pub mod miner;
 pub mod query;
 pub mod sp;
+pub mod subindex;
 pub mod subscribe;
 pub mod trans;
 pub mod verify;
@@ -45,6 +47,7 @@ pub mod vo;
 pub mod wire;
 
 pub use adversary::Adversary;
+pub use bloom::{AttributeBloom, BloomKey};
 pub use cache::{CacheStats, ProofCache};
 pub use element::{Element, ElementId};
 pub use inter::{SkipEntry, SkipList};
@@ -52,10 +55,14 @@ pub use intra::{IntraNodeKind, IntraTree};
 pub use miner::{IndexScheme, Miner, MinerConfig};
 pub use query::{Clause, Cnf, CompiledQuery, Query, RangeSpec};
 pub use sp::ServiceProvider;
+pub use subindex::{Classification, SubscriptionIndex};
 pub use subscribe::verify_encoded_subscription_update;
-pub use subscribe::{SubscriptionEngine, SubscriptionMode, SubscriptionUpdate};
+pub use subscribe::{
+    BlockMatch, SubscriptionEngine, SubscriptionMode, SubscriptionUpdate, WalkStrategy,
+};
 pub use verify::{verify_encoded_response, verify_response, VerifyError};
 pub use vo::{BlockCoverage, ClauseRef, QueryResponse, VoNode, VoSize};
 pub use wire::{
-    decode_response, decode_update, encode_response, encode_update, WireError, MAX_VO_DEPTH,
+    decode_bloom, decode_response, decode_update, encode_bloom, encode_response, encode_update,
+    WireError, MAX_VO_DEPTH,
 };

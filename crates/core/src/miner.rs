@@ -6,6 +6,7 @@ use vchain_acc::Accumulator;
 use vchain_chain::{mine_nonce, Block, BlockHeader, ChainStore, Difficulty, Object};
 use vchain_hash::Digest;
 
+use crate::bloom::{AttributeBloom, BLOOM_SEED};
 use crate::inter::{BlockSummary, SkipList};
 use crate::intra::IntraTree;
 
@@ -32,6 +33,9 @@ pub struct MinerConfig {
     pub domain_bits: u8,
     /// Simulated proof-of-work difficulty.
     pub difficulty: Difficulty,
+    /// Density of the per-block attribute Bloom filter, in bits per distinct
+    /// attribute element (see [`crate::bloom`] for the FPR budget math).
+    pub bloom_bits_per_key: u8,
 }
 
 impl Default for MinerConfig {
@@ -41,6 +45,7 @@ impl Default for MinerConfig {
             skip_levels: 5,
             domain_bits: 8,
             difficulty: Difficulty(4),
+            bloom_bits_per_key: crate::bloom::DEFAULT_BITS_PER_KEY,
         }
     }
 }
@@ -52,12 +57,17 @@ pub struct IndexedBlock<A: Accumulator> {
     pub tree: IntraTree<A>,
     /// The inter-block skip list (§6.2; empty unless the `Both` scheme).
     pub skiplist: SkipList<A>,
+    /// Bloom filter over the block's distinct attribute elements: the
+    /// subscription engine's candidate pre-filter ([`crate::bloom`]). SP-side
+    /// acceleration only — it carries no authentication and a corrupted
+    /// filter can only cost the SP work.
+    pub bloom: AttributeBloom,
 }
 
 impl<A: Accumulator> IndexedBlock<A> {
     /// Total ADS bytes added to the block (Table 1 "S").
     pub fn ads_size_bytes(&self, acc: &A) -> usize {
-        self.tree.ads_size_bytes(acc) + self.skiplist.ads_size_bytes(acc)
+        self.tree.ads_size_bytes(acc) + self.skiplist.ads_size_bytes(acc) + self.bloom.size_bytes()
     }
 }
 
@@ -125,8 +135,16 @@ impl<A: Accumulator> Miner<A> {
             }
         };
 
+        // Pre-filter for the subscription engine: one key per *distinct*
+        // attribute element the block carries.
+        let bloom = AttributeBloom::from_elements(
+            BLOOM_SEED,
+            self.cfg.bloom_bits_per_key,
+            block_ms.elements().map(|e| e.resolve()),
+        );
+
         self.store.append(block).expect("self-mined block must validate");
-        self.indexed.push(IndexedBlock { tree, skiplist });
+        self.indexed.push(IndexedBlock { tree, skiplist, bloom });
         self.history.push(BlockSummary { hash: block_hash, ms: block_ms, att: block_att });
         height
     }

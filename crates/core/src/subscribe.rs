@@ -13,18 +13,38 @@
 //!   processed jointly per block, and mismatch proofs are shared — by
 //!   Boolean-clause content (the BCIF effect) and by enclosing grid cell
 //!   for range mismatches.
+//!
+//! # The inverted match path
+//!
+//! At 10⁵–10⁶ standing queries, walking every query per block is the wall.
+//! The default [`WalkStrategy::Indexed`] inverts it: the block's attributes
+//! resolve the *candidate* queries through the [`crate::subindex`] posting
+//! lists (pre-filtered by the per-block [`crate::bloom`] filter, confirmed
+//! against the exact root multiset), every non-candidate gets the same
+//! root-level refutation the reference walk would emit (first disjoint
+//! clause, or shared grid cell), the distinct refutations are proven once
+//! through [`Accumulator::prove_disjoint_many`] + the shared
+//! [`ProofCache`], and only the candidates walk the tree. The original walk
+//! survives as [`WalkStrategy::Naive`] — the in-tree reference twin that the
+//! differential suite (`tests/subscribe_diff.rs`) pins the fast path against
+//! byte-for-byte. [`SubscriptionEngine::match_block`] /
+//! [`SubscriptionEngine::publish`] expose the two halves separately so the
+//! match stage can be measured and tested without materializing updates.
 
 use std::collections::{BTreeMap, HashMap};
 
-use vchain_acc::{Accumulator, MultiSet};
+use vchain_acc::{AccError, Accumulator, MultiSet};
 use vchain_chain::{Block, LightClient, Object};
+use vchain_hash::Digest;
 
+use crate::bloom::BLOOM_SEED;
 use crate::cache::ProofCache;
 use crate::element::ElementId;
 use crate::intra::{IntraNodeKind, IntraTree};
 use crate::iptree::{Cell, IpTree, QueryId};
 use crate::miner::{IndexScheme, IndexedBlock, MinerConfig};
 use crate::query::{CompiledQuery, Query};
+use crate::subindex::SubscriptionIndex;
 use crate::verify::{verify_with_expected, VerifyError};
 use crate::vo::{BlockCoverage, BlockVo, ClauseRef, MismatchProof, QueryResponse, VoNode};
 
@@ -100,6 +120,72 @@ pub fn verify_encoded_subscription_update<A: Accumulator>(
     verify_subscription_update(q, &update, light, cfg, acc)
 }
 
+/// Which matcher [`SubscriptionEngine::match_block`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalkStrategy {
+    /// Attribute-indexed candidate resolution (subscription index + Bloom
+    /// pre-filter + batched shared refutations). The default.
+    Indexed,
+    /// The original per-query walk, retained as the reference twin the
+    /// differential suite compares against (same pattern as the eager tower
+    /// twin in `vchain-pairing`). Output is byte-identical to `Indexed`.
+    Naive,
+}
+
+/// How the intra-tree root is reproduced when materializing shared
+/// root-level mismatches without re-touching the tree.
+enum RootShape<A: Accumulator> {
+    /// An internal root: its AttDigest and child-pair hash.
+    Internal { att: A::Value, child_hash: Digest },
+    /// A single-object block: the root is a leaf.
+    Leaf { att: A::Value, obj_hash: Digest },
+    /// No shared mismatches were produced (naive strategy, or nil scheme).
+    Opaque,
+}
+
+/// The outcome of matching one block against one query. The walked payload
+/// is boxed so the common whole-block-refutation case stays a few words:
+/// at 10⁵ standing queries the outcome vector is rebuilt every block, and
+/// its element size is pure memory traffic.
+enum MatchOutcome<A: Accumulator> {
+    /// The query walked the intra-block tree (candidate or naive path).
+    Walked(Box<(Vec<Object>, BlockVo<A>)>),
+    /// Whole-block mismatch sharing proof `proof` of the block match's
+    /// proof table.
+    Shared { proof: usize, clause: ClauseRef },
+}
+
+/// The result of [`SubscriptionEngine::match_block`]: every registered
+/// query's outcome for one block, with whole-block refutations held as
+/// indices into a shared proof table instead of per-query copies.
+pub struct BlockMatch<A: Accumulator> {
+    height: u64,
+    root: RootShape<A>,
+    proofs: Vec<A::Proof>,
+    /// Ascending by query id — the publish order.
+    outcomes: Vec<(QueryId, MatchOutcome<A>)>,
+    /// How many queries had to walk the intra-block tree. The scale suite
+    /// asserts this stays ≪ Q on selective workloads.
+    pub candidates: usize,
+}
+
+impl<A: Accumulator> BlockMatch<A> {
+    /// The matched block's height.
+    pub fn height(&self) -> u64 {
+        self.height
+    }
+
+    /// Number of queries matched (every registered query).
+    pub fn query_count(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Number of distinct whole-block refutation proofs shared this block.
+    pub fn shared_proofs(&self) -> usize {
+        self.proofs.len()
+    }
+}
+
 /// Per-query lazy-mode state: buffered whole-block mismatches, all sharing
 /// one clause (Algorithm 5's stack).
 struct LazyState<A: Accumulator> {
@@ -120,7 +206,14 @@ pub struct SubscriptionEngine<A: Accumulator> {
     /// Whether the §7.1 inverted prefix tree is consulted.
     pub use_iptree: bool,
     queries: BTreeMap<QueryId, CompiledQuery>,
+    /// The attribute-keyed standing-query index driving the `Indexed` path.
+    index: SubscriptionIndex,
+    strategy: WalkStrategy,
     iptree: Option<IpTree>,
+    /// Set on (de)registration; the IP-Tree and the cell interval index are
+    /// rebuilt lazily at the next match, so registering Q queries costs
+    /// O(Q·log Q) total instead of O(Q²) tree rebuilds.
+    iptree_dirty: bool,
     enclosing: BTreeMap<QueryId, Cell>,
     lazy: BTreeMap<QueryId, LazyState<A>>,
     /// Persists across [`SubscriptionEngine::process_block`] calls: a
@@ -147,13 +240,34 @@ impl<A: Accumulator> SubscriptionEngine<A> {
             mode,
             use_iptree,
             queries: BTreeMap::new(),
+            index: SubscriptionIndex::new(BLOOM_SEED),
+            strategy: WalkStrategy::Indexed,
             iptree: None,
+            iptree_dirty: false,
             enclosing: BTreeMap::new(),
             lazy: BTreeMap::new(),
             cache: ProofCache::default(),
             next_id: 0,
             next_height: 0,
         }
+    }
+
+    /// Select the match strategy (builder style). `Naive` is the reference
+    /// twin; outputs are byte-identical either way.
+    pub fn with_strategy(mut self, strategy: WalkStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The active match strategy.
+    pub fn strategy(&self) -> WalkStrategy {
+        self.strategy
+    }
+
+    /// The attribute-keyed subscription index (posting-list stats, probe
+    /// counts).
+    pub fn subscription_index(&self) -> &SubscriptionIndex {
+        &self.index
     }
 
     /// The cross-block proof cache (inspect its stats to observe reuse).
@@ -176,21 +290,24 @@ impl<A: Accumulator> SubscriptionEngine<A> {
         assert!(q.time_window.is_none(), "subscription queries have no time window");
         let id = self.next_id;
         self.next_id += 1;
-        self.queries.insert(id, q.compile(self.cfg.domain_bits));
+        let compiled = q.compile(self.cfg.domain_bits);
+        self.index.insert(id, &compiled);
+        self.queries.insert(id, compiled);
         self.lazy.insert(
             id,
             LazyState { clause_idx: None, pending: Vec::new(), from_height: self.next_height },
         );
-        self.rebuild_iptree();
+        self.iptree_dirty = true;
         id
     }
 
     /// Deregister; in lazy mode any buffered coverage is flushed as a final
     /// (possibly result-less) update.
     pub fn deregister(&mut self, id: QueryId) -> Option<SubscriptionUpdate<A>> {
-        self.queries.remove(&id)?;
+        let q = self.queries.remove(&id)?;
+        self.index.remove(id, &q);
         let state = self.lazy.remove(&id);
-        self.rebuild_iptree();
+        self.iptree_dirty = true;
         match state {
             Some(s) if !s.pending.is_empty() => Some(SubscriptionUpdate {
                 query_id: id,
@@ -201,6 +318,17 @@ impl<A: Accumulator> SubscriptionEngine<A> {
             }),
             _ => None,
         }
+    }
+
+    /// Rebuild the IP-Tree and cell interval index if registrations changed
+    /// since the last match.
+    fn ensure_iptree(&mut self) {
+        if !self.iptree_dirty {
+            return;
+        }
+        self.iptree_dirty = false;
+        self.rebuild_iptree();
+        self.index.rebuild_cells(&self.enclosing);
     }
 
     fn rebuild_iptree(&mut self) {
@@ -231,37 +359,66 @@ impl<A: Accumulator> SubscriptionEngine<A> {
     }
 
     /// Process a newly confirmed block; returns the updates to publish.
+    /// Equivalent to [`SubscriptionEngine::match_block`] followed by
+    /// [`SubscriptionEngine::publish`].
     pub fn process_block(
         &mut self,
         block: &Block,
         indexed: &IndexedBlock<A>,
     ) -> Vec<SubscriptionUpdate<A>> {
-        let height = block.header.height;
+        let m = self.match_block(block, indexed);
+        self.publish(m, indexed)
+    }
+
+    /// The match stage: classify every registered query against this block
+    /// and resolve the needed refutation proofs, without materializing
+    /// per-query updates or advancing the engine's height. Idempotent for a
+    /// given block, so steady-state match cost can be measured in isolation.
+    pub fn match_block(&mut self, block: &Block, indexed: &IndexedBlock<A>) -> BlockMatch<A> {
+        assert_eq!(block.header.height, self.next_height, "blocks must be processed in order");
+        self.ensure_iptree();
+        match self.strategy {
+            WalkStrategy::Naive => self.match_block_naive(block, indexed),
+            WalkStrategy::Indexed => self.match_block_indexed(block, indexed),
+        }
+    }
+
+    /// The publish stage: materialize per-query updates from a block match
+    /// (realtime), or feed it through the lazy stack (Algorithm 5).
+    pub fn publish(
+        &mut self,
+        m: BlockMatch<A>,
+        indexed: &IndexedBlock<A>,
+    ) -> Vec<SubscriptionUpdate<A>> {
+        let height = m.height;
         assert_eq!(height, self.next_height, "blocks must be processed in order");
         self.next_height = height + 1;
-
-        // Per-query (results, block VO) for this block, with shared proofs
-        // when the IP-Tree is enabled.
-        let per_query: BTreeMap<QueryId, (Vec<Object>, BlockVo<A>)> = if self.use_iptree {
-            self.process_block_shared(block, indexed)
-        } else {
-            self.queries
-                .iter()
-                .map(|(id, q)| {
-                    let out = indexed.tree.query_cached(
-                        &block.objects,
-                        q,
-                        &self.acc,
-                        false,
-                        Some(&self.cache),
-                    );
-                    (*id, out)
-                })
-                .collect()
-        };
+        let BlockMatch { root, proofs, outcomes, .. } = m;
 
         let mut updates = Vec::new();
-        for (qid, (results, vo)) in per_query {
+        for (qid, outcome) in outcomes {
+            let (results, vo) = match outcome {
+                MatchOutcome::Walked(walked) => *walked,
+                MatchOutcome::Shared { proof, clause } => {
+                    let proof = proofs[proof].clone();
+                    let node = match &root {
+                        RootShape::Internal { att, child_hash } => VoNode::InternalMismatch {
+                            child_hash: *child_hash,
+                            att: att.clone(),
+                            proof: MismatchProof::Inline { proof, clause },
+                        },
+                        RootShape::Leaf { att, obj_hash } => VoNode::LeafMismatch {
+                            obj_hash: *obj_hash,
+                            att: att.clone(),
+                            proof: MismatchProof::Inline { proof, clause },
+                        },
+                        RootShape::Opaque => {
+                            unreachable!("shared outcomes always carry a root shape")
+                        }
+                    };
+                    (Vec::new(), BlockVo { root: node, groups: Vec::new() })
+                }
+            };
             match self.mode {
                 SubscriptionMode::Realtime => {
                     let res = if results.is_empty() { Vec::new() } else { vec![(height, results)] };
@@ -281,6 +438,281 @@ impl<A: Accumulator> SubscriptionEngine<A> {
             }
         }
         updates
+    }
+
+    /// The reference twin: every query walks the intra-block index (jointly
+    /// when the IP-Tree is enabled, per query otherwise), exactly as the
+    /// engine always worked.
+    fn match_block_naive(&mut self, block: &Block, indexed: &IndexedBlock<A>) -> BlockMatch<A> {
+        let per_query: BTreeMap<QueryId, (Vec<Object>, BlockVo<A>)> = if self.use_iptree {
+            self.process_block_shared(block, indexed)
+        } else {
+            self.queries
+                .iter()
+                .map(|(id, q)| {
+                    let out = indexed.tree.query_cached(
+                        &block.objects,
+                        q,
+                        &self.acc,
+                        false,
+                        Some(&self.cache),
+                    );
+                    (*id, out)
+                })
+                .collect()
+        };
+        let candidates = per_query.len();
+        BlockMatch {
+            height: block.header.height,
+            root: RootShape::Opaque,
+            proofs: Vec::new(),
+            outcomes: per_query
+                .into_iter()
+                .map(|(id, walked)| (id, MatchOutcome::Walked(Box::new(walked))))
+                .collect(),
+            candidates,
+        }
+    }
+
+    /// The inverted path. Per block:
+    ///
+    /// 1. probe the subscribed literals through the block's Bloom filter,
+    ///    confirming positives against the exact root multiset;
+    /// 2. classify every query off the posting lists (candidate, or first
+    ///    disjoint clause — identical to the reference walk's root step);
+    /// 3. replicate the IP-Tree walk's root-level cell priority for queries
+    ///    whose enclosing cell has absent slabs;
+    /// 4. resolve the distinct refutations through the cross-block cache +
+    ///    one [`Accumulator::prove_disjoint_many`]; a clause that fails to
+    ///    prove (possible only when the filter lied — see `corrupt_bloom`
+    ///    fault injection) demotes its queries to the walk, so corruption
+    ///    costs work, never correctness;
+    /// 5. walk only the candidates.
+    ///
+    /// Every emitted VO is byte-identical to the reference twin's: the same
+    /// first-disjoint clause (or cell) refutes at the same root node, and
+    /// proofs are deterministic and share the same cache keys.
+    fn match_block_indexed(&mut self, block: &Block, indexed: &IndexedBlock<A>) -> BlockMatch<A> {
+        let tree = &indexed.tree;
+        let Some(root_att) = tree.root_att().cloned() else {
+            // nil scheme: no root AttDigest to refute against — the
+            // reference walk cannot prune at the root either, so share
+            // nothing and walk everything.
+            return self.match_block_naive(block, indexed);
+        };
+        let root_ms = tree.root_multiset();
+
+        // 1.–2. Bloom-gated probe, then posting-list classification.
+        let present = self.index.present_literals(Some(&indexed.bloom), root_ms);
+        let cls = self.index.classify(&present);
+
+        // Refutations deduplicated by clause content; proofs resolved after
+        // collection (cache, then one batched prove). Content ids are dense
+        // registry indices, so the dedup table is a flat array, not a map.
+        let mut pending: Vec<(MultiSet<ElementId>, Option<A::Proof>)> = Vec::new();
+        let mut cid_pending: Vec<u32> = vec![u32::MAX; self.index.distinct_contents()];
+        let mut by_cell_key: HashMap<Vec<u32>, usize> = HashMap::new();
+
+        // 3. Root-level cell priority, exactly as the reference shared walk
+        //    assigns it (the cell interval index replaces the per-node scan).
+        let mut cell_assigned: BTreeMap<QueryId, (usize, ClauseRef)> = BTreeMap::new();
+        if self.use_iptree {
+            for (cell, qids) in self.index.cells() {
+                let absent: Vec<(u8, u64)> = cell
+                    .prefixes
+                    .iter()
+                    .zip(cell.elements())
+                    .filter(|(_, e)| !root_ms.contains(e))
+                    .map(|((dim, bits), _)| (*dim, *bits))
+                    .collect();
+                if absent.is_empty() {
+                    continue;
+                }
+                let clause_ms: MultiSet<ElementId> = absent
+                    .iter()
+                    .map(|(dim, bits)| {
+                        ElementId::intern(&crate::element::Element::Prefix {
+                            dim: *dim,
+                            len: cell.depth,
+                            bits: *bits,
+                        })
+                    })
+                    .collect();
+                let key: Vec<u32> = clause_ms.elements().map(|e| e.raw()).collect();
+                let idx = *by_cell_key.entry(key).or_insert_with(|| {
+                    pending.push((clause_ms, None));
+                    pending.len() - 1
+                });
+                let clause = ClauseRef::Cell { len: cell.depth, prefixes: absent };
+                for &qid in qids {
+                    cell_assigned.insert(qid, (idx, clause.clone()));
+                }
+            }
+        }
+
+        // Distinct classified refutation contents (cell priority wins, as in
+        // the reference walk: a cell-assigned query's clause is not proved).
+        for &(qid, _, cid) in &cls.refuted {
+            if !cell_assigned.is_empty() && cell_assigned.contains_key(&qid) {
+                continue;
+            }
+            if cid_pending[cid as usize] == u32::MAX {
+                cid_pending[cid as usize] = pending.len() as u32;
+                pending.push((self.index.content(cid).clone(), None));
+            }
+        }
+
+        // 4. Resolve: cross-block cache first, one shared-witness batch for
+        //    the misses. Failures demote to the walk (self-healing).
+        if !pending.is_empty() {
+            let mut misses: Vec<usize> = Vec::new();
+            for (i, (clause_ms, proof)) in pending.iter_mut().enumerate() {
+                match self.cache.get(&ProofCache::<A>::key(&root_att, clause_ms)) {
+                    Some(hit) => *proof = Some(hit),
+                    None => misses.push(i),
+                }
+            }
+            if !misses.is_empty() {
+                let clauses: Vec<MultiSet<ElementId>> =
+                    misses.iter().map(|&i| pending[i].0.clone()).collect();
+                let results: Vec<Result<A::Proof, AccError>> =
+                    match self.acc.prove_disjoint_many(root_ms, &clauses) {
+                        Ok(proofs) => proofs.into_iter().map(Ok).collect(),
+                        // Some clause is not actually disjoint (a lying
+                        // Bloom filter skipped a present literal): attribute
+                        // per clause, keep the good proofs.
+                        Err(_) => self.acc.prove_disjoint_each(root_ms, &clauses),
+                    };
+                for (&i, res) in misses.iter().zip(results) {
+                    if let Ok(proof) = res {
+                        self.cache
+                            .insert(ProofCache::<A>::key(&root_att, &pending[i].0), proof.clone());
+                        pending[i].1 = Some(proof);
+                    }
+                }
+            }
+        }
+
+        // Compact the proof table; queries whose refutation failed to prove
+        // join the candidates and take the exact walk instead.
+        let mut proofs: Vec<A::Proof> = Vec::with_capacity(pending.len());
+        let mut proof_slot: Vec<Option<usize>> = Vec::with_capacity(pending.len());
+        for (_, proof) in pending {
+            match proof {
+                Some(p) => {
+                    proof_slot.push(Some(proofs.len()));
+                    proofs.push(p);
+                }
+                None => proof_slot.push(None),
+            }
+        }
+
+        // Classification may pass a query as candidate (e.g. one with more
+        // clauses than the exact-mask width) that the cell step already
+        // refuted; cell priority wins, exactly as in the reference walk.
+        // Queries whose refutation failed to prove join them (possible only
+        // under a lying Bloom filter, so the scan is gated on any failure).
+        let mut walk: Vec<QueryId> = cls
+            .candidates
+            .into_iter()
+            .filter(|qid| cell_assigned.is_empty() || !cell_assigned.contains_key(qid))
+            .collect();
+        if proof_slot.contains(&None) {
+            for (&qid, (idx, _)) in &cell_assigned {
+                if proof_slot[*idx].is_none() {
+                    walk.push(qid);
+                }
+            }
+            for &(qid, _, cid) in &cls.refuted {
+                if !cell_assigned.is_empty() && cell_assigned.contains_key(&qid) {
+                    continue;
+                }
+                if proof_slot[cid_pending[cid as usize] as usize].is_none() {
+                    walk.push(qid);
+                }
+            }
+        }
+        walk.sort_unstable();
+        let candidates = walk.len();
+
+        // 5. Only the candidates touch the tree.
+        let mut walked: Vec<(QueryId, MatchOutcome<A>)> = Vec::with_capacity(walk.len());
+        if !walk.is_empty() {
+            if self.use_iptree {
+                let mut out: BTreeMap<QueryId, (Vec<Object>, Option<VoNode<A>>)> =
+                    walk.iter().map(|&id| (id, (Vec::new(), None))).collect();
+                let roots = self.shared_walk(tree, tree.root, &block.objects, &walk, &mut out);
+                for (qid, node) in roots {
+                    let (results, _) = out.remove(&qid).expect("present");
+                    let vo = BlockVo { root: node, groups: Vec::new() };
+                    walked.push((qid, MatchOutcome::Walked(Box::new((results, vo)))));
+                }
+                walked.sort_unstable_by_key(|(qid, _)| *qid);
+            } else {
+                for &qid in &walk {
+                    let q = &self.queries[&qid];
+                    let out =
+                        tree.query_cached(&block.objects, q, &self.acc, false, Some(&self.cache));
+                    walked.push((qid, MatchOutcome::Walked(Box::new(out))));
+                }
+            }
+        }
+
+        // Emit the publish-ordered outcome vector in one linear merge of the
+        // three ascending sources (cell assignments, classified refutations,
+        // walked candidates) — no O(Q log Q) sort of the outcome values, no
+        // intermediate per-query vectors.
+        let mut outcomes: Vec<(QueryId, MatchOutcome<A>)> =
+            Vec::with_capacity(self.index.len().max(walked.len()));
+        let mut walked_iter = walked.into_iter().peekable();
+        let mut cell_iter = cell_assigned.iter().peekable();
+        let mut ref_iter = cls.refuted.iter().peekable();
+        loop {
+            // Next shared refutation, cell priority on ties.
+            let (qid, pidx, clause) = match (cell_iter.peek(), ref_iter.peek()) {
+                (Some(&(&cq, _)), Some(&&(rq, ci, cid))) if rq < cq => {
+                    ref_iter.next();
+                    (rq, cid_pending[cid as usize] as usize, ClauseRef::Index(ci))
+                }
+                (Some(&(&cq, _)), peeked) => {
+                    if peeked.is_some_and(|&&(rq, _, _)| rq == cq) {
+                        ref_iter.next();
+                    }
+                    let (_, (idx, clause)) = cell_iter.next().expect("peeked");
+                    (cq, *idx, clause.clone())
+                }
+                (None, Some(&&(rq, ci, cid))) => {
+                    ref_iter.next();
+                    (rq, cid_pending[cid as usize] as usize, ClauseRef::Index(ci))
+                }
+                (None, None) => break,
+            };
+            while walked_iter.peek().is_some_and(|(wq, _)| *wq < qid) {
+                outcomes.push(walked_iter.next().expect("peeked"));
+            }
+            // A failed slot means the query was demoted to the walk; its
+            // outcome arrives through `walked_iter` instead.
+            if let Some(slot) = proof_slot[pidx] {
+                outcomes.push((qid, MatchOutcome::Shared { proof: slot, clause }));
+            }
+        }
+        outcomes.extend(walked_iter);
+
+        let root_node = &tree.nodes[tree.root];
+        let root = match &root_node.kind {
+            IntraNodeKind::Leaf { obj_idx } => {
+                RootShape::Leaf { att: root_att, obj_hash: block.objects[*obj_idx].digest() }
+            }
+            IntraNodeKind::Internal { left, right } => RootShape::Internal {
+                att: root_att,
+                child_hash: vchain_hash::hash_pair(
+                    &tree.nodes[*left].hash,
+                    &tree.nodes[*right].hash,
+                ),
+            },
+        };
+
+        BlockMatch { height: block.header.height, root, proofs, outcomes, candidates }
     }
 
     /// Algorithm 5: buffer whole-block mismatches, compress with skips,

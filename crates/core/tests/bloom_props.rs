@@ -1,0 +1,129 @@
+//! Property layer for the per-block attribute Bloom filter
+//! ([`vchain_core::bloom`]):
+//!
+//! 1. **Zero false negatives, ever** — for any key set and any density, a
+//!    built filter answers "possibly present" for every inserted key. This
+//!    is the property the subscription engine's correctness argument leans
+//!    on (an honest filter can only over-approximate).
+//! 2. **FPR within budget** — the empirical false-positive rate over a
+//!    large seeded probe population stays within 2× of the analytic budget
+//!    `(1 − e^{−kn/m})^k` for the configured bits-per-key.
+//! 3. **Wire round-trip identity** — encode ∘ decode is the identity and
+//!    decoding is total (typed errors, no panics) over mutated inputs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vchain_core::bloom::{AttributeBloom, BloomKey, BLOOM_SEED, DEFAULT_BITS_PER_KEY};
+use vchain_core::wire::{decode_bloom, encode_bloom};
+use vchain_core::Adversary;
+
+fn keys_from(seed: u64, labels: &[Vec<u8>]) -> Vec<BloomKey> {
+    labels.iter().map(|l| BloomKey::from_bytes(seed, l)).collect()
+}
+
+proptest! {
+    /// Hard assert: no inserted key is ever reported absent, for any key
+    /// population, seed, and density.
+    #[test]
+    fn no_false_negatives(
+        labels in proptest::collection::vec(proptest::collection::vec(0u8..=255, 0..24), 0..300),
+        seed in 0u64..=u64::MAX,
+        bits_per_key in 1u8..=20,
+    ) {
+        let keys = keys_from(seed, &labels);
+        let filter = AttributeBloom::build(seed, bits_per_key, &keys);
+        for k in &keys {
+            prop_assert!(filter.contains_key(k), "false negative at {k:?}");
+        }
+    }
+
+    /// Encode → decode is the identity (same seed, probes, counts, words),
+    /// so gossiped filters probe exactly like locally built ones.
+    #[test]
+    fn wire_round_trip_identity(
+        labels in proptest::collection::vec(proptest::collection::vec(0u8..=255, 0..16), 0..120),
+        seed in 0u64..=u64::MAX,
+        bits_per_key in 1u8..=16,
+    ) {
+        let filter = AttributeBloom::build(seed, bits_per_key, &keys_from(seed, &labels));
+        let bytes = encode_bloom(&filter);
+        let back = decode_bloom(&bytes).expect("honest encoding decodes");
+        prop_assert_eq!(&back, &filter);
+        prop_assert_eq!(encode_bloom(&back), bytes, "canonical re-encoding");
+    }
+
+    /// Decoding is total: arbitrary bytes either decode or fail with a
+    /// typed error — never a panic. (Decoded garbage is still harmless;
+    /// the engine confirms every positive against the exact multiset.)
+    #[test]
+    fn decode_is_total(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        let _ = decode_bloom(&bytes);
+    }
+}
+
+/// Empirical FPR stays within 2× of the analytic budget. Deterministic
+/// (fixed seeds), large probe population, checked at two densities.
+#[test]
+fn fpr_within_twice_budget() {
+    for (bits_per_key, n_keys) in [(DEFAULT_BITS_PER_KEY, 2_000usize), (8, 1_000)] {
+        let mut rng = StdRng::seed_from_u64(0xF9A * u64::from(bits_per_key));
+        let members: Vec<Vec<u8>> =
+            (0..n_keys).map(|i| format!("member-{i}").into_bytes()).collect();
+        let keys = keys_from(BLOOM_SEED, &members);
+        let filter = AttributeBloom::build(BLOOM_SEED, bits_per_key, &keys);
+
+        let probes = 200_000u32;
+        let mut positives = 0u32;
+        for _ in 0..probes {
+            let label = format!("non-member-{}", rng.gen::<u64>());
+            if filter.contains_key(&BloomKey::from_bytes(BLOOM_SEED, label.as_bytes())) {
+                positives += 1;
+            }
+        }
+        let empirical = f64::from(positives) / f64::from(probes);
+
+        // Analytic budget for the *actual* geometry (m is rounded up to
+        // whole words, so this is slightly tighter than the nominal rate).
+        let m = filter.bit_len() as f64;
+        let k = f64::from(filter.probes());
+        let n = n_keys as f64;
+        let budget = (1.0 - (-k * n / m).exp()).powf(k);
+        assert!(
+            empirical <= 2.0 * budget,
+            "bits/key={bits_per_key}: empirical FPR {empirical:.5} exceeds 2x budget {budget:.5}"
+        );
+        assert!(empirical > 0.0, "probe population too small to measure FPR");
+    }
+}
+
+/// An honestly built filter never shrinks under the adversary's bit-flip
+/// class into reporting a member absent *and* having that go unnoticed:
+/// corruption is detectable work-wise only. Here we just pin the mutation
+/// classes' labels and that corruption really changes probe answers.
+#[test]
+fn corrupt_bloom_classes_do_corrupt() {
+    let labels: Vec<Vec<u8>> = (0..500).map(|i| format!("k{i}").into_bytes()).collect();
+    let keys = keys_from(BLOOM_SEED, &labels);
+    let honest = AttributeBloom::build(BLOOM_SEED, 10, &keys);
+
+    let mut seen = std::collections::BTreeSet::new();
+    let mut adv = Adversary::new(0xB10);
+    for _ in 0..64 {
+        let mut mutant = honest.clone();
+        let label = adv.corrupt_bloom(&mut mutant);
+        seen.insert(label);
+        match label {
+            "saturated" => {
+                // every probe answers "present"
+                let probe = BloomKey::from_bytes(BLOOM_SEED, b"definitely-not-a-member");
+                assert!(mutant.contains_key(&probe));
+            }
+            "zeroed-words" | "bit-flip" => {
+                assert_ne!(mutant.words(), honest.words(), "mutation must change the filter");
+            }
+            other => panic!("unknown corruption class {other}"),
+        }
+    }
+    assert_eq!(seen.len(), 3, "all three corruption classes exercised");
+}

@@ -15,7 +15,13 @@ use vchain_core::vo::{BlockCoverage, QueryResponse, VoSize};
 const DOMAIN_BITS: u8 = 6;
 
 fn cfg(scheme: IndexScheme) -> MinerConfig {
-    MinerConfig { scheme, skip_levels: 3, domain_bits: DOMAIN_BITS, difficulty: Difficulty(2) }
+    MinerConfig {
+        scheme,
+        skip_levels: 3,
+        domain_bits: DOMAIN_BITS,
+        difficulty: Difficulty(2),
+        bloom_bits_per_key: 10,
+    }
 }
 
 /// Deterministic mini-workload: 12 blocks × 4 objects with two numeric dims

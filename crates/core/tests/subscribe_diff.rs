@@ -1,0 +1,172 @@
+//! Differential layer for the subscription engine: the attribute-indexed
+//! match path ([`WalkStrategy::Indexed`]) must be **byte-identical** to the
+//! retained naive walk ([`WalkStrategy::Naive`]) — same publish schedule,
+//! same update encodings, to the last proof byte — across both accumulator
+//! constructions, both publication modes, both IP-Tree settings, and both
+//! standing-query skew profiles (Zipf and adversarial).
+//!
+//! Everything is seeded: a failure replays from the config tuple alone.
+
+use std::sync::OnceLock;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vchain_acc::{Acc1, Acc2, Accumulator};
+use vchain_chain::{Block, Difficulty};
+use vchain_core::miner::{IndexScheme, IndexedBlock, Miner, MinerConfig};
+use vchain_core::query::Query;
+use vchain_core::subscribe::{SubscriptionEngine, SubscriptionMode, WalkStrategy};
+use vchain_core::wire::encode_update;
+use vchain_datagen::{Dataset, SkewProfile, SubscriptionSpec, WorkloadSpec};
+
+const DOMAIN_BITS: u8 = 6;
+const NUM_BLOCKS: usize = 104;
+
+fn cfg() -> MinerConfig {
+    MinerConfig {
+        scheme: IndexScheme::Both,
+        skip_levels: 3,
+        domain_bits: DOMAIN_BITS,
+        difficulty: Difficulty(0),
+        bloom_bits_per_key: 10,
+    }
+}
+
+fn acc2() -> &'static Acc2 {
+    static ACC: OnceLock<Acc2> = OnceLock::new();
+    ACC.get_or_init(|| Acc2::keygen(4096, &mut StdRng::seed_from_u64(0xD1FF)))
+}
+
+fn acc1() -> &'static Acc1 {
+    static ACC: OnceLock<Acc1> = OnceLock::new();
+    ACC.get_or_init(|| Acc1::keygen(600, &mut StdRng::seed_from_u64(0xD1FF)))
+}
+
+/// The standing-query population: Zipf-skewed pool clauses, adversarial
+/// attribute skew (hot clause, ghost keywords, stacked cells), plus edge
+/// shapes (an everything-matcher and a wider-than-the-exact-mask CNF).
+fn population(zipf_n: usize, adversarial_n: usize) -> Vec<Query> {
+    let mut zipf = SubscriptionSpec::paper_defaults(Dataset::FourSquare, SkewProfile::Zipf);
+    zipf.domain_bits = DOMAIN_BITS;
+    zipf.clause_pool = 12;
+    zipf.clause_size = 2;
+    zipf.range_bits = 2;
+    let mut adv = SubscriptionSpec::paper_defaults(Dataset::FourSquare, SkewProfile::Adversarial);
+    adv.domain_bits = DOMAIN_BITS;
+    adv.clause_pool = 8;
+    adv.clause_size = 2;
+    adv.range_bits = 2;
+
+    let mut qs = zipf.generate(zipf_n);
+    qs.extend(adv.generate(adversarial_n));
+    // Matches every block: the classifier must pass it straight through.
+    qs.push(Query { time_window: None, ranges: vec![], keywords: vec![] });
+    // More clauses than the classifier's 64-bit exact mask: forced onto the
+    // candidate walk, where the twin takes the identical path.
+    qs.push(Query {
+        time_window: None,
+        ranges: vec![],
+        keywords: (0..70).map(|i| vec![format!("unindexed:{i}")]).collect(),
+    });
+    qs
+}
+
+fn chain<A: Accumulator + Clone>(acc: &A) -> (Vec<Block>, Vec<IndexedBlock<A>>) {
+    let mut spec = WorkloadSpec::paper_defaults(Dataset::FourSquare, NUM_BLOCKS);
+    spec.domain_bits = DOMAIN_BITS;
+    spec.objects_per_block = 3;
+    let w = spec.generate();
+    let mut miner = Miner::new(cfg(), acc.clone());
+    for (ts, objs) in &w.blocks {
+        miner.mine_block(*ts, objs.clone());
+    }
+    let blocks: Vec<Block> = miner.store().blocks().to_vec();
+    let indexed = miner.indexed().to_vec();
+    (blocks, indexed)
+}
+
+/// Drive the indexed engine and the naive twin over the same chain; assert
+/// an identical publish schedule and byte-identical update encodings,
+/// including the deregistration flushes.
+fn assert_twins<A: Accumulator + Clone>(
+    acc: &A,
+    mode: SubscriptionMode,
+    use_iptree: bool,
+    queries: &[Query],
+    blocks: &[Block],
+    indexed: &[IndexedBlock<A>],
+) {
+    let mut fast = SubscriptionEngine::new(cfg(), acc.clone(), mode, use_iptree);
+    let mut twin = SubscriptionEngine::new(cfg(), acc.clone(), mode, use_iptree)
+        .with_strategy(WalkStrategy::Naive);
+    assert_eq!(fast.strategy(), WalkStrategy::Indexed, "indexed is the default");
+
+    let ids: Vec<u32> = queries.iter().map(|q| fast.register(q)).collect();
+    for q in queries {
+        twin.register(q);
+    }
+
+    for (block, idx) in blocks.iter().zip(indexed) {
+        let h = block.header.height;
+        let a = fast.process_block(block, idx);
+        let b = twin.process_block(block, idx);
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "publish schedule diverged at height {h} ({mode:?}, iptree={use_iptree})"
+        );
+        for (ua, ub) in a.iter().zip(&b) {
+            assert_eq!(ua.query_id, ub.query_id, "schedule order diverged at height {h}");
+            assert_eq!(
+                encode_update(ua),
+                encode_update(ub),
+                "update bytes diverged at height {h} for query {} ({mode:?}, \
+                 iptree={use_iptree})",
+                ua.query_id
+            );
+        }
+    }
+
+    // Lazy stacks flush on deregistration; those must agree byte-for-byte
+    // too (including "nothing pending" agreement).
+    for id in ids {
+        match (fast.deregister(id), twin.deregister(id)) {
+            (None, None) => {}
+            (Some(ua), Some(ub)) => {
+                assert_eq!(encode_update(&ua), encode_update(&ub), "flush diverged for {id}");
+            }
+            (a, b) => panic!(
+                "flush presence diverged for {id}: indexed={:?} naive={:?}",
+                a.map(|u| (u.from_height, u.to_height)),
+                b.map(|u| (u.from_height, u.to_height))
+            ),
+        }
+    }
+}
+
+#[test]
+fn acc2_realtime_indexed_equals_naive() {
+    let (blocks, indexed) = chain(acc2());
+    let qs = population(24, 12);
+    for use_iptree in [true, false] {
+        assert_twins(acc2(), SubscriptionMode::Realtime, use_iptree, &qs, &blocks, &indexed);
+    }
+}
+
+#[test]
+fn acc2_lazy_indexed_equals_naive() {
+    let (blocks, indexed) = chain(acc2());
+    let qs = population(24, 12);
+    for use_iptree in [true, false] {
+        assert_twins(acc2(), SubscriptionMode::Lazy, use_iptree, &qs, &blocks, &indexed);
+    }
+}
+
+#[test]
+fn acc1_realtime_indexed_equals_naive() {
+    let (blocks, indexed) = chain(acc1());
+    let qs = population(10, 6);
+    for use_iptree in [true, false] {
+        assert_twins(acc1(), SubscriptionMode::Realtime, use_iptree, &qs, &blocks, &indexed);
+    }
+}

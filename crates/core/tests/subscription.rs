@@ -20,6 +20,7 @@ fn cfg() -> MinerConfig {
         skip_levels: 3,
         domain_bits: DOMAIN_BITS,
         difficulty: Difficulty(2),
+        bloom_bits_per_key: 10,
     }
 }
 

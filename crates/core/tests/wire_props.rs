@@ -44,6 +44,7 @@ fn fixture() -> &'static Fixture {
             skip_levels: 3,
             domain_bits: DOMAIN_BITS,
             difficulty: Difficulty(2),
+            bloom_bits_per_key: 10,
         };
         let acc = Acc1::keygen(600, &mut StdRng::seed_from_u64(31));
         let mut miner = Miner::new(cfg, acc.clone());

@@ -9,9 +9,11 @@
 //! generators match (see DESIGN.md §2 for the substitution argument).
 
 pub mod mht_baseline;
+pub mod subscriptions;
 pub mod workload;
 pub mod zipf;
 
 pub use mht_baseline::MhtBaseline;
+pub use subscriptions::{SkewProfile, SubscriptionSpec};
 pub use workload::{Dataset, QueryGen, Workload, WorkloadSpec};
 pub use zipf::Zipf;

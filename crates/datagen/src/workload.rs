@@ -20,6 +20,19 @@ pub enum Dataset {
     Ethereum,
 }
 
+impl Dataset {
+    /// The dataset's keyword naming: vocabulary rank → keyword string.
+    /// Shared by the block stream, the query generators and the standing-
+    /// subscription generators, so subscriptions actually hit the traffic.
+    pub fn keyword(&self, rank: usize) -> String {
+        match self {
+            Dataset::FourSquare => format!("place:{rank}"),
+            Dataset::Weather => format!("wx:{rank}"),
+            Dataset::Ethereum => format!("addr:{rank:05x}"),
+        }
+    }
+}
+
 /// Generation parameters (defaults mirror §9; scale is configurable).
 #[derive(Clone, Debug)]
 pub struct WorkloadSpec {
@@ -104,11 +117,7 @@ impl WorkloadSpec {
     }
 
     fn keyword(&self, rank: usize) -> String {
-        match self.dataset {
-            Dataset::FourSquare => format!("place:{rank}"),
-            Dataset::Weather => format!("wx:{rank}"),
-            Dataset::Ethereum => format!("addr:{rank:05x}"),
-        }
+        self.dataset.keyword(rank)
     }
 
     /// Generate the block stream: `(timestamp, objects)` per block.

@@ -23,6 +23,7 @@ fn main() {
         skip_levels: 3,
         domain_bits: 8,
         difficulty: Difficulty(4),
+        bloom_bits_per_key: 10,
     };
     println!("generating accumulator public key (q-SDH construction)…");
     // Construction 1: compact public key sized by the max multiset degree.

@@ -21,6 +21,7 @@ fn main() {
         skip_levels: 3,
         domain_bits: 8, // numeric attributes live in [0, 255]
         difficulty: Difficulty(4),
+        bloom_bits_per_key: 10,
     };
     println!("generating accumulator public key…");
     let acc = Acc2::keygen(2048, &mut StdRng::seed_from_u64(42));

@@ -58,6 +58,7 @@ fn main() {
         skip_levels: 2,
         domain_bits: 8,
         difficulty: Difficulty(2),
+        bloom_bits_per_key: 10,
     };
     println!("generating accumulator public key…");
     let acc = Acc2::keygen(2048, &mut StdRng::seed_from_u64(21));

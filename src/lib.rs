@@ -31,6 +31,7 @@
 //!     skip_levels: 3,
 //!     domain_bits: 8,
 //!     difficulty: Difficulty(2),
+//!     bloom_bits_per_key: 10,
 //! };
 //! let acc = Acc2::keygen(2048, &mut StdRng::seed_from_u64(1));
 //!

@@ -30,6 +30,7 @@ fn run_dataset(ds: Dataset, seed: u64) {
         skip_levels: 2,
         domain_bits: spec.domain_bits,
         difficulty: Difficulty(1),
+        bloom_bits_per_key: 10,
     };
     let mut miner = Miner::new(cfg, acc());
     for (ts, objs) in &w.blocks {
@@ -92,6 +93,7 @@ fn schemes_agree_on_results() {
             skip_levels: 2,
             domain_bits: spec.domain_bits,
             difficulty: Difficulty(1),
+            bloom_bits_per_key: 10,
         };
         let mut miner = Miner::new(cfg, acc());
         for (ts, objs) in &w.blocks {
@@ -127,6 +129,7 @@ fn headers_are_light() {
         skip_levels: 2,
         domain_bits: spec.domain_bits,
         difficulty: Difficulty(1),
+        bloom_bits_per_key: 10,
     };
     let mut miner = Miner::new(cfg, acc());
     for (ts, objs) in &w.blocks {
