@@ -218,6 +218,59 @@ impl Acc2 {
         }
         Ok(Acc2Proof { pi: pi.to_affine() })
     }
+
+    /// Version byte heading every serialized [`Acc2Witness`]; bump on any
+    /// layout change so stale persisted witnesses are rejected, not
+    /// misread.
+    pub const WITNESS_VERSION: u8 = 1;
+
+    /// Canonical bytes of a witness: the version byte, a `u32` coefficient
+    /// count, then `(index, multiplicity)` as little-endian `u64` pairs in
+    /// ascending index order. `16·|X₁| + 5` bytes total.
+    pub fn witness_to_bytes(witness: &Acc2Witness) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5 + 16 * witness.coeffs.len());
+        out.push(Self::WITNESS_VERSION);
+        out.extend_from_slice(
+            &u32::try_from(witness.coeffs.len()).unwrap_or(u32::MAX).to_le_bytes(),
+        );
+        for &(idx, count) in &witness.coeffs {
+            out.extend_from_slice(&idx.to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+        out
+    }
+
+    /// Checked inverse of [`Acc2::witness_to_bytes`] against *this* key:
+    /// `None` on any malformation — wrong version, truncated or trailing
+    /// bytes, an index outside the key's universe `[1, q)`, a zero
+    /// multiplicity, or indices not strictly ascending (the invariant
+    /// [`Acc2::finalize_proof`]'s disjointness binary search relies on).
+    pub fn witness_from_bytes(&self, bytes: &[u8]) -> Option<Acc2Witness> {
+        let (&version, rest) = bytes.split_first()?;
+        if version != Self::WITNESS_VERSION {
+            return None;
+        }
+        let (len_bytes, rest) = rest.split_at_checked(4)?;
+        let n = u32::from_le_bytes(len_bytes.try_into().ok()?) as usize;
+        if rest.len() != n.checked_mul(16)? {
+            return None;
+        }
+        let mut coeffs = Vec::with_capacity(n);
+        let mut prev: Option<u64> = None;
+        for chunk in rest.chunks_exact(16) {
+            let idx = u64::from_le_bytes(chunk.get(..8)?.try_into().ok()?);
+            let count = u64::from_le_bytes(chunk.get(8..)?.try_into().ok()?);
+            if idx == 0 || idx >= self.pk.q || count == 0 {
+                return None;
+            }
+            if prev.is_some_and(|p| p >= idx) {
+                return None;
+            }
+            prev = Some(idx);
+            coeffs.push((idx, count));
+        }
+        Some(Acc2Witness { coeffs })
+    }
 }
 
 impl Accumulator for Acc2 {
@@ -299,6 +352,19 @@ impl Accumulator for Acc2 {
             Ok(witness) => clauses.iter().map(|c| self.finalize_proof(&witness, c)).collect(),
             Err(e) => clauses.iter().map(|_| Err(e.clone())).collect(),
         }
+    }
+
+    fn witness_bytes<E: AccElem>(&self, x1: &MultiSet<E>) -> Option<Vec<u8>> {
+        self.prove_witness(x1).ok().map(|w| Self::witness_to_bytes(&w))
+    }
+
+    fn finalize_from_witness_bytes<E: AccElem>(
+        &self,
+        witness: &[u8],
+        clause: &MultiSet<E>,
+    ) -> Option<Acc2Proof> {
+        let w = self.witness_from_bytes(witness)?;
+        self.finalize_proof(&w, clause).ok()
     }
 
     fn verify_disjoint(&self, a1: &Acc2Value, a2: &Acc2Value, proof: &Acc2Proof) -> bool {
@@ -449,6 +515,56 @@ mod tests {
             assert_eq!(*p, a.prove_disjoint(&x1, c).unwrap());
             assert!(a.verify_disjoint(&a.setup(&x1), &a.setup(c), p));
         }
+    }
+
+    #[test]
+    fn witness_bytes_round_trip_and_rejection() {
+        let a = acc();
+        let x1 = ms(&[1, 2, 3, 7, 7]);
+        let w = a.prove_witness(&x1).unwrap();
+        let bytes = Acc2::witness_to_bytes(&w);
+        let back = a.witness_from_bytes(&bytes).unwrap();
+        assert_eq!(Acc2::witness_to_bytes(&back), bytes, "decode∘encode identity");
+
+        // wrong version byte
+        let mut bad = bytes.clone();
+        bad[0] ^= 1;
+        assert!(a.witness_from_bytes(&bad).is_none());
+        // truncation and trailing bytes
+        assert!(a.witness_from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(a.witness_from_bytes(&long).is_none());
+        // out-of-universe index (q = 64)
+        let oob = Acc2::witness_to_bytes(&Acc2Witness { coeffs: vec![(64, 1)] });
+        assert!(a.witness_from_bytes(&oob).is_none());
+        // zero multiplicity and non-ascending indices
+        let zero = Acc2::witness_to_bytes(&Acc2Witness { coeffs: vec![(3, 0)] });
+        assert!(a.witness_from_bytes(&zero).is_none());
+        let unsorted = Acc2::witness_to_bytes(&Acc2Witness { coeffs: vec![(5, 1), (3, 1)] });
+        assert!(a.witness_from_bytes(&unsorted).is_none());
+        // empty input is not a witness
+        assert!(a.witness_from_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn finalize_from_witness_bytes_matches_prove_disjoint() {
+        let a = acc();
+        let x1 = ms(&[1, 2, 3, 7, 7]);
+        let wb = a.witness_bytes(&x1).unwrap();
+        for c in [ms(&[10, 20]), ms(&[30]), ms(&[10, 31, 32])] {
+            let from_bytes = a.finalize_from_witness_bytes(&wb, &c).unwrap();
+            let direct = a.prove_disjoint(&x1, &c).unwrap();
+            assert_eq!(
+                Acc2::proof_bytes(&from_bytes),
+                Acc2::proof_bytes(&direct),
+                "persisted-witness proofs are byte-identical to cold proofs"
+            );
+        }
+        // an intersecting clause falls back to None, never a wrong proof
+        assert!(a.finalize_from_witness_bytes(&wb, &ms(&[2])).is_none());
+        // garbage witness bytes likewise
+        assert!(a.finalize_from_witness_bytes(b"not a witness", &ms(&[10])).is_none());
     }
 
     #[test]

@@ -367,6 +367,39 @@ pub trait Accumulator: Clone + Send + Sync + 'static {
     /// [`Accumulator::value_from_bytes`].
     fn proof_from_bytes(&self, bytes: &[u8]) -> Result<Self::Proof, DecodeError>;
 
+    /// Serialize the reusable `X₁`-side proving state for persistence, when
+    /// the construction has one that is cheap to extract and small on disk.
+    ///
+    /// Construction 2's witness is the exponent coefficient vector of `X₁`
+    /// (16 bytes per distinct element — see `Acc2::prove_witness`), so a
+    /// service provider can persist it once per skip entry and, after a
+    /// restart, refute *any* clause against that entry with only the cheap
+    /// per-clause finalization — no `O(|X₁|)` re-extraction, and crucially no
+    /// dependence on still holding the multiset in memory. Construction 1's
+    /// witness is a full `G2` commitment ladder and is not worth persisting;
+    /// it keeps the default `None`, which callers must treat as "re-prove
+    /// from the multiset".
+    fn witness_bytes<E: AccElem>(&self, _x1: &MultiSet<E>) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Finalize a disjointness proof for `clause` from witness bytes
+    /// previously produced by [`Accumulator::witness_bytes`].
+    ///
+    /// Returns `None` when the construction has no serialized-witness path,
+    /// when the bytes fail validation (wrong version, malformed, out of the
+    /// key's universe), or when the clause intersects the witnessed set —
+    /// callers fall back to [`Accumulator::prove_disjoint`], which reports
+    /// the precise error. A `Some` proof is byte-identical to the proof
+    /// `prove_disjoint` would derive from the original multiset.
+    fn finalize_from_witness_bytes<E: AccElem>(
+        &self,
+        _witness: &[u8],
+        _clause: &MultiSet<E>,
+    ) -> Option<Self::Proof> {
+        None
+    }
+
     /// Whether `Sum`/`ProofSum` are available (Construction 2 only).
     fn supports_aggregation(&self) -> bool {
         false

@@ -235,6 +235,44 @@ pub fn compare_with_improve(
     cmp
 }
 
+/// Splice freshly measured timings into an existing bench-smoke JSON file
+/// by text surgery, preserving the emitter's exact line shape (so
+/// [`parse`] and the gate treat merged entries like native ones). Each
+/// `(name, iters, us_per_iter)` becomes one timing line before the closing
+/// `  ]` of the array; the previous last entry gains the comma JSON
+/// requires. Duplicate names are an error — a merge is additive, never a
+/// silent overwrite.
+pub fn merge_entries(json: &str, entries: &[(String, u32, f64)]) -> Result<String, String> {
+    if !json.contains("vchain-bench-smoke/v1") {
+        return Err("missing vchain-bench-smoke/v1 schema marker".into());
+    }
+    let existing = parse(json)?;
+    for (name, _, us) in entries {
+        if existing.iter().any(|e| &e.name == name) {
+            return Err(format!("entry {name:?} already present — merge is additive only"));
+        }
+        if !us.is_finite() || *us < 0.0 {
+            return Err(format!("non-physical us_per_iter {us} for {name:?}"));
+        }
+    }
+    let close = json.rfind("  ]").ok_or("no closing `  ]` of the timings array")?;
+    let (head, tail) = json.split_at(close);
+    let mut out = head.trim_end().to_string();
+    if out.ends_with('}') {
+        out.push(','); // the former last entry now has a successor
+    }
+    for (i, (name, iters, us)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        let _ = write!(
+            out,
+            "\n    {{\"name\": \"{name}\", \"iters\": {iters}, \"us_per_iter\": {us:.3}}}{comma}"
+        );
+    }
+    out.push('\n');
+    out.push_str(tail);
+    Ok(out)
+}
+
 /// The ratio tolerance from `VCHAIN_BENCH_TOL` (default 2.0).
 pub fn tol_from_env() -> f64 {
     std::env::var("VCHAIN_BENCH_TOL").ok().and_then(|v| v.parse().ok()).unwrap_or(2.0)
@@ -384,6 +422,30 @@ mod tests {
         let base = entries(&[("fp_mul", 0.06)]);
         let fast = entries(&[("fp_mul", 0.001)]);
         assert!(compare_with_improve(&base, &fast, 2.0, 25.0, Some(1.5)).passed());
+    }
+
+    #[test]
+    fn merge_appends_parseable_entries() {
+        let merged = merge_entries(
+            SAMPLE,
+            &[("sp_serve_qps".to_string(), 64, 1234.5), ("sp_serve_p99_us".to_string(), 64, 99.25)],
+        )
+        .unwrap();
+        let parsed = parse(&merged).unwrap();
+        assert_eq!(parsed.len(), 5);
+        assert_eq!(parsed[3], Entry { name: "sp_serve_qps".into(), us_per_iter: 1234.5 });
+        assert_eq!(parsed[4], Entry { name: "sp_serve_p99_us".into(), us_per_iter: 99.25 });
+        // the original entries survive byte-for-byte meaning-wise
+        assert_eq!(parsed[..3], parse(SAMPLE).unwrap()[..]);
+        // merged output is itself mergeable (still well-shaped)
+        assert!(merge_entries(&merged, &[("one_more".to_string(), 1, 0.5)]).is_ok());
+    }
+
+    #[test]
+    fn merge_rejects_duplicates_and_foreign_files() {
+        assert!(merge_entries(SAMPLE, &[("pairing".to_string(), 1, 1.0)]).is_err());
+        assert!(merge_entries("{}", &[("x".to_string(), 1, 1.0)]).is_err());
+        assert!(merge_entries(SAMPLE, &[("x".to_string(), 1, f64::NAN)]).is_err());
     }
 
     #[test]

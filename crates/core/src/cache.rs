@@ -11,18 +11,33 @@
 //! from scratch before this cache existed.
 //!
 //! [`ProofCache`] is a fixed-capacity, thread-safe LRU map from
-//! `H(acc(X₁) ‖ clause)` to the proof. Keys are 32-byte digests of the
-//! *serialized* accumulative value plus the clause's canonical index/count
-//! encoding, so a hit is sound whenever SHA-256 is collision-resistant —
-//! the cache never needs to retain the (potentially large) multisets
-//! themselves. All entries of one cache refer to one accumulator public
-//! key; callers that rotate keys must use fresh caches.
+//! [`CacheKey`] — the pair `(H(acc(X₁)), H(clause))` of digests over the
+//! *serialized* accumulative value and the clause's canonical index/count
+//! encoding — to the proof. A hit is sound whenever SHA-256 is
+//! collision-resistant; the cache never needs to retain the (potentially
+//! large) multisets themselves. All entries of one cache refer to one
+//! accumulator public key; callers that rotate keys must use fresh caches.
+//!
+//! # Persistence
+//!
+//! A cache built [`ProofCache::with_persistence`] additionally queues a
+//! [`DirtyEntry`] (the key halves plus canonical proof bytes) on every
+//! insert. The serving layer drains the queue with
+//! [`ProofCache::take_dirty`] and appends it to a [`crate::store::LogStore`]
+//! — write-behind, so the proving hot path never waits on a disk. Because
+//! dirty capture happens at *insert* and is independent of the LRU list,
+//! an entry later evicted from memory has still been persisted: eviction
+//! bounds RAM, the log bounds re-proving. On warm start,
+//! [`ProofCache::preload`] rehydrates entries without touching either the
+//! stats or the dirty queue, and [`ProofCache::restore_stats`] adopts the
+//! last persisted counter snapshot (activity since that snapshot is reset
+//! — the documented durability granularity is the flush batch).
 
 use std::collections::HashMap;
 
 use parking_lot::Mutex;
 use vchain_acc::{AccElem, AccError, Accumulator, MultiSet};
-use vchain_hash::{hash_concat, Digest};
+use vchain_hash::{hash_bytes, hash_concat, Digest};
 
 /// Sentinel index for "no node" in the intrusive LRU list.
 const NIL: usize = usize::MAX;
@@ -39,6 +54,37 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+/// The two halves of a proof-cache key, kept separate so persistence can
+/// store them: `att` commits to the serialized accumulative value
+/// (`H(value_bytes(acc(X₁)))`), `clause` to the clause's canonical
+/// `(index, count)` encoding. The map itself is keyed by their
+/// domain-separated combination ([`CacheKey::digest`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Digest of the serialized accumulative value.
+    pub att: Digest,
+    /// Digest of the canonical clause bytes.
+    pub clause: Digest,
+}
+
+impl CacheKey {
+    /// The combined map key: `H(tag ‖ att ‖ clause)`.
+    pub fn digest(&self) -> Digest {
+        hash_concat(&[b"vchain/proof-cache", self.att.as_bytes(), self.clause.as_bytes()])
+    }
+}
+
+/// One queued write-behind entry: the key halves plus the proof's
+/// canonical bytes, ready to become a `StoreRecord::Proof` without any
+/// further access to accumulator types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirtyEntry {
+    /// The entry's cache key.
+    pub key: CacheKey,
+    /// Canonical proof bytes ([`Accumulator::proof_bytes`]).
+    pub proof: Vec<u8>,
+}
+
 struct Node<P> {
     key: Digest,
     proof: P,
@@ -53,6 +99,7 @@ struct Inner<P> {
     head: usize,
     tail: usize,
     stats: CacheStats,
+    dirty: Vec<DirtyEntry>,
 }
 
 impl<P> Inner<P> {
@@ -103,6 +150,7 @@ impl<P> Inner<P> {
 pub struct ProofCache<A: Accumulator> {
     inner: Mutex<Inner<A::Proof>>,
     capacity: usize,
+    persist: bool,
 }
 
 impl<A: Accumulator> ProofCache<A> {
@@ -122,28 +170,50 @@ impl<A: Accumulator> ProofCache<A> {
                 head: NIL,
                 tail: NIL,
                 stats: CacheStats::default(),
+                dirty: Vec::new(),
             }),
             capacity,
+            persist: false,
         }
     }
 
+    /// Turn on write-behind capture: every subsequent [`ProofCache::insert`]
+    /// (and the insert half of the `get_or_prove` family) also queues a
+    /// [`DirtyEntry`] for [`ProofCache::take_dirty`].
+    pub fn with_persistence(mut self) -> Self {
+        self.persist = true;
+        self
+    }
+
+    /// Whether write-behind capture is on.
+    pub fn persistence_enabled(&self) -> bool {
+        self.persist
+    }
+
     /// The cache key for proving `X₁` (committed as `att`) disjoint from
-    /// `clause`: a digest over the serialized accumulative value and the
+    /// `clause`: digests over the serialized accumulative value and the
     /// clause's canonical `(index, count)` encoding.
-    pub fn key<E: AccElem>(att: &A::Value, clause: &MultiSet<E>) -> Digest {
+    pub fn key<E: AccElem>(att: &A::Value, clause: &MultiSet<E>) -> CacheKey {
         let att_bytes = A::value_bytes(att);
         let mut clause_bytes = Vec::with_capacity(16 * clause.distinct_len());
         for (e, c) in clause.iter() {
             clause_bytes.extend_from_slice(&e.to_index().to_le_bytes());
             clause_bytes.extend_from_slice(&c.to_le_bytes());
         }
-        hash_concat(&[b"vchain/proof-cache", &att_bytes, &clause_bytes])
+        CacheKey { att: hash_bytes(&att_bytes), clause: hash_bytes(&clause_bytes) }
+    }
+
+    /// The `att` half of [`ProofCache::key`] alone — the handle persisted
+    /// witnesses are filed under.
+    pub fn att_digest(att: &A::Value) -> Digest {
+        hash_bytes(&A::value_bytes(att))
     }
 
     /// Look up a proof, refreshing its recency on a hit.
-    pub fn get(&self, key: &Digest) -> Option<A::Proof> {
+    pub fn get(&self, key: &CacheKey) -> Option<A::Proof> {
+        let digest = key.digest();
         let mut g = self.inner.lock();
-        match g.map.get(key).copied() {
+        match g.map.get(&digest).copied() {
             Some(i) => {
                 g.detach(i);
                 g.push_front(i);
@@ -158,10 +228,27 @@ impl<A: Accumulator> ProofCache<A> {
     }
 
     /// Insert (or refresh) a proof, evicting the least-recently-used entry
-    /// when full.
-    pub fn insert(&self, key: Digest, proof: A::Proof) {
+    /// when full. With persistence on, the entry is also queued for
+    /// write-behind — *before* any eviction decision, so an entry evicted
+    /// later has still been captured durably.
+    pub fn insert(&self, key: CacheKey, proof: A::Proof) {
+        self.insert_inner(key, proof, self.persist);
+    }
+
+    /// Rehydrate an entry from the persistent store: identical placement to
+    /// [`ProofCache::insert`] but never re-queued as dirty (it came *from*
+    /// the log) and without touching the counters.
+    pub fn preload(&self, key: CacheKey, proof: A::Proof) {
+        self.insert_inner(key, proof, false);
+    }
+
+    fn insert_inner(&self, key: CacheKey, proof: A::Proof, record_dirty: bool) {
+        let digest = key.digest();
         let mut g = self.inner.lock();
-        if let Some(&i) = g.map.get(&key) {
+        if record_dirty {
+            g.dirty.push(DirtyEntry { key, proof: A::proof_bytes(&proof) });
+        }
+        if let Some(&i) = g.map.get(&digest) {
             g.nodes[i].proof = proof;
             g.detach(i);
             g.push_front(i);
@@ -177,16 +264,36 @@ impl<A: Accumulator> ProofCache<A> {
         }
         let i = match g.free.pop() {
             Some(i) => {
-                g.nodes[i] = Node { key, proof, prev: NIL, next: NIL };
+                g.nodes[i] = Node { key: digest, proof, prev: NIL, next: NIL };
                 i
             }
             None => {
-                g.nodes.push(Node { key, proof, prev: NIL, next: NIL });
+                g.nodes.push(Node { key: digest, proof, prev: NIL, next: NIL });
                 g.nodes.len() - 1
             }
         };
-        g.map.insert(key, i);
+        g.map.insert(digest, i);
         g.push_front(i);
+    }
+
+    /// Drain the write-behind queue (insertion order preserved; the same
+    /// key may appear more than once if it was re-inserted — flushers
+    /// dedupe last-wins).
+    pub fn take_dirty(&self) -> Vec<DirtyEntry> {
+        core::mem::take(&mut self.inner.lock().dirty)
+    }
+
+    /// Entries currently queued for write-behind.
+    pub fn dirty_len(&self) -> usize {
+        self.inner.lock().dirty.len()
+    }
+
+    /// Overwrite the counters with a persisted snapshot (warm start).
+    /// Counters are cumulative up to the snapshot's flush; activity
+    /// between that flush and the crash/shutdown is reset — hits and
+    /// misses after rehydration accrue on top of the restored values.
+    pub fn restore_stats(&self, stats: CacheStats) {
+        self.inner.lock().stats = stats;
     }
 
     /// The SP fast path: return the cached proof for `(att, clause)` or
@@ -199,9 +306,33 @@ impl<A: Accumulator> ProofCache<A> {
         x1: &MultiSet<E>,
         clause: &MultiSet<E>,
     ) -> Result<A::Proof, AccError> {
+        self.get_or_prove_with_witness(acc, att, x1, clause, None)
+    }
+
+    /// [`ProofCache::get_or_prove`] with an optional *persisted witness*
+    /// fast path: on a miss, if `witness` carries serialized `X₁`-side
+    /// proving state (see [`Accumulator::witness_bytes`]), the proof is
+    /// finalized from it — skipping the `O(|X₁|)` extraction — and falls
+    /// back to a cold `prove_disjoint` if the bytes are rejected. Both
+    /// paths derive byte-identical proofs, so cache contents do not depend
+    /// on which path ran.
+    pub fn get_or_prove_with_witness<E: AccElem>(
+        &self,
+        acc: &A,
+        att: &A::Value,
+        x1: &MultiSet<E>,
+        clause: &MultiSet<E>,
+        witness: Option<&[u8]>,
+    ) -> Result<A::Proof, AccError> {
         let key = Self::key(att, clause);
         if let Some(p) = self.get(&key) {
             return Ok(p);
+        }
+        if let Some(wb) = witness {
+            if let Some(proof) = acc.finalize_from_witness_bytes(wb, clause) {
+                self.insert(key, proof.clone());
+                return Ok(proof);
+            }
         }
         let proof = acc.prove_disjoint(x1, clause)?;
         self.insert(key, proof.clone());
@@ -237,6 +368,7 @@ impl<A: Accumulator> ProofCache<A> {
         g.head = NIL;
         g.tail = NIL;
         g.stats = CacheStats::default();
+        g.dirty.clear();
     }
 }
 
@@ -301,7 +433,8 @@ mod tests {
         let x = ms(&[1]);
         let att = a.setup(&x);
         let clauses = [ms(&[10]), ms(&[11]), ms(&[12])];
-        let keys: Vec<Digest> = clauses.iter().map(|c| ProofCache::<Acc2>::key(&att, c)).collect();
+        let keys: Vec<CacheKey> =
+            clauses.iter().map(|c| ProofCache::<Acc2>::key(&att, c)).collect();
         for c in &clauses[..2] {
             cache.get_or_prove(&a, &att, &x, c).unwrap();
         }

@@ -39,6 +39,7 @@ pub mod iptree;
 pub mod miner;
 pub mod query;
 pub mod sp;
+pub mod store;
 pub mod subindex;
 pub mod subscribe;
 pub mod trans;
@@ -48,13 +49,17 @@ pub mod wire;
 
 pub use adversary::Adversary;
 pub use bloom::{AttributeBloom, BloomKey};
-pub use cache::{CacheStats, ProofCache};
+pub use cache::{CacheKey, CacheStats, DirtyEntry, ProofCache};
 pub use element::{Element, ElementId};
 pub use inter::{SkipEntry, SkipList};
 pub use intra::{IntraNodeKind, IntraTree};
 pub use miner::{IndexScheme, Miner, MinerConfig};
 pub use query::{Clause, Cnf, CompiledQuery, Query, RangeSpec};
-pub use sp::ServiceProvider;
+pub use sp::{
+    ServiceProvider, ServingRecovery, ShardStats, ShardedConfig, ShardedServiceProvider,
+    WitnessTable,
+};
+pub use store::{LogStore, RecordKey, RecoveryReport, StoreError, StoreRecord};
 pub use subindex::{Classification, SubscriptionIndex};
 pub use subscribe::verify_encoded_subscription_update;
 pub use subscribe::{

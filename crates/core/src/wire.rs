@@ -123,13 +123,16 @@ impl std::error::Error for WireError {}
 // Writer
 // ---------------------------------------------------------------------------
 
+/// Byte-sink half of the codec. `pub(crate)` so sibling byte formats — the
+/// persistent store's record codec in [`crate::store`] — share one set of
+/// little-endian primitives instead of growing a divergent twin.
 #[derive(Default)]
-struct Writer {
-    buf: Vec<u8>,
+pub(crate) struct Writer {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Writer {
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
@@ -137,21 +140,21 @@ impl Writer {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn bytes(&mut self, v: &[u8]) {
+    pub(crate) fn bytes(&mut self, v: &[u8]) {
         self.buf.extend_from_slice(v);
     }
 
     /// Collection counts are `u32` on the wire; honest collections are far
     /// below `u32::MAX`, and saturating keeps the encoder total.
-    fn count(&mut self, n: usize) {
+    pub(crate) fn count(&mut self, n: usize) {
         self.u32(u32::try_from(n).unwrap_or(u32::MAX));
     }
 }
@@ -160,13 +163,16 @@ impl Writer {
 // Reader
 // ---------------------------------------------------------------------------
 
-struct Reader<'a> {
+/// Byte-source half of the codec; same `pub(crate)` sharing rationale as
+/// [`Writer`]. Every accessor is total: any shortfall is a typed
+/// [`WireError`], never a panic.
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
@@ -174,7 +180,7 @@ impl<'a> Reader<'a> {
         self.buf.len().saturating_sub(self.pos)
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         let end = self
             .pos
             .checked_add(n)
@@ -187,7 +193,7 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, WireError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
         self.take(1).map(|s| s.first().copied().unwrap_or(0))
     }
 
@@ -199,11 +205,11 @@ impl<'a> Reader<'a> {
         self.take(4).map(|s| le_bytes(s) as u32)
     }
 
-    fn u64(&mut self) -> Result<u64, WireError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
         self.take(8).map(le_bytes)
     }
 
-    fn digest(&mut self) -> Result<Digest, WireError> {
+    pub(crate) fn digest(&mut self) -> Result<Digest, WireError> {
         let s = self.take(Digest::LEN)?;
         let mut d = [0u8; Digest::LEN];
         for (dst, src) in d.iter_mut().zip(s) {
@@ -216,7 +222,11 @@ impl<'a> Reader<'a> {
     /// bytes could hold `count` elements of at least `min_item` bytes each.
     /// Decoders then grow their vectors element by element, so memory use
     /// is bounded by the input length regardless of the claimed count.
-    fn count(&mut self, what: &'static str, min_item: usize) -> Result<usize, WireError> {
+    pub(crate) fn count(
+        &mut self,
+        what: &'static str,
+        min_item: usize,
+    ) -> Result<usize, WireError> {
         let n = self.u32()? as usize;
         let need = n.checked_mul(min_item.max(1)).ok_or(WireError::Oversized {
             what,
@@ -233,7 +243,7 @@ impl<'a> Reader<'a> {
         Ok(n)
     }
 
-    fn finish(self) -> Result<(), WireError> {
+    pub(crate) fn finish(self) -> Result<(), WireError> {
         match self.remaining() {
             0 => Ok(()),
             count => Err(WireError::TrailingBytes { count }),

@@ -1,0 +1,410 @@
+//! Crash-recovery differential suite for the persistent serving layer
+//! (`core::store` + `ShardedServiceProvider`).
+//!
+//! The invariant under test: a service provider that crashes, tears a
+//! write, or suffers bit-rot in its logs must — after recovery — answer
+//! every query **byte-identically** to a twin that never crashed. Damage
+//! may only ever cost cache warmth (a re-prove), never correctness.
+//!
+//! Set `VCHAIN_RECOVERY_ITERS` (CI's `store-recovery` job does) to widen
+//! the torn-write and bit-flip sweeps beyond the default sample.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vchain_acc::Acc2;
+use vchain_chain::{Difficulty, Object};
+use vchain_core::miner::{IndexScheme, Miner, MinerConfig};
+use vchain_core::query::{CompiledQuery, Query, RangeSpec};
+use vchain_core::store::{frame_record, LogStore, STORE_HEADER_LEN};
+use vchain_core::wire::encode_response;
+use vchain_core::{
+    Adversary, RecordKey, ServiceProvider, ShardedConfig, ShardedServiceProvider, StoreRecord,
+};
+use vchain_hash::Digest;
+
+const DOMAIN_BITS: u8 = 6;
+
+/// Sweep multiplier: 1 by default, raised by CI's store-recovery job.
+fn recovery_iters() -> usize {
+    std::env::var("VCHAIN_RECOVERY_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .clamp(1, 64)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("vchain-recovery-{}-{tag}-{n}", std::process::id()))
+}
+
+fn temp_file(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("vchain-recovery-{}-{tag}-{n}.log", std::process::id()))
+}
+
+// --- chain + query harness (mirrors end_to_end.rs) -------------------------
+
+fn cfg() -> MinerConfig {
+    MinerConfig {
+        scheme: IndexScheme::Both,
+        skip_levels: 3,
+        domain_bits: DOMAIN_BITS,
+        difficulty: Difficulty(2),
+        bloom_bits_per_key: 10,
+    }
+}
+
+fn workload(seed: u64) -> Vec<Vec<Object>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kinds = ["Sedan", "Van", "Truck"];
+    let brands = ["Benz", "BMW", "Audi", "Toyota"];
+    let mut id = 0;
+    (0..12)
+        .map(|b| {
+            (0..4)
+                .map(|_| {
+                    id += 1;
+                    Object::new(
+                        id,
+                        (b as u64 + 1) * 10,
+                        vec![rng.gen_range(0..64), rng.gen_range(0..64)],
+                        vec![
+                            kinds[rng.gen_range(0..kinds.len())].to_string(),
+                            brands[rng.gen_range(0..brands.len())].to_string(),
+                        ],
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// A fresh, identical SP. Everything is seeded, so every call builds the
+/// same chain — the basis of all twin comparisons below.
+fn build_sp() -> ServiceProvider<Acc2> {
+    let mut miner = Miner::new(cfg(), Acc2::keygen(4096, &mut StdRng::seed_from_u64(4)));
+    for (i, objs) in workload(7).into_iter().enumerate() {
+        miner.mine_block((i as u64 + 1) * 10, objs);
+    }
+    miner.into_service_provider()
+}
+
+/// Overlapping-window query pool: re-served queries hit the cache, fresh
+/// windows extend it — the dashboard/scan shape the serving layer targets.
+fn query_pool() -> Vec<CompiledQuery> {
+    let qs = vec![
+        Query {
+            time_window: Some((20, 90)),
+            ranges: vec![RangeSpec { dim: 0, lo: 5, hi: 40 }],
+            keywords: vec![vec!["Sedan".into(), "Van".into()], vec!["Benz".into(), "BMW".into()]],
+        },
+        Query { time_window: Some((10, 60)), ranges: vec![], keywords: vec![vec!["Truck".into()]] },
+        Query {
+            time_window: Some((40, 120)),
+            ranges: vec![RangeSpec { dim: 1, lo: 0, hi: 32 }],
+            keywords: vec![],
+        },
+        Query {
+            time_window: Some((20, 90)),
+            ranges: vec![],
+            keywords: vec![vec!["Sedan".into()], vec!["Audi".into(), "Toyota".into()]],
+        },
+        Query {
+            time_window: Some((30, 70)),
+            ranges: vec![RangeSpec { dim: 0, lo: 0, hi: 63 }],
+            keywords: vec![vec!["Van".into(), "Truck".into()]],
+        },
+        Query {
+            time_window: Some((10, 120)),
+            ranges: vec![],
+            keywords: vec![vec!["NoSuchKeywordAnywhere".into()]],
+        },
+    ];
+    qs.into_iter().map(|q| q.compile(DOMAIN_BITS)).collect()
+}
+
+/// A Zipf-ish replay stream over the pool (heavy repetition of low ids).
+fn stream_indices(len: usize) -> Vec<usize> {
+    const PATTERN: [usize; 12] = [0, 1, 0, 2, 1, 0, 3, 2, 4, 0, 1, 5];
+    (0..len).map(|i| PATTERN[i % PATTERN.len()]).collect()
+}
+
+fn serve_stream(
+    ssp: &ShardedServiceProvider<Acc2>,
+    pool: &[CompiledQuery],
+    len: usize,
+) -> Vec<Vec<u8>> {
+    stream_indices(len).into_iter().map(|i| encode_response(&ssp.query(&pool[i]))).collect()
+}
+
+fn sharded_cfg() -> ShardedConfig {
+    // Small flush threshold so write-behind flushes fire *during* the run,
+    // not only at shutdown.
+    ShardedConfig { shards: 4, cache_capacity: 4096, flush_threshold: 8 }
+}
+
+// --- 1. warm start: kill, reopen, replay ----------------------------------
+
+#[test]
+fn warm_start_replay_is_byte_identical_with_high_hit_rate() {
+    let pool = query_pool();
+    let dir = temp_dir("warmstart");
+    const STREAM: usize = 24;
+
+    // Never-crashed twin (memory only).
+    let twin = ShardedServiceProvider::new(build_sp(), sharded_cfg());
+    let expected = serve_stream(&twin, &pool, STREAM);
+
+    // Run A: persistent, cold caches; graceful shutdown flushes everything.
+    let (run_a, rec_a) = ShardedServiceProvider::open(build_sp(), sharded_cfg(), &dir).unwrap();
+    assert_eq!(rec_a.proofs_loaded, 0, "first boot has nothing to rehydrate");
+    assert!(rec_a.witnesses_built > 0, "first boot extracts skip-entry witnesses");
+    let cold = serve_stream(&run_a, &pool, STREAM);
+    assert_eq!(cold, expected, "cold persistent run must match the memory-only twin");
+    assert!(run_a.take_flush_error().is_none());
+    let entries_a = run_a.total_entries();
+    assert!(entries_a > 0);
+    run_a.shutdown().unwrap();
+
+    // Run B: restart over the same directory.
+    let (run_b, rec_b) = ShardedServiceProvider::open(build_sp(), sharded_cfg(), &dir).unwrap();
+    assert_eq!(rec_b.proofs_loaded, entries_a, "every cache entry survives the restart");
+    assert_eq!(rec_b.proofs_rejected, 0);
+    assert!(rec_b.witnesses_loaded > 0, "witness log rehydrates");
+    assert_eq!(rec_b.witnesses_built, 0, "nothing left to extract on a warm start");
+    for r in &rec_b.shard_reports {
+        assert_eq!(r.skipped_corrupt, 0);
+        assert_eq!(r.truncated_bytes, 0);
+    }
+
+    let before = run_b.merged_stats();
+    let warm = serve_stream(&run_b, &pool, STREAM);
+    let after = run_b.merged_stats();
+    assert_eq!(warm, expected, "rehydrated SP must answer byte-identically to the twin");
+
+    let hits = after.hits - before.hits;
+    let lookups = hits + (after.misses - before.misses);
+    assert!(lookups > 0);
+    let hit_rate = hits as f64 / lookups as f64;
+    assert!(
+        hit_rate >= 0.90,
+        "warm replay must be served from the rehydrated cache: hit rate {hit_rate:.3} \
+         ({hits}/{lookups})"
+    );
+    assert!(run_b.take_flush_error().is_none());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// --- 2. torn writes: truncate at every byte boundary ----------------------
+
+fn sample_records(n: usize) -> Vec<StoreRecord> {
+    (0..n)
+        .map(|i| match i % 3 {
+            0 => StoreRecord::Proof {
+                key: RecordKey {
+                    block_height: i as u64,
+                    att: Digest([i as u8; 32]),
+                    clause: Digest([(i as u8).wrapping_add(1); 32]),
+                },
+                proof: vec![i as u8; 48 + i % 7],
+            },
+            1 => StoreRecord::Witness {
+                block_height: i as u64,
+                att: Digest([(i as u8).wrapping_mul(3); 32]),
+                witness: vec![(i as u8) ^ 0x55; 16 * (1 + i % 4)],
+            },
+            _ => StoreRecord::Stats {
+                hits: i as u64 * 10,
+                misses: i as u64,
+                evictions: i as u64 / 2,
+            },
+        })
+        .collect()
+}
+
+/// Byte offsets where each frame starts, plus the end-of-file offset.
+fn frame_boundaries(records: &[StoreRecord]) -> Vec<usize> {
+    let mut bounds = vec![STORE_HEADER_LEN];
+    for r in records {
+        let last = *bounds.last().unwrap();
+        bounds.push(last + frame_record(r).len());
+    }
+    bounds
+}
+
+#[test]
+fn torn_tail_truncation_at_every_byte_boundary() {
+    let records = sample_records(6 * recovery_iters());
+    let base = temp_file("torn-base");
+    {
+        let (mut store, loaded, _) = LogStore::open(&base).unwrap();
+        assert!(loaded.is_empty());
+        store.append_all(&records).unwrap();
+        store.sync().unwrap();
+    }
+    let bytes = std::fs::read(&base).unwrap();
+    let bounds = frame_boundaries(&records);
+    assert_eq!(*bounds.last().unwrap(), bytes.len());
+
+    let victim = temp_file("torn-cut");
+    // Every possible kill point inside the record region: after the cut,
+    // exactly the frames that fit below it must survive, the torn tail must
+    // be measured and healed, and an append must land cleanly.
+    for cut in STORE_HEADER_LEN..bytes.len() {
+        std::fs::write(&victim, &bytes[..cut]).unwrap();
+        let (mut store, loaded, report) = LogStore::open(&victim).unwrap();
+        let intact = bounds.iter().filter(|&&b| b <= cut).count() - 1;
+        assert_eq!(loaded, records[..intact], "cut at byte {cut}");
+        assert_eq!(report.skipped_corrupt, 0, "cut at byte {cut}");
+        assert_eq!(report.truncated_bytes, (cut - bounds[intact]) as u64, "cut at byte {cut}");
+
+        // The log is healed: a post-recovery append replays cleanly.
+        if cut % 13 == 0 || cut + 1 == bytes.len() {
+            let fresh = StoreRecord::Stats { hits: 777, misses: 7, evictions: 1 };
+            store.append(&fresh).unwrap();
+            store.sync().unwrap();
+            drop(store);
+            let (_, reloaded, re) = LogStore::open(&victim).unwrap();
+            assert_eq!(reloaded.len(), intact + 1);
+            assert_eq!(reloaded[..intact], records[..intact]);
+            assert_eq!(*reloaded.last().unwrap(), fresh);
+            assert_eq!(re.truncated_bytes, 0);
+        }
+    }
+    // A torn *file header* (shorter than magic+version) rewrites fresh.
+    for cut in 0..STORE_HEADER_LEN {
+        std::fs::write(&victim, &bytes[..cut]).unwrap();
+        let (_, loaded, report) = LogStore::open(&victim).unwrap();
+        assert!(loaded.is_empty());
+        assert_eq!(report.truncated_bytes, cut as u64);
+    }
+
+    std::fs::remove_file(&base).ok();
+    std::fs::remove_file(&victim).ok();
+}
+
+// --- 3. bit rot: flip, classify, recover past -----------------------------
+
+#[test]
+fn bit_flip_corruption_is_detected_skipped_and_healed() {
+    let records = sample_records(6);
+    let base = temp_file("flip-base");
+    {
+        let (mut store, _, _) = LogStore::open(&base).unwrap();
+        store.append_all(&records).unwrap();
+        store.sync().unwrap();
+    }
+    let bytes = std::fs::read(&base).unwrap();
+    let bounds = frame_boundaries(&records);
+
+    // Which frame does byte `pos` fall in, and is it header or payload?
+    let classify = |pos: usize| -> (usize, bool) {
+        let frame = bounds.iter().rposition(|&b| b <= pos).unwrap();
+        let in_header = pos < bounds[frame] + 16; // FRAME_HEADER_LEN
+        (frame, in_header)
+    };
+
+    let body_bits = (bytes.len() - STORE_HEADER_LEN) * 8;
+    let sample: Vec<usize> = if recovery_iters() > 1 {
+        (0..body_bits).collect() // exhaustive single-bit sweep (CI)
+    } else {
+        let mut rng = StdRng::seed_from_u64(0xB17F11F);
+        (0..256).map(|_| rng.gen_range(0..body_bits)).collect()
+    };
+
+    let victim = temp_file("flip-victim");
+    for bit in sample {
+        let abs_bit = STORE_HEADER_LEN * 8 + bit;
+        let flipped = Adversary::flip_bit(&bytes, abs_bit);
+        std::fs::write(&victim, &flipped).unwrap();
+
+        // Recovery must never panic and never return bytes that were not
+        // appended: every loaded record equals one of the originals.
+        let (mut store, loaded, report) = LogStore::open(&victim).unwrap();
+        for r in &loaded {
+            assert!(records.contains(r), "bit {bit}: recovered a record nobody wrote");
+        }
+
+        let (frame, in_header) = classify(abs_bit / 8);
+        let len_field = abs_bit / 8 < bounds[frame] + 8;
+        if in_header && len_field {
+            // The length word is untrustworthy: torn-tail truncation here.
+            assert_eq!(loaded, records[..frame], "bit {bit}");
+            assert_eq!(report.skipped_corrupt, 0, "bit {bit}");
+            assert_eq!(report.truncated_bytes, (bytes.len() - bounds[frame]) as u64, "bit {bit}");
+        } else {
+            // Payload (or its checksum) damaged: that one record is
+            // skipped, everything else survives, the framing still walks.
+            let expect: Vec<StoreRecord> = records
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != frame)
+                .map(|(_, r)| r.clone())
+                .collect();
+            assert_eq!(loaded, expect, "bit {bit}");
+            assert_eq!(report.skipped_corrupt, 1, "bit {bit}");
+            assert_eq!(report.truncated_bytes, 0, "bit {bit}");
+        }
+
+        // Recovered past: the store accepts appends and reopens cleanly.
+        let fresh = StoreRecord::Stats { hits: 1, misses: 2, evictions: 3 };
+        store.append(&fresh).unwrap();
+        store.sync().unwrap();
+        drop(store);
+        let (_, reloaded, _) = LogStore::open(&victim).unwrap();
+        assert_eq!(reloaded.last(), Some(&fresh), "bit {bit}: append after recovery lost");
+    }
+
+    std::fs::remove_file(&base).ok();
+    std::fs::remove_file(&victim).ok();
+}
+
+// --- 4. end-to-end: bit-rotted logs still serve correct proofs ------------
+
+#[test]
+fn corrupted_shard_logs_never_serve_wrong_proofs() {
+    let pool = query_pool();
+    let dir = temp_dir("bitrot-e2e");
+    const STREAM: usize = 12;
+
+    let twin = ShardedServiceProvider::new(build_sp(), sharded_cfg());
+    let expected = serve_stream(&twin, &pool, STREAM);
+
+    let (run_a, _) = ShardedServiceProvider::open(build_sp(), sharded_cfg(), &dir).unwrap();
+    let cold = serve_stream(&run_a, &pool, STREAM);
+    assert_eq!(cold, expected);
+    run_a.shutdown().unwrap();
+
+    // Rot one payload byte in every log the layer owns (shards + witnesses).
+    let mut corrupted = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let bytes = std::fs::read(&path).unwrap();
+        let target = STORE_HEADER_LEN + 16 + 2; // inside the first payload
+        if bytes.len() > target + 1 {
+            std::fs::write(&path, Adversary::flip_bit(&bytes, target * 8 + 5)).unwrap();
+            corrupted += 1;
+        }
+    }
+    assert!(corrupted >= 2, "expected shard and witness logs to exist");
+
+    let (run_b, rec_b) = ShardedServiceProvider::open(build_sp(), sharded_cfg(), &dir).unwrap();
+    let damage = rec_b.witness_report.skipped_corrupt
+        + rec_b.shard_reports.iter().map(|r| r.skipped_corrupt).sum::<usize>()
+        + rec_b.proofs_rejected;
+    assert!(damage >= 1, "the flips must have been detected, not silently accepted");
+
+    // Detected damage costs warmth only: responses stay byte-identical.
+    let replay = serve_stream(&run_b, &pool, STREAM);
+    assert_eq!(replay, expected, "a damaged store must never change an answer");
+    assert!(run_b.take_flush_error().is_none());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -189,6 +189,34 @@ impl Workload {
         assert!(n >= 1 && n <= len);
         (self.blocks[len - n].0, self.blocks[len - 1].0)
     }
+
+    /// A serving-replay stream: `len` queries drawn Zipf-distributed (the
+    /// spec's skew) from a pool of `pool_size` *distinct* time-window
+    /// queries whose windows slide across this workload's span. This is
+    /// the load-harness shape — a small set of popular dashboards hammered
+    /// by many clients — where a serving layer's cache either pays off or
+    /// doesn't. Deterministic in `(self, pool_size, len, seed)`.
+    pub fn zipf_query_stream(&self, pool_size: usize, len: usize, seed: u64) -> Vec<Query> {
+        assert!(pool_size >= 1, "pool must be non-empty");
+        assert!(!self.blocks.is_empty(), "workload must have blocks");
+        let mut qg = self.spec.query_gen(seed);
+        let t0 = self.blocks[0].0;
+        let te = self.blocks[self.blocks.len() - 1].0;
+        let span = te - t0;
+        // Windows cover ~half the chain each, with starts sliding across
+        // the first half — heavy pairwise overlap, exactly the regime the
+        // cross-window proof cache targets.
+        let pool: Vec<Query> = (0..pool_size)
+            .map(|i| {
+                let lo = t0 + (span / 2) * i as u64 / pool_size as u64;
+                let hi = (lo + span / 2).min(te);
+                qg.time_window((lo, hi))
+            })
+            .collect();
+        let zipf = Zipf::new(pool_size, self.spec.skew);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5A1F_517E);
+        (0..len).map(|_| pool[zipf.sample(&mut rng)].clone()).collect()
+    }
 }
 
 /// Random query generation with the paper's default shapes: a numeric range
@@ -310,6 +338,30 @@ mod tests {
         assert_eq!(width, 128);
         assert_eq!(q.keywords[0].len(), 9);
         assert!(q.time_window.is_none());
+    }
+
+    #[test]
+    fn zipf_query_stream_is_deterministic_and_pool_bounded() {
+        let spec = WorkloadSpec::paper_defaults(Dataset::FourSquare, 12);
+        let w = spec.generate();
+        let a = w.zipf_query_stream(8, 64, 7);
+        let b = w.zipf_query_stream(8, 64, 7);
+        assert_eq!(a.len(), 64);
+        assert_eq!(a, b, "same inputs, same stream");
+        // every stream element is one of at most 8 distinct pool queries,
+        // and the Zipf head dominates
+        let mut distinct: Vec<&Query> = Vec::new();
+        for q in &a {
+            assert!(q.time_window.is_some());
+            if !distinct.contains(&q) {
+                distinct.push(q);
+            }
+        }
+        assert!(distinct.len() <= 8);
+        let head = distinct.iter().map(|d| a.iter().filter(|q| q == d).count()).max().unwrap();
+        assert!(head * 8 >= a.len(), "Zipf head should be ≳ uniform share");
+        // a different seed reshuffles
+        assert_ne!(a, w.zipf_query_stream(8, 64, 8));
     }
 
     #[test]

@@ -56,6 +56,60 @@
 //! assert_eq!(results.len(), 1);
 //! assert_eq!(results[0].id, 1);
 //! ```
+//!
+//! ## Serving at scale
+//!
+//! For a long-lived deployment, wrap the SP in the persistent, sharded
+//! serving layer ([`core::sp::ShardedServiceProvider`]): proofs and Acc2
+//! witnesses are written behind the serving path to per-shard append-only
+//! logs, and a restarted provider rehydrates them instead of re-proving —
+//! answering the same queries byte-identically, warm:
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use vchain::acc::Acc2;
+//! use vchain::chain::{Difficulty, Object};
+//! use vchain::core::miner::{IndexScheme, Miner, MinerConfig};
+//! use vchain::core::query::Query;
+//! use vchain::core::wire::encode_response;
+//! use vchain::core::{ShardedConfig, ShardedServiceProvider};
+//!
+//! let cfg = MinerConfig {
+//!     scheme: IndexScheme::Both,
+//!     skip_levels: 2,
+//!     domain_bits: 6,
+//!     difficulty: Difficulty(2),
+//!     bloom_bits_per_key: 10,
+//! };
+//! let build_sp = || {
+//!     let mut miner = Miner::new(cfg, Acc2::keygen(512, &mut StdRng::seed_from_u64(7)));
+//!     miner.mine_block(10, vec![Object::new(1, 10, vec![3], vec!["Sedan".into()])]);
+//!     miner.mine_block(20, vec![Object::new(2, 20, vec![9], vec!["Van".into()])]);
+//!     miner.into_service_provider()
+//! };
+//! let q = Query {
+//!     time_window: Some((0, 30)),
+//!     ranges: vec![],
+//!     keywords: vec![vec!["Sedan".into()]],
+//! }
+//! .compile(cfg.domain_bits);
+//!
+//! let dir = std::env::temp_dir().join(format!("vchain-facade-doc-{}", std::process::id()));
+//! let shard_cfg = ShardedConfig { shards: 2, cache_capacity: 1024, flush_threshold: 1 };
+//!
+//! // Cold run: proofs are proved once and logged behind the serving path.
+//! let (cold, _) = ShardedServiceProvider::open(build_sp(), shard_cfg, &dir).unwrap();
+//! let cold_bytes = encode_response(&cold.query(&q));
+//! cold.shutdown().unwrap();
+//!
+//! // "Deploy": a fresh process reopens the same logs and serves warm.
+//! let (warm, recovery) = ShardedServiceProvider::open(build_sp(), shard_cfg, &dir).unwrap();
+//! assert!(recovery.proofs_loaded > 0);
+//! assert_eq!(encode_response(&warm.query(&q)), cold_bytes);
+//! assert!(warm.merged_stats().hits > 0); // served from the rehydrated cache
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
 
 pub use vchain_acc as acc;
 pub use vchain_bigint as bigint;
