@@ -20,7 +20,7 @@ use vchain_pairing::{
 };
 
 use crate::poly::Poly;
-use crate::{batch_coefficients, AccElem, AccError, Accumulator, MultiSet};
+use crate::{batch_coefficients_ctx, AccElem, AccError, Accumulator, MultiSet};
 
 /// Comb tables are precomputed for at most this many public-key powers per
 /// source group (lazily, as commitments actually need them); commitments
@@ -265,14 +265,22 @@ impl Accumulator for Acc1 {
     ///
     /// folds the whole batch into one `2n+1`-pair multi-pairing: one shared
     /// Miller loop and one final exponentiation instead of `n`. The
-    /// coefficients `ρᵢ` come from the shared [`batch_coefficients`]
+    /// coefficients `ρᵢ` come from the shared [`batch_coefficients_ctx`]
     /// transcript derivation.
     fn batch_verify_disjoint(&self, items: &[(Acc1Value, Acc1Value, Acc1Proof)]) -> bool {
+        self.batch_verify_disjoint_ctx(&[], items)
+    }
+
+    fn batch_verify_disjoint_ctx(
+        &self,
+        context: &[u8],
+        items: &[(Acc1Value, Acc1Value, Acc1Proof)],
+    ) -> bool {
         match items {
             [] => true,
             [(a1, a2, proof)] => self.verify_disjoint(a1, a2, proof),
             _ => {
-                let rho = batch_coefficients::<Self>(items);
+                let rho = batch_coefficients_ctx::<Self>(context, items);
                 let mut pairs = Vec::with_capacity(2 * items.len() + 1);
                 let mut rho_sum = Fr::zero();
                 for ((a1, a2, proof), r) in items.iter().zip(&rho) {

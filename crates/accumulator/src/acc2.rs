@@ -34,7 +34,7 @@ use vchain_pairing::{
     G2Affine, G2Projective, G2Spec,
 };
 
-use crate::{batch_coefficients, AccElem, AccError, Accumulator, MultiSet};
+use crate::{batch_coefficients_ctx, AccElem, AccError, Accumulator, MultiSet};
 
 /// The accumulative value `(d_A, d_B)` (a block's AttDigest under acc2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -385,14 +385,22 @@ impl Accumulator for Acc2 {
     /// An `n`-batch costs one `n+1`-pair multi-pairing (one final
     /// exponentiation) plus one `n`-term Pippenger multiexp of 128-bit
     /// scalars, versus `n` full pairing checks for the naive loop. The
-    /// coefficients `ρᵢ` come from the shared [`batch_coefficients`]
+    /// coefficients `ρᵢ` come from the shared [`batch_coefficients_ctx`]
     /// transcript derivation.
     fn batch_verify_disjoint(&self, items: &[(Acc2Value, Acc2Value, Acc2Proof)]) -> bool {
+        self.batch_verify_disjoint_ctx(&[], items)
+    }
+
+    fn batch_verify_disjoint_ctx(
+        &self,
+        context: &[u8],
+        items: &[(Acc2Value, Acc2Value, Acc2Proof)],
+    ) -> bool {
         match items {
             [] => true,
             [(a1, a2, proof)] => self.verify_disjoint(a1, a2, proof),
             _ => {
-                let rho = batch_coefficients::<Self>(items);
+                let rho = batch_coefficients_ctx::<Self>(context, items);
                 let scalars: Vec<U256> = rho.iter().map(Fr::to_uint).collect();
                 let mut pairs = Vec::with_capacity(items.len() + 1);
                 for ((a1, a2, _), k) in items.iter().zip(&scalars) {
@@ -732,12 +740,21 @@ mod tests {
         // Regression for the hoisted Fiat–Shamir derivation: two calls over
         // the same items must produce identical coefficients (the batch and
         // its error-attribution retry see one transcript), and any reorder
-        // of the items must change them.
+        // of the items must change them. The context-bound variant must
+        // reproduce the plain derivation on an empty context and diverge on
+        // any other — a batch aggregated for one block coverage cannot be
+        // replayed against another even when the item bytes coincide.
+        use crate::batch_coefficients;
         let a = acc();
         let items = batch(&a, &[(&[1], &[10]), (&[2], &[20])]);
         assert_eq!(batch_coefficients::<Acc2>(&items), batch_coefficients::<Acc2>(&items));
         let swapped = vec![items[1], items[0]];
         assert_ne!(batch_coefficients::<Acc2>(&items), batch_coefficients::<Acc2>(&swapped));
+        assert_eq!(batch_coefficients_ctx::<Acc2>(&[], &items), batch_coefficients::<Acc2>(&items));
+        assert_ne!(
+            batch_coefficients_ctx::<Acc2>(b"heights", &items),
+            batch_coefficients_ctx::<Acc2>(b"heights2", &items)
+        );
     }
 
     #[test]

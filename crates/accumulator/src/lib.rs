@@ -165,7 +165,25 @@ pub(crate) fn rlc_coefficients(transcript: &[u8], n: usize) -> Vec<Fr> {
 /// function, so an aggregated check and any retry over the same items are
 /// guaranteed to see identical coefficients.
 pub fn batch_coefficients<A: Accumulator>(items: &[(A::Value, A::Value, A::Proof)]) -> Vec<Fr> {
-    let mut transcript = Vec::new();
+    batch_coefficients_ctx::<A>(&[], items)
+}
+
+/// [`batch_coefficients`] with an explicit transcript *context* prepended
+/// (length-prefixed, so distinct contexts can never collide by
+/// concatenation). The light client's cross-block window batch feeds the
+/// covered block heights here: the derived coefficients are then bound not
+/// just to the values and proofs in the batch but to *which blocks of the
+/// chain* each triple claims to refute — a proof transplanted between
+/// batches over different coverage sees fresh coefficients even when the
+/// item bytes coincide. An empty context reproduces [`batch_coefficients`]
+/// exactly.
+pub fn batch_coefficients_ctx<A: Accumulator>(
+    context: &[u8],
+    items: &[(A::Value, A::Value, A::Proof)],
+) -> Vec<Fr> {
+    let mut transcript = Vec::with_capacity(8 + context.len());
+    transcript.extend_from_slice(&(context.len() as u64).to_le_bytes());
+    transcript.extend_from_slice(context);
     for (a1, a2, proof) in items {
         transcript.extend_from_slice(&A::value_bytes(a1));
         transcript.extend_from_slice(&A::value_bytes(a2));
@@ -311,6 +329,23 @@ pub trait Accumulator: Clone + Send + Sync + 'static {
     /// assert!(acc.batch_verify_disjoint(&items)); // one multi-pairing, not two
     /// ```
     fn batch_verify_disjoint(&self, items: &[(Self::Value, Self::Value, Self::Proof)]) -> bool {
+        self.batch_verify_disjoint_ctx(&[], items)
+    }
+
+    /// [`Accumulator::batch_verify_disjoint`] with a transcript context:
+    /// the Fiat–Shamir coefficients are derived by
+    /// [`batch_coefficients_ctx`], binding them to caller-supplied bytes
+    /// (the light client passes the covered block heights) in addition to
+    /// the batch itself. The default implementation loops per item — each
+    /// triple is checked solo, no coefficients are derived, so the context
+    /// is irrelevant and ignored; the RLC overrides in [`Acc1`] / [`Acc2`]
+    /// thread it into the shared transcript.
+    fn batch_verify_disjoint_ctx(
+        &self,
+        context: &[u8],
+        items: &[(Self::Value, Self::Value, Self::Proof)],
+    ) -> bool {
+        let _ = context;
         items.iter().all(|(a1, a2, proof)| self.verify_disjoint(a1, a2, proof))
     }
 
@@ -326,7 +361,19 @@ pub trait Accumulator: Clone + Send + Sync + 'static {
         &self,
         items: &[(Self::Value, Self::Value, Self::Proof)],
     ) -> Result<(), usize> {
-        if items.is_empty() || self.batch_verify_disjoint(items) {
+        self.batch_verify_disjoint_attributed_ctx(&[], items)
+    }
+
+    /// [`Accumulator::batch_verify_disjoint_attributed`] over a context-
+    /// bound transcript (see [`Accumulator::batch_verify_disjoint_ctx`]).
+    /// The per-item fallback re-verifies each triple solo, so attribution
+    /// is context-independent; only the aggregated fast path consumes it.
+    fn batch_verify_disjoint_attributed_ctx(
+        &self,
+        context: &[u8],
+        items: &[(Self::Value, Self::Value, Self::Proof)],
+    ) -> Result<(), usize> {
+        if items.is_empty() || self.batch_verify_disjoint_ctx(context, items) {
             return Ok(());
         }
         for (i, (a1, a2, proof)) in items.iter().enumerate() {

@@ -302,7 +302,7 @@ fn main() {
     // dashboard/scan workload.
     let scan_spec = WorkloadSpec::paper_defaults(Dataset::FourSquare, 12);
     let scan_w = scan_spec.generate();
-    let (sp, _light, _cfg) =
+    let (sp, scan_light, scan_cfg) =
         build_chain(&scan_w, IndexScheme::Both, 4, shared_acc2().with_fast_setup(false));
     let mut qg2 = scan_spec.query_gen(11);
     let t0 = scan_w.blocks.first().expect("blocks").0;
@@ -335,6 +335,96 @@ fn main() {
     timings.push(time("vo_decode_checked", 5, || {
         vchain_core::wire::decode_response(&sp_acc, &encoded).expect("honest VO decodes")
     }));
+
+    // --- light-client pipeline: dedup encoding, streaming, batching -------
+    // The 8-window scan above, now on the client side. `vo_bytes` is the
+    // scan's wire size under the deduplicating v2 encoding (shared intern
+    // table across all windows) with the per-window v1 total as its twin;
+    // `client_verify_window_us` is the per-window mean of streamed
+    // verification with one cross-window pairing batch, with the per-block
+    // path (decode the window's v1 bytes, then one RLC flush per window) as
+    // its twin — both twins start from wire bytes, the position a real
+    // client is in; peak buffer is the streaming client's high-water
+    // memory. Byte-count entries ride the `us_per_iter` field, like
+    // `sp_serve_qps` rides it for a rate.
+    let scan_responses = sp.time_window_queries(&windows);
+    let v1_total: usize =
+        scan_responses.iter().map(|r| vchain_core::wire::encode_response(r).len()).sum();
+    let v2_total = vchain_core::wire::encode_scan_v2(&scan_responses).len();
+    eprintln!(
+        "[bench-smoke] vo_bytes: v2 scan {} vs v1 total {} ({:.1}% saved)",
+        v2_total,
+        v1_total,
+        100.0 * (1.0 - v2_total as f64 / v1_total as f64)
+    );
+    assert!(
+        5 * v2_total < 4 * v1_total,
+        "scan-level v2 encoding must stay >=20% below the v1 total \
+         (v2={v2_total}, v1={v1_total})"
+    );
+    timings.push(Timing { name: "vo_bytes", iters: 1, us_per_iter: v2_total as f64 });
+    timings.push(Timing { name: "vo_bytes_v1", iters: 1, us_per_iter: v1_total as f64 });
+
+    let scan_stream = vchain_core::wire::encode_scan_stream(&scan_responses);
+    let n_windows = windows.len() as f64;
+    let stream_scan = || {
+        let mut sv = vchain_core::client::StreamVerifier::new(
+            windows.clone(),
+            scan_light.clone(),
+            scan_cfg,
+            sp_acc.clone(),
+            vchain_core::client::PipelineMode::Inline,
+        );
+        for chunk in scan_stream.chunks(4096) {
+            sv.feed(chunk).expect("honest stream feeds");
+        }
+        sv.finish().expect("honest stream verifies")
+    };
+    let t_batched = time("client_verify_window_scan", 3, stream_scan);
+    let v1_encoded: Vec<Vec<u8>> =
+        scan_responses.iter().map(vchain_core::wire::encode_response).collect();
+    let t_per_block = time("client_verify_window_scan_per_block", 3, || {
+        for (q, bytes) in windows.iter().zip(&v1_encoded) {
+            let resp =
+                vchain_core::wire::decode_response(&sp_acc, bytes).expect("honest window decodes");
+            vchain_core::verify::verify_response(q, &resp, &scan_light, &scan_cfg, &sp_acc)
+                .expect("honest window verifies");
+        }
+    });
+    assert!(
+        t_batched.us_per_iter < t_per_block.us_per_iter,
+        "cross-window batching must beat the per-block flush path \
+         ({:.0} µs vs {:.0} µs)",
+        t_batched.us_per_iter,
+        t_per_block.us_per_iter
+    );
+    timings.push(Timing {
+        name: "client_verify_window_us",
+        iters: t_batched.iters,
+        us_per_iter: t_batched.us_per_iter / n_windows,
+    });
+    timings.push(Timing {
+        name: "client_verify_window_per_block_us",
+        iters: t_per_block.iters,
+        us_per_iter: t_per_block.us_per_iter / n_windows,
+    });
+    let (_, stream_stats) = stream_scan();
+    assert!(
+        stream_stats.peak_buffer_bytes < stream_stats.vo_bytes,
+        "streamed verification must buffer less than the full VO \
+         (peak={}, full={})",
+        stream_stats.peak_buffer_bytes,
+        stream_stats.vo_bytes
+    );
+    eprintln!(
+        "[bench-smoke] client_peak_buffer_bytes: {} of {} stream bytes",
+        stream_stats.peak_buffer_bytes, stream_stats.vo_bytes
+    );
+    timings.push(Timing {
+        name: "client_peak_buffer_bytes",
+        iters: 1,
+        us_per_iter: stream_stats.peak_buffer_bytes as f64,
+    });
 
     // --- subscription engine at 10⁵ standing queries ----------------------
     // The inverted match path (attribute index + Bloom pre-filter + shared

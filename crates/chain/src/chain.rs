@@ -124,7 +124,12 @@ impl ChainStore {
 }
 
 /// A light node: keeps validated headers only (paper Fig. 1).
-#[derive(Debug, Default)]
+///
+/// `Clone` is part of the contract: the streamed verification pipeline
+/// (`core::client`) hands an owned copy of the header set to its decode
+/// worker, so verification can overlap transport without borrowing across
+/// threads.
+#[derive(Clone, Debug, Default)]
 pub struct LightClient {
     headers: Vec<BlockHeader>,
     difficulty: Difficulty,

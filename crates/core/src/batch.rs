@@ -9,6 +9,11 @@
 //! The in-block flavor is wired into [`crate::intra::IntraTree::query`]
 //! (the `batch` flag) and checked in [`crate::verify`]; this module holds
 //! the cross-block aggregation used by the lazy subscription path (§7.2).
+//!
+//! Verifier-side, the dual of this SP-side aggregation is the deferred
+//! RLC pairing batch [`crate::verify::DisjointBatch`]: all of a response's
+//! — or, via [`crate::client::WindowScan`], an entire multi-window scan's —
+//! disjointness checks flush as one aggregated multi-pairing.
 
 // Aggregation feeds verifier-side checks; keep it panic-free.
 #![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::unreachable)]

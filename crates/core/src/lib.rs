@@ -19,6 +19,10 @@
 //!   queries with verification objects, and the light-client user checks
 //!   soundness and completeness against block headers alone.
 //! * [`batch`] — online batch verification via `Sum`/`ProofSum` (§6.3).
+//! * [`client`] / [`wire`] — the light client's streamed verification
+//!   pipeline: frame-by-frame VO delivery with bounded buffering, the
+//!   deduplicating v2 wire encoding, and cross-window pairing batching
+//!   (see `docs/LIGHT_CLIENT.md`).
 //! * [`subscribe`] / [`iptree`] — verifiable subscription queries with the
 //!   inverted prefix tree (§7.1, Algorithms 6/7) and lazy authentication
 //!   (§7.2, Algorithm 5).
@@ -32,6 +36,7 @@ pub mod adversary;
 pub mod batch;
 pub mod bloom;
 pub mod cache;
+pub mod client;
 pub mod element;
 pub mod inter;
 pub mod intra;
@@ -50,6 +55,7 @@ pub mod wire;
 pub use adversary::Adversary;
 pub use bloom::{AttributeBloom, BloomKey};
 pub use cache::{CacheKey, CacheStats, DirtyEntry, ProofCache};
+pub use client::{PipelineMode, StreamStats, StreamVerifier, WindowScan};
 pub use element::{Element, ElementId};
 pub use inter::{SkipEntry, SkipList};
 pub use intra::{IntraNodeKind, IntraTree};
@@ -65,9 +71,13 @@ pub use subscribe::verify_encoded_subscription_update;
 pub use subscribe::{
     BlockMatch, SubscriptionEngine, SubscriptionMode, SubscriptionUpdate, WalkStrategy,
 };
-pub use verify::{verify_encoded_response, verify_response, VerifyError};
+pub use verify::{
+    verify_encoded_response, verify_response, DisjointBatch, VerifyError, WindowVerifier,
+};
 pub use vo::{BlockCoverage, ClauseRef, QueryResponse, VoNode, VoSize};
 pub use wire::{
-    decode_bloom, decode_response, decode_update, encode_bloom, encode_response, encode_update,
-    WireError, MAX_VO_DEPTH,
+    decode_bloom, decode_response, decode_response_auto, decode_response_v2, decode_scan_v2,
+    decode_update, encode_bloom, encode_response, encode_response_stream, encode_response_v2,
+    encode_scan_stream, encode_scan_v2, encode_update, StreamDecoder, StreamEvent, WireError,
+    WireVersion, MAX_FRAME_BYTES, MAX_VO_DEPTH,
 };

@@ -16,6 +16,7 @@
 // (audited again by the `panic_audit` integration test).
 #![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::unreachable)]
 
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use vchain_acc::{Accumulator, MultiSet};
@@ -108,6 +109,11 @@ pub enum VerifyError {
     /// The response bytes failed structural decoding before any
     /// cryptographic check ran.
     Malformed(crate::wire::WireError),
+    /// The streamed-verification worker thread died before delivering its
+    /// verdict (a defect in the *client*, never attributable to the SP —
+    /// surfaced as its own variant so callers cannot mistake a local crash
+    /// for a refuted response).
+    PipelineLost,
 }
 
 impl core::fmt::Display for VerifyError {
@@ -121,6 +127,8 @@ impl std::error::Error for VerifyError {}
 /// Verify a time-window query response straight from untrusted wire bytes:
 /// structural decode ([`crate::wire`]) then full verification. This is the
 /// light client's network-facing entry point — no input can panic it.
+/// Accepts both wire codec versions ([`crate::wire::decode_response_auto`]),
+/// so a v2-speaking client keeps interoperating with a v1-encoding SP.
 pub fn verify_encoded_response<A: Accumulator>(
     q: &CompiledQuery,
     bytes: &[u8],
@@ -128,7 +136,8 @@ pub fn verify_encoded_response<A: Accumulator>(
     cfg: &MinerConfig,
     acc: &A,
 ) -> Result<Vec<Object>, VerifyError> {
-    let response = crate::wire::decode_response(acc, bytes).map_err(VerifyError::Malformed)?;
+    let (response, _version) =
+        crate::wire::decode_response_auto(acc, bytes).map_err(VerifyError::Malformed)?;
     verify_response(q, &response, light, cfg, acc)
 }
 
@@ -153,39 +162,297 @@ pub fn verify_response<A: Accumulator>(
     verify_with_expected(q, response, light, cfg, acc, expected)
 }
 
-/// Deferred disjointness checks, collected across the whole response and
-/// flushed as one random-linear-combination batch: every skip-entry,
-/// inline-mismatch and §6.3 batch-group check lands here, so an entire
-/// query response costs O(1) final exponentiations instead of O(clauses).
-struct DisjointBatch<A: Accumulator> {
+/// Deferred disjointness checks, collected across whole responses — and,
+/// via [`DisjointBatch::append`], across *windows* — then flushed as one
+/// random-linear-combination batch: every skip-entry, inline-mismatch and
+/// §6.3 batch-group check lands here, so an entire query response (or an
+/// 8-window scan, see `core::client::WindowScan`) costs O(1) final
+/// exponentiations instead of O(clauses).
+///
+/// The Fiat–Shamir transcript for the batch coefficients is bound to the
+/// covered block heights in push order
+/// ([`vchain_acc::Accumulator::batch_verify_disjoint_attributed_ctx`]):
+/// the *cross-block transcript*. Coefficients are verifier-local, so this
+/// binding changes nothing on the wire.
+pub struct DisjointBatch<A: Accumulator> {
     items: Vec<(A::Value, A::Value, A::Proof)>,
     heights: Vec<u64>,
 }
 
+impl<A: Accumulator> Default for DisjointBatch<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<A: Accumulator> DisjointBatch<A> {
-    fn new() -> Self {
+    /// An empty batch.
+    pub fn new() -> Self {
         Self { items: Vec::new(), heights: Vec::new() }
     }
 
-    fn push(&mut self, a1: A::Value, a2: A::Value, proof: A::Proof, height: u64) {
+    /// Defer one disjointness check `e(a1, a2) ≟ e(proof-side)` attributed
+    /// to `height` for error reporting and transcript binding.
+    pub fn push(&mut self, a1: A::Value, a2: A::Value, proof: A::Proof, height: u64) {
         self.items.push((a1, a2, proof));
         self.heights.push(height);
+    }
+
+    /// Merge another batch into this one (used by the window scan to fold
+    /// per-window batches into one cross-window flush).
+    pub fn append(&mut self, mut other: DisjointBatch<A>) {
+        self.items.append(&mut other.items);
+        self.heights.append(&mut other.heights);
+    }
+
+    /// Deferred checks currently held.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the batch holds no deferred checks.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The cross-block transcript context: the covered heights, length
+    /// prefixed, in push order.
+    fn context(&self) -> Vec<u8> {
+        let mut ctx = Vec::with_capacity(8 + 8 * self.heights.len());
+        ctx.extend_from_slice(&(self.heights.len() as u64).to_le_bytes());
+        for h in &self.heights {
+            ctx.extend_from_slice(&h.to_le_bytes());
+        }
+        ctx
     }
 
     /// Run the aggregated check; on rejection the accumulator's attributed
     /// fallback re-verifies the *same* item slice (with the Fiat–Shamir
     /// coefficients derived once — see
-    /// [`Accumulator::batch_verify_disjoint_attributed`]) so the error still
-    /// names the offending height.
-    fn flush(self, acc: &A) -> Result<(), VerifyError> {
-        acc.batch_verify_disjoint_attributed(&self.items)
-            .map_err(|i| VerifyError::BadProof { height: self.heights[i] })
+    /// [`vchain_acc::Accumulator::batch_verify_disjoint_attributed_ctx`])
+    /// so the error still names the offending height.
+    pub fn flush(self, acc: &A) -> Result<(), VerifyError> {
+        let ctx = self.context();
+        acc.batch_verify_disjoint_attributed_ctx(&ctx, &self.items).map_err(|i| {
+            VerifyError::BadProof { height: self.heights.get(i).copied().unwrap_or(0) }
+        })
+    }
+}
+
+/// Incremental window verification: the per-coverage-entry core of
+/// [`verify_with_expected`], factored out so callers can drive it one
+/// entry at a time — which is exactly what the streamed pipeline
+/// (`core::client`) needs to verify block *i* while block *i + 1* is still
+/// being decoded.
+///
+/// Borrows are [`Cow`]s: the batch path ([`verify_with_expected`]) passes
+/// borrowed query/headers and pays zero clones; the streamed pipeline
+/// passes owned copies, giving a `WindowVerifier<'static, A>` it can move
+/// into a worker thread. The accumulator is *not* stored — every method
+/// takes it by reference — so the verifier stays `Send` whenever the
+/// accumulator's value/proof types are.
+pub struct WindowVerifier<'a, A: Accumulator> {
+    q: Cow<'a, CompiledQuery>,
+    light: Cow<'a, LightClient>,
+    cfg: MinerConfig,
+    expected: BTreeSet<u64>,
+    covered: BTreeSet<u64>,
+    verified_results: Vec<Object>,
+    result_heights: BTreeSet<u64>,
+    clause_cache: ClauseCache<A>,
+    batch: DisjointBatch<A>,
+}
+
+impl<'a, A: Accumulator> WindowVerifier<'a, A> {
+    /// A verifier over an explicit expected-coverage set (the subscription
+    /// entry point; window queries use [`WindowVerifier::for_window`]).
+    pub fn new(
+        q: Cow<'a, CompiledQuery>,
+        light: Cow<'a, LightClient>,
+        cfg: MinerConfig,
+        expected: BTreeSet<u64>,
+    ) -> Self {
+        Self {
+            q,
+            light,
+            cfg,
+            expected,
+            covered: BTreeSet::new(),
+            verified_results: Vec::new(),
+            result_heights: BTreeSet::new(),
+            clause_cache: ClauseCache::new(),
+            batch: DisjointBatch::new(),
+        }
+    }
+
+    /// A verifier whose expected coverage is derived from the query's time
+    /// window against the light client's headers — the same derivation as
+    /// [`verify_response`]. Errors with [`VerifyError::MissingWindow`] on a
+    /// windowless (subscription) query.
+    pub fn for_window(
+        q: Cow<'a, CompiledQuery>,
+        light: Cow<'a, LightClient>,
+        cfg: MinerConfig,
+    ) -> Result<Self, VerifyError> {
+        let (ts, te) = q.time_window.ok_or(VerifyError::MissingWindow)?;
+        let expected: BTreeSet<u64> = light
+            .headers()
+            .iter()
+            .filter(|h| h.timestamp >= ts && h.timestamp <= te)
+            .map(|h| h.height)
+            .collect();
+        Ok(Self::new(q, light, cfg, expected))
+    }
+
+    /// The expected coverage set this verifier enforces.
+    pub fn expected(&self) -> &BTreeSet<u64> {
+        &self.expected
+    }
+
+    /// Deferred pairing checks collected so far (flushed or folded by the
+    /// finish flavours).
+    pub fn pending_checks(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// Verify one coverage entry. `block_results` are the claimed result
+    /// objects for the entry's block (empty for skips). Defers all pairing
+    /// checks into the internal batch; a returned error is terminal for the
+    /// response.
+    pub fn entry(
+        &mut self,
+        acc: &A,
+        cov: &BlockCoverage<A>,
+        block_results: &[Object],
+    ) -> Result<(), VerifyError> {
+        match cov {
+            BlockCoverage::Block { height, vo } => {
+                let header = self
+                    .light
+                    .header(*height)
+                    .ok_or(VerifyError::UnknownBlock { height: *height })?;
+                let ads_root = header.ads_root;
+                if !self.covered.insert(*height) {
+                    return Err(VerifyError::DuplicateCoverage { height: *height });
+                }
+                if !block_results.is_empty() {
+                    self.result_heights.insert(*height);
+                }
+                let root = verify_block_vo_into(
+                    vo,
+                    block_results,
+                    &self.q,
+                    acc,
+                    *height,
+                    &self.cfg,
+                    &mut self.clause_cache,
+                    &mut self.batch,
+                )?;
+                if root != ads_root {
+                    return Err(VerifyError::RootMismatch { height: *height });
+                }
+                // every result object satisfies the query *and* the window
+                for o in block_results {
+                    if !self.q.object_matches(o) {
+                        return Err(VerifyError::ResultNotMatching {
+                            height: *height,
+                            object_id: o.id,
+                        });
+                    }
+                }
+                self.verified_results.extend(block_results.iter().cloned());
+                Ok(())
+            }
+            BlockCoverage::Skip { height, distance, att, proof, clause, siblings } => {
+                if self.cfg.scheme != IndexScheme::Both {
+                    return Err(VerifyError::SchemeViolation);
+                }
+                let header = self
+                    .light
+                    .header(*height)
+                    .ok_or(VerifyError::UnknownBlock { height: *height })?;
+                if *distance > *height {
+                    return Err(VerifyError::SkipHashMismatch { height: *height });
+                }
+                let skiplist_root = header.skiplist_root;
+                // 1. the covered run: mark blocks as covered
+                for hh in (*height - *distance)..*height {
+                    // blocks outside the window may be covered harmlessly,
+                    // but duplicates within the window are rejected
+                    if self.expected.contains(&hh) && !self.covered.insert(hh) {
+                        return Err(VerifyError::DuplicateCoverage { height: hh });
+                    }
+                }
+                // 2. recompute PreSkippedHash from the user's own headers
+                let mut hashes = Vec::with_capacity(*distance as usize);
+                for hh in (*height - *distance)..*height {
+                    hashes.push(
+                        self.light
+                            .block_hash(hh)
+                            .ok_or(VerifyError::UnknownBlock { height: hh })?,
+                    );
+                }
+                let psh = pre_skipped_hash(&hashes);
+                // 3. rebuild SkipListRoot with the provided sibling levels
+                let mut level_hashes: Vec<(u64, Digest)> = siblings.clone();
+                level_hashes.push((*distance, level_hash_from_parts::<A>(&psh, att)));
+                level_hashes.sort_by_key(|(d, _)| *d);
+                let root = skiplist_root_from_hashes(
+                    &level_hashes.iter().map(|(_, h)| *h).collect::<Vec<_>>(),
+                );
+                if root != skiplist_root {
+                    return Err(VerifyError::SkipRootMismatch { height: *height });
+                }
+                // 4. the disjointness proof against a valid clause
+                let clause_val = resolve_clause(acc, &self.q, clause, &mut self.clause_cache)
+                    .ok_or(VerifyError::BadClause { height: *height })?;
+                self.batch.push(att.clone(), clause_val, proof.clone(), *height);
+                Ok(())
+            }
+        }
+    }
+
+    /// The completeness checks shared by both finish flavours: every
+    /// expected block covered, no results smuggled in for uncovered blocks.
+    fn check_complete(&self) -> Result<(), VerifyError> {
+        if let Some(&missing) = self.expected.difference(&self.covered).next() {
+            return Err(VerifyError::MissingCoverage { height: missing });
+        }
+        for h in &self.result_heights {
+            if !self.expected.contains(h) {
+                return Err(VerifyError::ResultIndexing { height: *h });
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush the deferred pairing batch, run the completeness checks, and
+    /// return the verified results (coverage order).
+    pub fn finish(mut self, acc: &A) -> Result<Vec<Object>, VerifyError> {
+        std::mem::take(&mut self.batch).flush(acc)?;
+        self.check_complete()?;
+        Ok(self.verified_results)
+    }
+
+    /// Like [`WindowVerifier::finish`], but instead of flushing, fold this
+    /// window's deferred pairing checks into `batch` — the cross-window
+    /// aggregation a multi-window scan uses to pay for one pairing flush
+    /// instead of one per window (`core::client::WindowScan`).
+    ///
+    /// The returned results are *provisional* until the shared batch is
+    /// flushed: the structural and hash-chain checks have all passed, but
+    /// the disjointness proofs have not been pairing-checked yet.
+    pub fn finish_into(self, batch: &mut DisjointBatch<A>) -> Result<Vec<Object>, VerifyError> {
+        self.check_complete()?;
+        batch.append(self.batch);
+        Ok(self.verified_results)
     }
 }
 
 /// Core verification against an explicit set of expected block heights —
 /// shared by time-window queries and subscription updates (§7), whose
-/// expected coverage is the interval since the last update.
+/// expected coverage is the interval since the last update. Drives a
+/// [`WindowVerifier`] over the response's coverage entries.
 pub fn verify_with_expected<A: Accumulator>(
     q: &CompiledQuery,
     response: &QueryResponse<A>,
@@ -200,98 +467,24 @@ pub fn verify_with_expected<A: Accumulator>(
         return Err(VerifyError::ResultIndexing { height: 0 });
     }
 
-    let mut covered: BTreeSet<u64> = BTreeSet::new();
-    let mut verified_results = Vec::new();
-    // Cache clause accumulator values — they are query-side and reusable.
-    let mut clause_cache: ClauseCache<A> = ClauseCache::new();
-    // All pairing checks in the response defer into one RLC batch.
-    let mut batch: DisjointBatch<A> = DisjointBatch::new();
-
+    let mut verifier = WindowVerifier::new(Cow::Borrowed(q), Cow::Borrowed(light), *cfg, expected);
+    static EMPTY: Vec<Object> = Vec::new();
     for cov in &response.coverage {
-        match cov {
-            BlockCoverage::Block { height, vo } => {
-                let header =
-                    light.header(*height).ok_or(VerifyError::UnknownBlock { height: *height })?;
-                if !covered.insert(*height) {
-                    return Err(VerifyError::DuplicateCoverage { height: *height });
-                }
-                static EMPTY: Vec<Object> = Vec::new();
-                let block_results = results_by_height.get(height).copied().unwrap_or(&EMPTY);
-                let root = verify_block_vo_into(
-                    vo,
-                    block_results,
-                    q,
-                    acc,
-                    *height,
-                    cfg,
-                    &mut clause_cache,
-                    &mut batch,
-                )?;
-                if root != header.ads_root {
-                    return Err(VerifyError::RootMismatch { height: *height });
-                }
-                // every result object satisfies the query *and* the window
-                for o in block_results {
-                    if !q.object_matches(o) {
-                        return Err(VerifyError::ResultNotMatching {
-                            height: *height,
-                            object_id: o.id,
-                        });
-                    }
-                }
-                verified_results.extend(block_results.iter().cloned());
+        let block_results = match cov {
+            BlockCoverage::Block { height, .. } => {
+                results_by_height.get(height).copied().unwrap_or(&EMPTY)
             }
-            BlockCoverage::Skip { height, distance, att, proof, clause, siblings } => {
-                if cfg.scheme != IndexScheme::Both {
-                    return Err(VerifyError::SchemeViolation);
-                }
-                let header =
-                    light.header(*height).ok_or(VerifyError::UnknownBlock { height: *height })?;
-                if *distance > *height {
-                    return Err(VerifyError::SkipHashMismatch { height: *height });
-                }
-                // 1. the covered run: mark blocks as covered
-                for hh in (*height - *distance)..*height {
-                    // blocks outside the window may be covered harmlessly,
-                    // but duplicates within the window are rejected
-                    if expected.contains(&hh) && !covered.insert(hh) {
-                        return Err(VerifyError::DuplicateCoverage { height: hh });
-                    }
-                }
-                // 2. recompute PreSkippedHash from the user's own headers
-                let mut hashes = Vec::with_capacity(*distance as usize);
-                for hh in (*height - *distance)..*height {
-                    hashes.push(
-                        light.block_hash(hh).ok_or(VerifyError::UnknownBlock { height: hh })?,
-                    );
-                }
-                let psh = pre_skipped_hash(&hashes);
-                // 3. rebuild SkipListRoot with the provided sibling levels
-                let mut level_hashes: Vec<(u64, Digest)> = siblings.clone();
-                level_hashes.push((*distance, level_hash_from_parts::<A>(&psh, att)));
-                level_hashes.sort_by_key(|(d, _)| *d);
-                let root = skiplist_root_from_hashes(
-                    &level_hashes.iter().map(|(_, h)| *h).collect::<Vec<_>>(),
-                );
-                if root != header.skiplist_root {
-                    return Err(VerifyError::SkipRootMismatch { height: *height });
-                }
-                // 4. the disjointness proof against a valid clause
-                let clause_val = resolve_clause(acc, q, clause, &mut clause_cache)
-                    .ok_or(VerifyError::BadClause { height: *height })?;
-                batch.push(att.clone(), clause_val, proof.clone(), *height);
-            }
-        }
+            BlockCoverage::Skip { .. } => &EMPTY,
+        };
+        verifier.entry(acc, cov, block_results)?;
     }
 
-    // All deferred pairing checks, in one aggregated multi-pairing.
-    batch.flush(acc)?;
+    let expected = verifier.expected().clone();
+    let verified_results = verifier.finish(acc)?;
 
-    // Completeness: every expected block covered.
-    if let Some(&missing) = expected.difference(&covered).next() {
-        return Err(VerifyError::MissingCoverage { height: missing });
-    }
-    // No results smuggled in for uncovered blocks.
+    // No results smuggled in for uncovered blocks — including height keys
+    // that carry an *empty* object list, which the entry-level bookkeeping
+    // above cannot see.
     for h in results_by_height.keys() {
         if !expected.contains(h) {
             return Err(VerifyError::ResultIndexing { height: *h });

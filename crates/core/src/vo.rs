@@ -5,6 +5,11 @@
 //! their AttDigest (needed to rebuild the Merkle commitment), pruned
 //! subtrees carry a disjointness proof, matched leaves point into the result
 //! set. Inter-block skips and §6.3 batch-verification groups ride alongside.
+//!
+//! On the wire a VO travels in the [`crate::wire`] codec — v1 raw slots or
+//! the deduplicating v2 intern-table encoding — and can be delivered as a
+//! frame stream verified incrementally by [`crate::client`]; see
+//! `docs/LIGHT_CLIENT.md` for byte layouts and the pipeline architecture.
 
 // Decoded VOs are attacker-shaped; resolution paths must not panic.
 #![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::unreachable)]
